@@ -1,0 +1,135 @@
+// Package activerouting is the public API of the Active-Routing
+// reproduction: a full-system simulator of the HPCA 2019 / TAMU-thesis
+// system "Active-Routing: Compute on the Way for Near-Data Processing".
+//
+// The library simulates a 16-core out-of-order CMP with a MESI cache
+// hierarchy over either a DDR memory system (the DRAM baseline) or a
+// 16-cube HMC dragonfly memory network whose logic layers host
+// Active-Routing Engines: in-network compute units that build dynamic
+// per-flow reduction trees, perform near-data processing at operand split
+// points, and aggregate partial results along the tree (the paper's three-
+// phase Update/Gather processing).
+//
+// Quick start:
+//
+//	res, err := activerouting.Run(activerouting.SchemeARFtid, "mac",
+//		activerouting.ScaleTiny)
+//	if err != nil { ... }
+//	fmt.Printf("cycles=%d speedup-relevant IPC=%.2f\n", res.Cycles, res.IPC)
+//
+// Every run is functionally verified: reductions computed in the network
+// must match a host-computed reference before results are returned.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package activerouting
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Scheme selects the machine configuration (§5.1 of the thesis).
+type Scheme = system.Scheme
+
+// The evaluated schemes.
+const (
+	// SchemeDRAM is the DDR baseline: the whole program runs on the host.
+	SchemeDRAM = system.SchemeDRAM
+	// SchemeHMC swaps in the HMC dragonfly memory network, no offloading.
+	SchemeHMC = system.SchemeHMC
+	// SchemeART enables Active-Routing with one static tree per flow.
+	SchemeART = system.SchemeART
+	// SchemeARFtid builds a forest of trees interleaved by thread id.
+	SchemeARFtid = system.SchemeARFtid
+	// SchemeARFaddr builds the forest by operand address.
+	SchemeARFaddr = system.SchemeARFaddr
+	// SchemeARFtidAdaptive adds the §5.4 dynamic offloading knob.
+	SchemeARFtidAdaptive = system.SchemeARFtidAdaptive
+	// SchemeARFea is the §6 energy-aware scheduling extension.
+	SchemeARFea = system.SchemeARFea
+)
+
+// Schemes returns the five headline configurations in figure order.
+func Schemes() []Scheme { return system.Schemes() }
+
+// Scale selects input sizing (inputs are proportionally scaled from the
+// thesis's native sizes so runs finish in seconds; see DESIGN.md).
+type Scale = workload.Scale
+
+// Input scales.
+const (
+	ScaleTiny   = workload.ScaleTiny
+	ScaleSmall  = workload.ScaleSmall
+	ScaleMedium = workload.ScaleMedium
+)
+
+// Config is the full machine configuration (Table 4.1).
+type Config = system.Config
+
+// DefaultConfig returns the evaluation machine for a scheme.
+func DefaultConfig(s Scheme) Config { return system.DefaultConfig(s) }
+
+// Results carries a run's measurements: cycles, IPC, the Fig 5.2 latency
+// breakdown, Fig 5.3 heatmaps, Fig 5.4 data movement, and the Fig 5.5-5.7
+// energy model outputs.
+type Results = system.Results
+
+// System is one assembled machine bound to one workload instance.
+type System = system.System
+
+// NewSystem builds a machine for cfg running the named workload.
+func NewSystem(cfg Config, workloadName string, scale Scale) (*System, error) {
+	return system.New(cfg, workloadName, scale)
+}
+
+// Run builds and runs one (scheme, workload) pair with default
+// configuration, verifying the final memory state.
+func Run(s Scheme, workloadName string, scale Scale) (*Results, error) {
+	sys, err := system.New(system.DefaultConfig(s), workloadName, scale)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// Benchmarks lists the thesis benchmark suite (Fig 5.1a order).
+func Benchmarks() []string { return workload.Benchmarks() }
+
+// Microbenchmarks lists the microbenchmark suite (Fig 5.1b order).
+func Microbenchmarks() []string { return workload.Microbenchmarks() }
+
+// Workload is the benchmark interface for user-defined workloads; use
+// NewSystemWith to run one.
+type Workload = workload.Workload
+
+// NewSystemWith builds a machine around a custom workload implementation.
+func NewSystemWith(cfg Config, wl Workload) (*System, error) {
+	return system.NewWith(cfg, wl)
+}
+
+// Suite is a workload × scheme cross product of runs; the experiment
+// figures derive from it.
+type Suite = experiments.Suite
+
+// RunSuite executes every (workload, scheme) pair in parallel.
+func RunSuite(scale Scale, workloads []string, schemes []Scheme) (*Suite, error) {
+	return experiments.RunSuite(scale, workloads, schemes, nil)
+}
+
+// PortPolicy is the coordinator's tree-rooting policy (ART vs ARF-tid vs
+// ARF-addr).
+type PortPolicy = core.PortPolicy
+
+// UpdateCmd and GatherCmd are the offload commands of the Update/Gather
+// ISA extension (§3.1), exposed for tests and tooling that drive the flow
+// coordinator directly.
+type (
+	UpdateCmd = core.UpdateCmd
+	GatherCmd = core.GatherCmd
+)
+
+// FlowEntry mirrors the Active Flow Table entry of Table 3.1.
+type FlowEntry = core.FlowEntry

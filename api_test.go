@@ -1,0 +1,76 @@
+package activerouting
+
+import (
+	"testing"
+)
+
+func TestPublicRunAPI(t *testing.T) {
+	res, err := Run(SchemeARFtid, "mac", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.IPC <= 0 {
+		t.Fatalf("empty results: %+v", res)
+	}
+	if res.Scheme != SchemeARFtid || res.Workload != "mac" {
+		t.Fatalf("identity fields wrong: %s/%s", res.Scheme, res.Workload)
+	}
+}
+
+func TestPublicSchemeList(t *testing.T) {
+	ss := Schemes()
+	if len(ss) != 5 {
+		t.Fatalf("headline schemes = %d, want 5", len(ss))
+	}
+	if ss[0] != SchemeDRAM || ss[4] != SchemeARFaddr {
+		t.Fatalf("scheme order changed: %v", ss)
+	}
+	names := map[string]bool{}
+	for _, s := range append(ss, SchemeARFtidAdaptive, SchemeARFea) {
+		if names[s.String()] {
+			t.Fatalf("duplicate scheme name %s", s)
+		}
+		names[s.String()] = true
+	}
+}
+
+func TestPublicWorkloadLists(t *testing.T) {
+	if len(Benchmarks()) != 5 || len(Microbenchmarks()) != 4 {
+		t.Fatalf("suite sizes: %d benchmarks, %d micro", len(Benchmarks()), len(Microbenchmarks()))
+	}
+	for _, wl := range append(Benchmarks(), Microbenchmarks()...) {
+		cfg := DefaultConfig(SchemeHMC)
+		if _, err := NewSystem(cfg, wl, ScaleTiny); err != nil {
+			t.Fatalf("NewSystem(%s): %v", wl, err)
+		}
+	}
+}
+
+func TestPublicSuiteAPI(t *testing.T) {
+	s, err := RunSuite(ScaleTiny, []string{"reduce"}, Schemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 5 {
+		t.Fatalf("suite ran %d of 5", len(s.Results))
+	}
+	base := s.Get("reduce", SchemeDRAM)
+	if base.Cycles == 0 {
+		t.Fatal("empty baseline run")
+	}
+}
+
+func TestPublicUnknownWorkload(t *testing.T) {
+	if _, err := Run(SchemeHMC, "not-a-workload", ScaleTiny); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDefaultConfigIsRunnable(t *testing.T) {
+	for _, s := range []Scheme{SchemeDRAM, SchemeARFea} {
+		cfg := DefaultConfig(s)
+		if cfg.Threads != 16 || cfg.MaxCycles == 0 {
+			t.Fatalf("default config implausible: %+v", cfg)
+		}
+	}
+}

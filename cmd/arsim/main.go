@@ -1,0 +1,80 @@
+// Command arsim runs one workload on one machine configuration and prints
+// the run's measurements.
+//
+// Usage:
+//
+//	arsim -scheme ARF-tid -workload mac -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	activerouting "repro"
+)
+
+func parseScheme(s string) (activerouting.Scheme, error) {
+	for _, sch := range append(activerouting.Schemes(), activerouting.SchemeARFtidAdaptive, activerouting.SchemeARFea) {
+		if strings.EqualFold(sch.String(), s) {
+			return sch, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want DRAM, HMC, ART, ARF-tid, ARF-addr, ARF-tid-adaptive)", s)
+}
+
+func parseScale(s string) (activerouting.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return activerouting.ScaleTiny, nil
+	case "small":
+		return activerouting.ScaleSmall, nil
+	case "medium":
+		return activerouting.ScaleMedium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want tiny, small, medium)", s)
+}
+
+func main() {
+	schemeFlag := flag.String("scheme", "ARF-tid", "machine configuration (DRAM, HMC, ART, ARF-tid, ARF-addr, ARF-tid-adaptive)")
+	wlFlag := flag.String("workload", "mac", "workload (backprop, lud, pagerank, sgemm, spmv, reduce, rand_reduce, mac, rand_mac, lud_phase)")
+	scaleFlag := flag.String("scale", "small", "input scale (tiny, small, medium)")
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arsim:", err)
+		os.Exit(2)
+	}
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arsim:", err)
+		os.Exit(2)
+	}
+
+	res, err := activerouting.Run(scheme, *wlFlag, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheme            %s\n", res.Scheme)
+	fmt.Printf("workload          %s\n", res.Workload)
+	fmt.Printf("cycles            %d\n", res.Cycles)
+	fmt.Printf("instructions      %d\n", res.Instructions)
+	fmt.Printf("IPC               %.3f\n", res.IPC)
+	fmt.Printf("verification      passed\n")
+	if res.Coord.Updates > 0 {
+		req, stall, resp := res.Breakdown.Means()
+		fmt.Printf("updates offloaded %d (committed in network: %d)\n", res.Coord.Updates, res.Engine.UpdatesCommitted)
+		fmt.Printf("update roundtrip  req=%.1f stall=%.1f resp=%.1f cycles\n", req, stall, resp)
+		fmt.Printf("flows completed   %d (peak concurrent per cube: %d)\n", res.Coord.FlowsComplete, res.FlowPeak)
+		fmt.Printf("bypassed operands %d (single-operand optimization)\n", res.Engine.SingleOpBypasses)
+	}
+	fmt.Printf("data movement     norm_req=%d active_req=%d norm_resp=%d active_resp=%d bytes\n",
+		res.Movement.NormReq, res.Movement.ActiveReq, res.Movement.NormResp, res.Movement.ActiveResp)
+	fmt.Printf("energy            cache=%.3g memory=%.3g network=%.3g J (total %.3g)\n",
+		res.Energy.CacheJ, res.Energy.MemoryJ, res.Energy.NetworkJ, res.Energy.Total())
+	fmt.Printf("EDP               %.3g J*s\n", res.EDP)
+}

@@ -1,0 +1,51 @@
+// PageRank example: the graph-analytics scenario of the paper's Fig 3.2.
+// One rank-propagation iteration runs on the host in both configurations;
+// the score-difference loop — abs-diff accumulation into a shared `diff`
+// plus the rank rotation stores — is offloaded with Update/Gather under
+// Active-Routing, exactly as the thesis's pseudocode does:
+//
+//	Update(&v.next_pagerank, &v.pagerank, &diff, abs);
+//	Update(&v.next_pagerank, nil,        &v.pagerank, mov);
+//	Update(0.15/N,           nil,        &v.next_pagerank, const_assign);
+//	Gather(&diff, num_threads);
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	activerouting "repro"
+)
+
+func main() {
+	fmt.Println("Active-Routing on PageRank (synthetic power-law graph)")
+	fmt.Println()
+	fmt.Printf("%-12s %12s %8s %14s\n", "scheme", "cycles", "IPC", "active bytes")
+	var base uint64
+	for _, scheme := range []activerouting.Scheme{
+		activerouting.SchemeDRAM,
+		activerouting.SchemeHMC,
+		activerouting.SchemeARFtid,
+	} {
+		res, err := activerouting.Run(scheme, "pagerank", activerouting.ScaleSmall)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		active := res.Movement.ActiveReq + res.Movement.ActiveResp
+		fmt.Printf("%-12s %12d %8.2f %14d   (%.2fx over DRAM)\n",
+			scheme, res.Cycles, res.IPC, active, float64(base)/float64(res.Cycles))
+		if scheme == activerouting.SchemeARFtid {
+			fmt.Println()
+			fmt.Printf("offloaded: %d reducing updates + %d active stores (mov/const_assign)\n",
+				res.Coord.Updates, res.Coord.ActiveStores)
+			fmt.Printf("the diff reduction met its %d-thread Gather barrier at the tree roots\n", 16)
+		}
+	}
+	fmt.Println()
+	fmt.Println("diff, pagerank[] and next_pagerank[] all verified against the reference.")
+}

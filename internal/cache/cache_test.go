@@ -1,0 +1,316 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// harness wires one L1 and one L2 bank directly (no NoC): messages route by
+// destination id 0 = L1's core, 100 = the bank.
+type harness struct {
+	l1   *L1
+	l2   *L2Bank
+	mem  []memOp
+	mems int
+	cyc  uint64
+}
+
+type memOp struct {
+	block mem.PAddr
+	write bool
+	done  func(uint64)
+}
+
+func newHarness(t *testing.T) *harness {
+	h := &harness{}
+	l1Send := func(dst int, m *Msg) bool {
+		if dst != 100 {
+			t.Fatalf("L1 sent %s to %d", m.Type, dst)
+		}
+		return h.l2.Deliver(m, 0)
+	}
+	l2Send := func(dst int, m *Msg) bool {
+		return h.l1.Deliver(m, 0)
+	}
+	memPort := func(block mem.PAddr, write bool, done func(uint64)) bool {
+		h.mems++
+		h.mem = append(h.mem, memOp{block, write, done})
+		return true
+	}
+	cfg1 := DefaultL1Config()
+	cfg1.SizeBytes = 1 << 10 // 4 sets x 4 ways
+	cfg2 := DefaultL2Config()
+	cfg2.BankSizeBytes = 4 << 10
+	cfg2.Ways = 4
+	h.l1 = NewL1(0, cfg1, l1Send, func(mem.PAddr) int { return 100 })
+	h.l2 = NewL2Bank(100, cfg2, l2Send, memPort)
+	return h
+}
+
+// settle ticks both caches, answering memory fetches immediately. The
+// clock is monotonic across calls.
+func (h *harness) settle(n int) {
+	for i := 0; i < n; i++ {
+		h.cyc++
+		for len(h.mem) > 0 {
+			op := h.mem[0]
+			h.mem = h.mem[1:]
+			op.done(h.cyc)
+		}
+		h.l2.Tick(h.cyc)
+		h.l1.Tick(h.cyc)
+	}
+}
+
+func TestL1MissFillsAndHits(t *testing.T) {
+	h := newHarness(t)
+	done := 0
+	if !h.l1.Access(0x1000, false, 0, func(uint64) { done++ }) {
+		t.Fatal("access refused")
+	}
+	h.settle(100)
+	if done != 1 {
+		t.Fatal("miss never completed")
+	}
+	if h.l1.Stats.L1Misses != 1 || h.l2.Stats.L2Misses != 1 || h.mems != 1 {
+		t.Fatalf("stats: l1=%+v l2=%+v", h.l1.Stats, h.l2.Stats)
+	}
+	// Second access hits in L1 without new messages.
+	if !h.l1.Access(0x1008, false, h.cyc, func(uint64) { done++ }) {
+		t.Fatal("hit refused")
+	}
+	h.settle(50)
+	if done != 2 || h.l1.Stats.L1Hits != 1 {
+		t.Fatalf("hit path broken: done=%d stats=%+v", done, h.l1.Stats)
+	}
+}
+
+func TestL1CoalescesMisses(t *testing.T) {
+	h := newHarness(t)
+	done := 0
+	h.l1.Access(0x2000, false, 0, func(uint64) { done++ })
+	h.l1.Access(0x2010, false, 0, func(uint64) { done++ })
+	h.settle(100)
+	if done != 2 {
+		t.Fatalf("coalesced waiters = %d, want 2", done)
+	}
+	if h.l1.Stats.L1Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (coalesced)", h.l1.Stats.L1Misses)
+	}
+}
+
+func TestWriteGetsExclusive(t *testing.T) {
+	h := newHarness(t)
+	done := 0
+	h.l1.Access(0x3000, true, 0, func(uint64) { done++ })
+	h.settle(100)
+	if done != 1 {
+		t.Fatal("write never completed")
+	}
+	// Writing again is a silent hit (M state).
+	h.l1.Access(0x3000, true, h.cyc, func(uint64) { done++ })
+	h.settle(50)
+	if done != 2 || h.l1.Stats.L1Hits != 1 {
+		t.Fatalf("M-state write hit broken: %+v", h.l1.Stats)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	h := newHarness(t)
+	// Dirty a block, then evict it by filling its set (4 ways + 1).
+	done := 0
+	h.l1.Access(0x4000, true, 0, func(uint64) { done++ })
+	h.settle(100)
+	// Same L1 set: stride = sets(4) * 64 = 256 bytes.
+	for i := 1; i <= 4; i++ {
+		h.l1.Access(mem.PAddr(0x4000+i*256), false, h.cyc, func(uint64) { done++ })
+		h.settle(100)
+	}
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	if h.l1.Stats.L1Evictions == 0 {
+		t.Fatal("no eviction happened")
+	}
+}
+
+func TestBackInvalMiss(t *testing.T) {
+	h := newHarness(t)
+	got := false
+	h.l2.Deliver(&Msg{Type: MsgBackInvalQ, Block: 0x9000, From: 0, Tag: 7}, 0)
+	// Intercept the response at the L1 side sender (our harness routes all
+	// L2 sends to L1.Deliver; BackInvalD is not an L1 message, so check via
+	// a custom sender instead).
+	h.l2.send = func(dst int, m *Msg) bool {
+		if m.Type == MsgBackInvalD && m.Tag == 7 {
+			got = true
+			return true
+		}
+		return h.l1.Deliver(m, 0)
+	}
+	h.settle(50)
+	if !got {
+		t.Fatal("back-invalidation query never answered")
+	}
+	if h.l2.Stats.BackInvalQ != 1 || h.l2.Stats.BackInvalHit != 0 {
+		t.Fatalf("stats: %+v", h.l2.Stats)
+	}
+}
+
+func TestBackInvalHitInvalidates(t *testing.T) {
+	h := newHarness(t)
+	done := 0
+	h.l1.Access(0xA000, true, 0, func(uint64) { done++ }) // cached M in L1
+	h.settle(100)
+	got := false
+	h.l2.send = func(dst int, m *Msg) bool {
+		if m.Type == MsgBackInvalD {
+			got = true
+			return true
+		}
+		return h.l1.Deliver(m, 0)
+	}
+	h.l2.Deliver(&Msg{Type: MsgBackInvalQ, Block: 0xA000, From: 0, Tag: 8}, 0)
+	h.settle(100)
+	if !got {
+		t.Fatal("back-invalidation with cached copy never completed")
+	}
+	if h.l2.Stats.BackInvalHit != 1 {
+		t.Fatalf("hit not counted: %+v", h.l2.Stats)
+	}
+	// The L1 copy must be gone: re-access misses.
+	h.l1.Access(0xA000, false, h.cyc, func(uint64) { done++ })
+	h.settle(100)
+	if h.l1.Stats.L1Misses != 2 {
+		t.Fatalf("L1 copy survived back-invalidation: %+v", h.l1.Stats)
+	}
+}
+
+func TestBankOfCoversAllBanks(t *testing.T) {
+	seen := map[int]bool{}
+	for b := 0; b < 64; b++ {
+		seen[BankOf(mem.PAddr(b*64), 16)] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("block interleave covers %d banks, want 16", len(seen))
+	}
+}
+
+func TestMsgClassification(t *testing.T) {
+	resp := []MsgType{MsgData, MsgInvAck, MsgFetchResp, MsgBackInvalD, MsgMemResp}
+	for _, m := range resp {
+		if !m.isResponse() {
+			t.Fatalf("%s must be a response", m)
+		}
+	}
+	data := []MsgType{MsgData, MsgPutM, MsgFetchResp, MsgMemWrite, MsgMemResp}
+	for _, m := range data {
+		if !m.carriesData() {
+			t.Fatalf("%s must carry a block", m)
+		}
+	}
+	p := PacketFor(&Msg{Type: MsgData}, 1, 2)
+	if p.Size <= 16 {
+		t.Fatal("data message packet must include block payload")
+	}
+}
+
+// twoL1Harness exercises coherence between two cores.
+type twoL1Harness struct {
+	l1s [2]*L1
+	l2  *L2Bank
+	mem []memOp
+	cyc uint64
+}
+
+func newTwoL1(t *testing.T) *twoL1Harness {
+	h := &twoL1Harness{}
+	send := func(dst int, m *Msg) bool {
+		switch dst {
+		case 0, 1:
+			return h.l1s[dst].Deliver(m, 0)
+		case 100:
+			return h.l2.Deliver(m, 0)
+		}
+		t.Fatalf("message to unknown node %d", dst)
+		return false
+	}
+	memPort := func(block mem.PAddr, write bool, done func(uint64)) bool {
+		h.mem = append(h.mem, memOp{block, write, done})
+		return true
+	}
+	cfg1 := DefaultL1Config()
+	cfg1.SizeBytes = 1 << 10
+	cfg2 := DefaultL2Config()
+	cfg2.BankSizeBytes = 4 << 10
+	cfg2.Ways = 4
+	h.l1s[0] = NewL1(0, cfg1, send, func(mem.PAddr) int { return 100 })
+	h.l1s[1] = NewL1(1, cfg1, send, func(mem.PAddr) int { return 100 })
+	h.l2 = NewL2Bank(100, cfg2, send, memPort)
+	return h
+}
+
+func (h *twoL1Harness) settle(n int) {
+	for i := 0; i < n; i++ {
+		h.cyc++
+		for len(h.mem) > 0 {
+			op := h.mem[0]
+			h.mem = h.mem[1:]
+			op.done(h.cyc)
+		}
+		h.l2.Tick(h.cyc)
+		h.l1s[0].Tick(h.cyc)
+		h.l1s[1].Tick(h.cyc)
+	}
+}
+
+func TestWriteInvalidatesSharer(t *testing.T) {
+	h := newTwoL1(t)
+	done := 0
+	// Core 0 reads (becomes E owner), core 1 reads (both S), core 1 writes
+	// (invalidates core 0).
+	h.l1s[0].Access(0x5000, false, 0, func(uint64) { done++ })
+	h.settle(100)
+	h.l1s[1].Access(0x5000, false, h.cyc, func(uint64) { done++ })
+	h.settle(100)
+	if h.l2.Stats.Fetches == 0 {
+		t.Fatal("reading an owned line must fetch from the owner")
+	}
+	h.l1s[1].Access(0x5000, true, h.cyc, func(uint64) { done++ })
+	h.settle(200)
+	if done != 3 {
+		t.Fatalf("done = %d, want 3", done)
+	}
+	if h.l2.Stats.Invals == 0 {
+		t.Fatal("write must invalidate the other sharer")
+	}
+	// Core 0's next read misses (it was invalidated).
+	before := h.l1s[0].Stats.L1Misses
+	h.l1s[0].Access(0x5000, false, h.cyc, func(uint64) { done++ })
+	h.settle(200)
+	if h.l1s[0].Stats.L1Misses != before+1 {
+		t.Fatal("stale copy survived invalidation")
+	}
+}
+
+func TestOwnershipMigration(t *testing.T) {
+	h := newTwoL1(t)
+	done := 0
+	h.l1s[0].Access(0x6000, true, 0, func(uint64) { done++ }) // core 0 owns M
+	h.settle(100)
+	h.l1s[1].Access(0x6000, true, h.cyc, func(uint64) { done++ }) // migrate to core 1
+	h.settle(200)
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	if h.l2.Stats.Fetches == 0 {
+		t.Fatal("ownership migration must fetch-invalidate the old owner")
+	}
+	// Core 1 now hits.
+	h.l1s[1].Access(0x6000, true, h.cyc, func(uint64) { done++ })
+	h.settle(100)
+	if h.l1s[1].Stats.L1Hits == 0 {
+		t.Fatal("new owner must hit")
+	}
+}

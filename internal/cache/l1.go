@@ -1,0 +1,310 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// lineState is the MESI state of an L1 line.
+type lineState uint8
+
+const (
+	stInv lineState = iota
+	stShared
+	stExcl
+	stMod
+)
+
+// L1Config sizes a private L1 data cache (Table 4.1: 16 KB, 4-way).
+type L1Config struct {
+	SizeBytes int
+	Ways      int
+	HitLat    uint64
+	MSHRs     int
+	InQDepth  int
+}
+
+// DefaultL1Config returns the Table 4.1 L1.
+func DefaultL1Config() L1Config {
+	return L1Config{SizeBytes: 16 << 10, Ways: 4, HitLat: 2, MSHRs: 8, InQDepth: 8}
+}
+
+type l1Line struct {
+	tag   mem.PAddr
+	state lineState
+	lru   uint64
+}
+
+type l1MSHR struct {
+	block   mem.PAddr
+	write   bool
+	sent    bool
+	waiters []func(cycle uint64)
+}
+
+type timedCall struct {
+	at uint64
+	fn func(cycle uint64)
+}
+
+type outMsg struct {
+	dst int
+	m   *Msg
+}
+
+// L1 is one core's private data cache.
+type L1 struct {
+	ID  int // core id == tile id
+	cfg L1Config
+
+	sets    int
+	lines   [][]l1Line
+	lruTick uint64
+
+	mshrs    map[mem.PAddr]*l1MSHR
+	send     Sender
+	homeBank func(block mem.PAddr) int
+
+	inQ    []*Msg
+	outbox []outMsg
+	calls  []timedCall
+
+	Stats Stats
+}
+
+// NewL1 builds an L1 for core id. send injects messages into the NoC;
+// homeBank maps a block to its S-NUCA L2 bank tile.
+func NewL1(id int, cfg L1Config, send Sender, homeBank func(mem.PAddr) int) *L1 {
+	sets := cfg.SizeBytes / mem.BlockSize / cfg.Ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: L1 set count %d must be a positive power of two", sets))
+	}
+	l := &L1{
+		ID:       id,
+		cfg:      cfg,
+		sets:     sets,
+		lines:    make([][]l1Line, sets),
+		mshrs:    make(map[mem.PAddr]*l1MSHR),
+		send:     send,
+		homeBank: homeBank,
+	}
+	for i := range l.lines {
+		l.lines[i] = make([]l1Line, cfg.Ways)
+	}
+	return l
+}
+
+func (l *L1) setOf(block mem.PAddr) int {
+	return int(uint64(block)>>6) & (l.sets - 1)
+}
+
+func (l *L1) find(block mem.PAddr) *l1Line {
+	set := l.lines[l.setOf(block)]
+	for i := range set {
+		if set[i].state != stInv && set[i].tag == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// MSHRsInUse reports outstanding misses.
+func (l *L1) MSHRsInUse() int { return len(l.mshrs) }
+
+// Busy reports whether any miss, queued message or pending send remains.
+func (l *L1) Busy() bool {
+	return len(l.mshrs) > 0 || len(l.inQ) > 0 || len(l.outbox) > 0 || len(l.calls) > 0
+}
+
+// Access performs a load (write=false) or store (write=true) at addr. done
+// fires when the access completes. It reports false when the access cannot
+// be accepted this cycle (MSHR pressure); the core retries.
+func (l *L1) Access(addr mem.PAddr, write bool, cycle uint64, done func(cycle uint64)) bool {
+	block := mem.BlockAlign(addr)
+	if ms, ok := l.mshrs[block]; ok {
+		// Coalesce reads into any outstanding miss and writes into write
+		// misses; a write behind a read miss waits for the fill.
+		if write && !ms.write {
+			return false
+		}
+		ms.waiters = append(ms.waiters, done)
+		l.Stats.L1Accesses++
+		return true
+	}
+	line := l.find(block)
+	if line != nil {
+		writable := line.state == stExcl || line.state == stMod
+		if !write || writable {
+			l.Stats.L1Accesses++
+			l.Stats.L1Hits++
+			if write {
+				line.state = stMod
+			}
+			l.touch(line)
+			l.after(cycle+l.cfg.HitLat, done)
+			return true
+		}
+		// Store to a Shared line: upgrade via GetX. The line stays S until
+		// the exclusive grant arrives.
+	}
+	if len(l.mshrs) >= l.cfg.MSHRs {
+		return false
+	}
+	l.Stats.L1Accesses++
+	l.Stats.L1Misses++
+	ms := &l1MSHR{block: block, write: write, waiters: []func(uint64){done}}
+	l.mshrs[block] = ms
+	l.trySendMiss(ms)
+	return true
+}
+
+func (l *L1) trySendMiss(ms *l1MSHR) {
+	t := MsgGetS
+	if ms.write {
+		t = MsgGetX
+	}
+	m := &Msg{Type: t, Block: ms.block, From: l.ID}
+	if l.send(l.homeBank(ms.block), m) {
+		ms.sent = true
+	}
+}
+
+func (l *L1) touch(line *l1Line) {
+	l.lruTick++
+	line.lru = l.lruTick
+}
+
+func (l *L1) after(at uint64, fn func(uint64)) {
+	l.calls = append(l.calls, timedCall{at: at, fn: fn})
+}
+
+func (l *L1) post(dst int, m *Msg) {
+	if !l.send(dst, m) {
+		l.outbox = append(l.outbox, outMsg{dst: dst, m: m})
+	}
+}
+
+// Deliver accepts a coherence message from the NoC; false refuses it
+// (bounded input queue).
+func (l *L1) Deliver(m *Msg, cycle uint64) bool {
+	if len(l.inQ) >= l.cfg.InQDepth {
+		return false
+	}
+	l.inQ = append(l.inQ, m)
+	return true
+}
+
+// Tick advances the cache: retries sends, fires timed completions and
+// processes delivered messages.
+func (l *L1) Tick(cycle uint64) {
+	// Retry unsent miss requests.
+	for _, ms := range l.mshrs {
+		if !ms.sent {
+			l.trySendMiss(ms)
+		}
+	}
+	// Retry outbox.
+	for len(l.outbox) > 0 {
+		o := l.outbox[0]
+		if !l.send(o.dst, o.m) {
+			break
+		}
+		l.outbox = l.outbox[1:]
+	}
+	// Fire completions.
+	if len(l.calls) > 0 {
+		due := l.calls
+		l.calls = nil
+		for _, c := range due {
+			if c.at <= cycle {
+				c.fn(cycle)
+			} else {
+				l.calls = append(l.calls, c)
+			}
+		}
+	}
+	// Process messages.
+	for n := 0; n < 4 && len(l.inQ) > 0; n++ {
+		m := l.inQ[0]
+		l.inQ = l.inQ[1:]
+		l.handle(m, cycle)
+	}
+}
+
+func (l *L1) handle(m *Msg, cycle uint64) {
+	switch m.Type {
+	case MsgData:
+		l.fill(m, cycle)
+	case MsgInval:
+		if line := l.find(m.Block); line != nil {
+			line.state = stInv
+		}
+		l.post(m.From, &Msg{Type: MsgInvAck, Block: m.Block, From: l.ID})
+	case MsgFetch:
+		dirty := false
+		if line := l.find(m.Block); line != nil {
+			dirty = line.state == stMod
+			line.state = stShared
+		}
+		l.post(m.From, &Msg{Type: MsgFetchResp, Block: m.Block, From: l.ID, Dirty: dirty})
+	case MsgFetchInv:
+		dirty := false
+		if line := l.find(m.Block); line != nil {
+			dirty = line.state == stMod
+			line.state = stInv
+		}
+		l.post(m.From, &Msg{Type: MsgFetchResp, Block: m.Block, From: l.ID, Dirty: dirty})
+	default:
+		panic(fmt.Sprintf("cache: L1 %d cannot handle %s", l.ID, m.Type))
+	}
+}
+
+// fill installs a granted block and wakes the miss's waiters.
+func (l *L1) fill(m *Msg, cycle uint64) {
+	ms, ok := l.mshrs[m.Block]
+	if !ok {
+		panic(fmt.Sprintf("cache: L1 %d fill for unknown block %#x", l.ID, uint64(m.Block)))
+	}
+	delete(l.mshrs, m.Block)
+
+	// If this was an S->M upgrade the line is already resident.
+	line := l.find(m.Block)
+	if line == nil {
+		line = l.victim(m.Block)
+		line.tag = m.Block
+	}
+	switch {
+	case m.Excl && ms.write:
+		line.state = stMod
+	case m.Excl:
+		line.state = stExcl
+	default:
+		line.state = stShared
+	}
+	l.touch(line)
+	for _, w := range ms.waiters {
+		l.after(cycle+l.cfg.HitLat, w)
+	}
+}
+
+// victim selects (and if needed evicts) a way for a new block.
+func (l *L1) victim(block mem.PAddr) *l1Line {
+	set := l.lines[l.setOf(block)]
+	var v *l1Line
+	for i := range set {
+		if set[i].state == stInv {
+			return &set[i]
+		}
+		if v == nil || set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	l.Stats.L1Evictions++
+	if v.state == stMod {
+		// Dirty writeback to the L2 home bank.
+		l.post(l.homeBank(v.tag), &Msg{Type: MsgPutM, Block: v.tag, From: l.ID, Dirty: true})
+	}
+	v.state = stInv
+	return v
+}

@@ -1,0 +1,478 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// L2Config sizes one S-NUCA L2 bank (Table 4.1: 16 MB, 16-way over 16
+// banks). Experiments scale SizeBytes together with workload inputs.
+type L2Config struct {
+	BankSizeBytes int
+	Ways          int
+	HitLat        uint64
+	InQDepth      int
+	MaxTxns       int
+}
+
+// DefaultL2Config returns the Table 4.1 L2 bank (1 MB per bank).
+func DefaultL2Config() L2Config {
+	return L2Config{BankSizeBytes: 1 << 20, Ways: 16, HitLat: 12, InQDepth: 16, MaxTxns: 16}
+}
+
+// l2Line is a cache line plus its directory entry.
+type l2Line struct {
+	tag     mem.PAddr
+	valid   bool
+	dirty   bool
+	sharers uint64 // bitmask over cores
+	owner   int    // exclusive owner core, -1 if none
+	lru     uint64
+}
+
+func (ln *l2Line) cached() bool { return ln.sharers != 0 || ln.owner >= 0 }
+
+// txnKind discriminates directory transactions.
+type txnKind uint8
+
+const (
+	txGetS txnKind = iota
+	txGetX
+	txBackInval
+)
+
+// txn is one in-flight directory transaction; one per block at a time,
+// later requests for the block queue behind it.
+type txn struct {
+	kind      txnKind
+	block     mem.PAddr
+	requester int
+	waitAcks  int
+	waitFetch bool
+	needFill  bool
+	filled    bool
+	dirtyIn   bool
+	queued    []*Msg
+	memTag    uint64
+}
+
+// MemPort is the bank's path to main memory (wired by the system to an MC
+// tile hub over the NoC or directly to a DRAM channel).
+type MemPort func(block mem.PAddr, write bool, done func(cycle uint64)) bool
+
+// L2Bank is one bank of the shared S-NUCA L2 with an inclusive MESI
+// directory.
+type L2Bank struct {
+	ID   int // bank id == tile id
+	cfg  L2Config
+	sets int
+
+	lines [][]l2Line
+	lruTk uint64
+
+	busy map[mem.PAddr]*txn
+	send Sender
+	mem  MemPort
+
+	inQ    []*Msg
+	outbox []outMsg
+	calls  []timedCall
+	memQ   []func() bool // deferred memory ops awaiting port space
+
+	Stats Stats
+}
+
+// NewL2Bank builds bank id. send posts NoC messages; memPort accesses main
+// memory.
+func NewL2Bank(id int, cfg L2Config, send Sender, memPort MemPort) *L2Bank {
+	sets := cfg.BankSizeBytes / mem.BlockSize / cfg.Ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: L2 set count %d must be a positive power of two", sets))
+	}
+	b := &L2Bank{
+		ID:    id,
+		cfg:   cfg,
+		sets:  sets,
+		lines: make([][]l2Line, sets),
+		busy:  make(map[mem.PAddr]*txn),
+		send:  send,
+		mem:   memPort,
+	}
+	for i := range b.lines {
+		b.lines[i] = make([]l2Line, cfg.Ways)
+		for j := range b.lines[i] {
+			b.lines[i][j].owner = -1
+		}
+	}
+	return b
+}
+
+// BankOf maps a block to its home bank among nbanks (S-NUCA block
+// interleave).
+func BankOf(block mem.PAddr, nbanks int) int {
+	return int(uint64(block)>>6) % nbanks
+}
+
+func (b *L2Bank) setOf(block mem.PAddr) int {
+	return int(uint64(block)>>6) & (b.sets - 1)
+}
+
+func (b *L2Bank) find(block mem.PAddr) *l2Line {
+	set := b.lines[b.setOf(block)]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Busy reports in-flight work.
+func (b *L2Bank) Busy() bool {
+	return len(b.busy) > 0 || len(b.inQ) > 0 || len(b.outbox) > 0 ||
+		len(b.calls) > 0 || len(b.memQ) > 0
+}
+
+// Deliver accepts a NoC message; false refuses it.
+func (b *L2Bank) Deliver(m *Msg, cycle uint64) bool {
+	if len(b.inQ) >= b.cfg.InQDepth {
+		return false
+	}
+	b.inQ = append(b.inQ, m)
+	return true
+}
+
+// Tick processes queued messages, retries sends and fires completions.
+func (b *L2Bank) Tick(cycle uint64) {
+	for len(b.outbox) > 0 {
+		o := b.outbox[0]
+		if !b.send(o.dst, o.m) {
+			break
+		}
+		b.outbox = b.outbox[1:]
+	}
+	if len(b.memQ) > 0 {
+		kept := b.memQ[:0]
+		for _, f := range b.memQ {
+			if !f() {
+				kept = append(kept, f)
+			}
+		}
+		b.memQ = kept
+	}
+	if len(b.calls) > 0 {
+		due := b.calls
+		b.calls = nil
+		for _, c := range due {
+			if c.at <= cycle {
+				c.fn(cycle)
+			} else {
+				b.calls = append(b.calls, c)
+			}
+		}
+	}
+	for n := 0; n < 4 && len(b.inQ) > 0; n++ {
+		m := b.inQ[0]
+		b.inQ = b.inQ[1:]
+		b.handle(m, cycle)
+	}
+}
+
+func (b *L2Bank) post(dst int, m *Msg) {
+	m.From = b.ID
+	if !b.send(dst, m) {
+		b.outbox = append(b.outbox, outMsg{dst: dst, m: m})
+	}
+}
+
+func (b *L2Bank) after(at uint64, fn func(uint64)) {
+	b.calls = append(b.calls, timedCall{at: at, fn: fn})
+}
+
+func (b *L2Bank) memAccess(block mem.PAddr, write bool, done func(uint64)) {
+	try := func() bool { return b.mem(block, write, done) }
+	if !try() {
+		b.memQ = append(b.memQ, try)
+	}
+}
+
+func (b *L2Bank) handle(m *Msg, cycle uint64) {
+	switch m.Type {
+	case MsgGetS, MsgGetX, MsgBackInvalQ:
+		if t, ok := b.busy[m.Block]; ok {
+			t.queued = append(t.queued, m)
+			return
+		}
+		b.start(m, cycle)
+	case MsgPutM:
+		b.Stats.L2Accesses++
+		if line := b.find(m.Block); line != nil {
+			line.dirty = true
+			if line.owner == m.From {
+				line.owner = -1
+			}
+		} else {
+			// Already victimized: write straight through to memory.
+			b.memAccess(m.Block, true, func(uint64) {})
+			b.Stats.MemWrites++
+		}
+	case MsgInvAck:
+		if t, ok := b.busy[m.Block]; ok && t.waitAcks > 0 {
+			t.waitAcks--
+			b.advance(t, cycle)
+		}
+	case MsgFetchResp:
+		if t, ok := b.busy[m.Block]; ok && t.waitFetch {
+			t.waitFetch = false
+			t.dirtyIn = t.dirtyIn || m.Dirty
+			b.advance(t, cycle)
+		}
+	default:
+		panic(fmt.Sprintf("cache: L2 bank %d cannot handle %s", b.ID, m.Type))
+	}
+}
+
+// start opens a directory transaction for a request message.
+func (b *L2Bank) start(m *Msg, cycle uint64) {
+	b.Stats.L2Accesses++
+	t := &txn{block: m.Block, requester: m.From}
+	switch m.Type {
+	case MsgGetS:
+		t.kind = txGetS
+	case MsgGetX:
+		t.kind = txGetX
+	case MsgBackInvalQ:
+		t.kind = txBackInval
+		t.memTag = m.Tag
+		b.Stats.BackInvalQ++
+	}
+	b.busy[m.Block] = t
+
+	line := b.find(m.Block)
+	if t.kind == txBackInval {
+		if line == nil || !line.cached() {
+			// The common case (§3.4.2): nothing cached on chip, the
+			// offload proceeds after the directory lookup latency.
+			if line != nil && line.dirty {
+				// The block itself is dirty in L2: flush it so near-data
+				// processing observes fresh memory.
+				line.valid = false
+				b.Stats.MemWrites++
+				b.memAccess(m.Block, true, func(uint64) {})
+			} else if line != nil {
+				line.valid = false
+			}
+			b.after(cycle+b.cfg.HitLat, func(now uint64) {
+				b.finish(t, now)
+				b.post(t.requester, &Msg{Type: MsgBackInvalD, Block: t.block, Tag: t.memTag})
+			})
+			return
+		}
+		b.Stats.BackInvalHit++
+		b.collectExclusive(t, line, -1)
+		return
+	}
+
+	if line == nil {
+		b.Stats.L2Misses++
+		t.needFill = true
+		b.fill(t, cycle)
+		return
+	}
+	b.Stats.L2Hits++
+	if t.kind == txGetS {
+		if line.owner >= 0 && line.owner != t.requester {
+			t.waitFetch = true
+			b.Stats.Fetches++
+			b.post(line.owner, &Msg{Type: MsgFetch, Block: t.block})
+			// The owner downgrades to S and becomes a plain sharer.
+			line.sharers |= 1 << uint(line.owner)
+			line.owner = -1
+			return
+		}
+		b.grantS(t, line, cycle)
+		return
+	}
+	// GetX on a present line: collect exclusivity.
+	b.collectExclusive(t, line, t.requester)
+	if t.waitAcks == 0 && !t.waitFetch {
+		b.grantX(t, line, cycle)
+	}
+}
+
+// collectExclusive invalidates every cached copy except keep (-1 to purge
+// all), arming the transaction's ack/fetch counters.
+func (b *L2Bank) collectExclusive(t *txn, line *l2Line, keep int) {
+	for c := 0; c < 64; c++ {
+		if line.sharers&(1<<uint(c)) == 0 || c == keep {
+			continue
+		}
+		t.waitAcks++
+		b.Stats.Invals++
+		b.post(c, &Msg{Type: MsgInval, Block: t.block})
+	}
+	line.sharers &= 1 << uint(max(keep, 0))
+	if keep < 0 {
+		line.sharers = 0
+	}
+	if line.owner >= 0 && line.owner != keep {
+		t.waitFetch = true
+		b.Stats.Fetches++
+		b.post(line.owner, &Msg{Type: MsgFetchInv, Block: t.block})
+		line.owner = -1
+	}
+}
+
+// advance re-checks a transaction blocked on acks/fetches/fills.
+func (b *L2Bank) advance(t *txn, cycle uint64) {
+	if t.waitAcks > 0 || t.waitFetch {
+		return
+	}
+	if t.needFill && !t.filled {
+		return
+	}
+	line := b.find(t.block)
+	switch t.kind {
+	case txGetS:
+		if line == nil {
+			panic("cache: GetS transaction lost its line")
+		}
+		if t.dirtyIn {
+			line.dirty = true
+		}
+		b.grantS(t, line, cycle)
+	case txGetX:
+		if line == nil {
+			panic("cache: GetX transaction lost its line")
+		}
+		if t.dirtyIn {
+			line.dirty = true
+		}
+		b.grantX(t, line, cycle)
+	case txBackInval:
+		dirty := t.dirtyIn
+		if line != nil {
+			dirty = dirty || line.dirty
+			line.valid = false
+		}
+		if dirty {
+			b.Stats.MemWrites++
+			b.memAccess(t.block, true, func(uint64) {})
+		}
+		b.finish(t, cycle)
+		b.post(t.requester, &Msg{Type: MsgBackInvalD, Block: t.block, Tag: t.memTag})
+	}
+}
+
+// fill requests the block from memory and installs it, evicting a victim.
+func (b *L2Bank) fill(t *txn, cycle uint64) {
+	b.Stats.MemReads++
+	b.memAccess(t.block, false, func(now uint64) { b.install(t, now) })
+}
+
+// install places the fetched block, retrying next cycle when every way of
+// the set is held by an in-flight transaction (victimizing a busy line
+// would strand its transaction).
+func (b *L2Bank) install(t *txn, now uint64) {
+	line := b.installVictim(t.block)
+	if line == nil {
+		b.after(now+1, func(n uint64) { b.install(t, n) })
+		return
+	}
+	line.tag = t.block
+	line.valid = true
+	line.dirty = false
+	line.sharers = 0
+	line.owner = -1
+	t.filled = true
+	b.advance(t, now)
+}
+
+// installVictim frees a way for a new block (inclusive back-invalidation of
+// L1 copies, dirty writeback to memory). It returns nil when every way is
+// held by an in-flight transaction.
+func (b *L2Bank) installVictim(block mem.PAddr) *l2Line {
+	set := b.lines[b.setOf(block)]
+	var v *l2Line
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid {
+			return ln
+		}
+		if _, busy := b.busy[ln.tag]; busy {
+			continue
+		}
+		if v == nil || ln.lru < v.lru {
+			v = ln
+		}
+	}
+	if v == nil {
+		return nil // every way busy: caller retries
+	}
+	b.Stats.L2Evictions++
+	for c := 0; c < 64; c++ {
+		if v.sharers&(1<<uint(c)) != 0 {
+			b.Stats.Invals++
+			b.post(c, &Msg{Type: MsgInval, Block: v.tag})
+		}
+	}
+	if v.owner >= 0 {
+		b.Stats.Invals++
+		b.post(v.owner, &Msg{Type: MsgFetchInv, Block: v.tag})
+	}
+	if v.dirty || v.owner >= 0 {
+		b.Stats.MemWrites++
+		b.memAccess(v.tag, true, func(uint64) {})
+	}
+	v.valid = false
+	v.sharers = 0
+	v.owner = -1
+	return v
+}
+
+// grantS completes a read: requester becomes a sharer (or the exclusive
+// owner when it is alone, the E optimization of MESI).
+func (b *L2Bank) grantS(t *txn, line *l2Line, cycle uint64) {
+	b.lruTk++
+	line.lru = b.lruTk
+	excl := (line.sharers == 0 && line.owner < 0) || line.owner == t.requester
+	if excl {
+		line.owner = t.requester
+	} else {
+		line.sharers |= 1 << uint(t.requester)
+	}
+	b.after(cycle+b.cfg.HitLat, func(now uint64) {
+		b.post(t.requester, &Msg{Type: MsgData, Block: t.block, Excl: excl})
+		b.finish(t, now)
+	})
+}
+
+// grantX completes a write: requester becomes the sole owner.
+func (b *L2Bank) grantX(t *txn, line *l2Line, cycle uint64) {
+	b.lruTk++
+	line.lru = b.lruTk
+	line.sharers = 0
+	line.owner = t.requester
+	b.after(cycle+b.cfg.HitLat, func(now uint64) {
+		b.post(t.requester, &Msg{Type: MsgData, Block: t.block, Excl: true})
+		b.finish(t, now)
+	})
+}
+
+// finish closes the transaction and replays requests that queued behind it.
+func (b *L2Bank) finish(t *txn, cycle uint64) {
+	delete(b.busy, t.block)
+	for _, q := range t.queued {
+		b.handle(q, cycle)
+	}
+}
+
+// Busy2 exposes in-flight transaction blocks (debug tooling).
+func (b *L2Bank) Busy2() []mem.PAddr {
+	var out []mem.PAddr
+	for k := range b.busy {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package core implements the paper's primary contribution: the
+// Active-Routing Engine (ARE) placed in each HMC logic layer (§3.2) and the
+// flow coordinator that the Message Interface runtime uses to drive the
+// three-phase processing of §3.3 (tree construction, near-data processing,
+// and in-network reduction along the Active-Routing tree).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/network"
+)
+
+// FlowEntry is one Active Flow Table entry, mirroring Table 3.1 / Fig 3.3(b)
+// field for field:
+//
+//	flowID         -> Key.Flow (plus the forest tree index)
+//	opcode         -> Opcode
+//	result         -> Result
+//	req_counter    -> ReqCount
+//	resp_counter   -> RespCount
+//	parent         -> Parent (upstream node id; the controller for the root)
+//	children flags -> Children (downstream node set)
+//	Gflag          -> Gflag
+type FlowEntry struct {
+	Key      network.FlowKey
+	Opcode   isa.ALUOp
+	Result   float64
+	ReqCount uint64 // updates that commit at this node
+	RespCnt  uint64 // updates committed (processed) at this node
+	Parent   int    // node id the first update arrived from
+	Children map[int]bool
+	Gflag    bool
+
+	// pendingChildren counts children whose gather response is still
+	// outstanding after the gather request was replicated.
+	pendingChildren int
+	gatherReplSent  bool
+	completionQd    bool
+}
+
+// NewFlowEntry registers a fresh entry for key with the reduction identity
+// as its initial result.
+func NewFlowEntry(key network.FlowKey, op isa.ALUOp, parent int) *FlowEntry {
+	return &FlowEntry{
+		Key:      key,
+		Opcode:   op,
+		Result:   op.Identity(),
+		Parent:   parent,
+		Children: make(map[int]bool),
+	}
+}
+
+// LocalDone reports whether every update that committed to this node has
+// been processed.
+func (fe *FlowEntry) LocalDone() bool { return fe.ReqCount == fe.RespCnt }
+
+// Complete reports whether the subtree rooted at this node has finished:
+// the gather wave arrived, local NDP is done and every child subtree has
+// reported (Fig 3.4(c)/(d) condition "req_count == resp_count && Gflag").
+func (fe *FlowEntry) Complete() bool {
+	return fe.Gflag && fe.gatherReplSent && fe.LocalDone() && fe.pendingChildren == 0
+}
+
+// FlowTable is the Active Flow Table of Fig 3.3(a): the set of concurrently
+// live flows (one tree node each) in one cube's ARE.
+type FlowTable struct {
+	entries map[network.FlowKey]*FlowEntry
+	cap     int
+
+	// Peak tracks the high-water mark of concurrent flows, reported by the
+	// flow-table capacity ablation.
+	Peak int
+	// Registered counts total entries ever created.
+	Registered uint64
+}
+
+// NewFlowTable creates a table with the given capacity (entries).
+func NewFlowTable(capacity int) *FlowTable {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &FlowTable{entries: make(map[network.FlowKey]*FlowEntry), cap: capacity}
+}
+
+// Lookup returns the entry for key, or nil.
+func (t *FlowTable) Lookup(key network.FlowKey) *FlowEntry { return t.entries[key] }
+
+// Full reports whether no entry can be registered.
+func (t *FlowTable) Full() bool { return len(t.entries) >= t.cap }
+
+// Size returns the live entry count.
+func (t *FlowTable) Size() int { return len(t.entries) }
+
+// Register creates an entry; it panics if the key exists or the table is
+// full (callers must check Full first — the ARE stalls instead).
+func (t *FlowTable) Register(key network.FlowKey, op isa.ALUOp, parent int) *FlowEntry {
+	if t.Full() {
+		panic("core: flow table overflow")
+	}
+	if _, ok := t.entries[key]; ok {
+		panic(fmt.Sprintf("core: duplicate flow registration %+v", key))
+	}
+	fe := NewFlowEntry(key, op, parent)
+	t.entries[key] = fe
+	t.Registered++
+	if len(t.entries) > t.Peak {
+		t.Peak = len(t.entries)
+	}
+	return fe
+}
+
+// Release frees the entry for key (end of gather phase at this node).
+func (t *FlowTable) Release(key network.FlowKey) {
+	if _, ok := t.entries[key]; !ok {
+		panic(fmt.Sprintf("core: releasing unknown flow %+v", key))
+	}
+	delete(t.entries, key)
+}
+
+// OperandEntry is one operand buffer entry, mirroring Fig 3.3(c): the flow
+// it belongs to plus two operand value/ready pairs. Single-operand
+// reductions bypass the buffer pool (§3.2.3) but reuse the same structure
+// for in-flight tracking.
+type OperandEntry struct {
+	Key    network.FlowKey
+	Op     isa.ALUOp
+	Addr1  mem.PAddr
+	Addr2  mem.PAddr
+	Val1   float64
+	Val2   float64
+	Ready1 bool
+	Ready2 bool
+
+	need2    bool
+	sent1    bool
+	sent2    bool
+	buffered bool // occupies a pool slot (two-operand path)
+	tag1     uint64
+	tag2     uint64
+
+	injectCycle uint64
+	arriveCycle uint64
+	issueCycle  uint64
+}
+
+// ready reports whether every needed operand has arrived.
+func (oe *OperandEntry) ready() bool {
+	if !oe.Ready1 {
+		return false
+	}
+	return !oe.need2 || oe.Ready2
+}
+
+// sent reports whether every needed operand request has been issued.
+func (oe *OperandEntry) sent() bool {
+	if !oe.sent1 {
+		return false
+	}
+	return !oe.need2 || oe.sent2
+}

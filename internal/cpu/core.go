@@ -1,0 +1,351 @@
+// Package cpu models the host side of Fig 3.1: trace-driven out-of-order
+// cores (ROB occupancy, issue/commit width, memory-port limits) plus the
+// thread-synchronization primitives the workloads need (barriers, the
+// Gather fence).
+//
+// Substitution note (DESIGN.md): the thesis drives McSimA+ with
+// Pin-instrumented binaries, resolving register dependences exactly. This
+// model approximates ILP with ROB capacity and issue/commit widths over the
+// workload's instruction mix; the workloads are memory-bound, so timing
+// fidelity is dominated by the cache/memory system, which is modeled in
+// detail.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Config sizes one out-of-order core (Table 4.1: 16 cores @2 GHz, 8-wide,
+// ROB 64).
+type Config struct {
+	ROBSize     int
+	IssueWidth  int
+	CommitWidth int
+	MemPorts    int // L1 accesses issued per cycle
+	IntLat      uint64
+	FPLat       uint64
+	FPMulLat    uint64
+}
+
+// DefaultConfig returns the Table 4.1 core.
+func DefaultConfig() Config {
+	return Config{
+		ROBSize:     64,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		MemPorts:    2,
+		IntLat:      1,
+		FPLat:       3,
+		FPMulLat:    4,
+	}
+}
+
+// MemPort is the core's load/store path into its L1.
+type MemPort interface {
+	Access(addr mem.PAddr, write bool, cycle uint64, done func(cycle uint64)) bool
+}
+
+// OffloadPort is the core's Message Interface for the Update/Gather ISA
+// extension (§3.1.2). Update is fire-and-forget once accepted; Gather's
+// wake callback releases the issuing thread's fence.
+type OffloadPort interface {
+	Update(cmd core.UpdateCmd, cycle uint64) bool
+	Gather(cmd core.GatherCmd, cycle uint64) bool
+}
+
+// Stats counts per-core activity.
+type Stats struct {
+	Retired       uint64
+	Loads         uint64
+	Stores        uint64
+	Updates       uint64
+	Gathers       uint64
+	Computes      uint64
+	Barriers      uint64
+	ROBFullCycles uint64
+	OffloadStalls uint64
+	MemStalls     uint64
+	FenceCycles   uint64
+	DoneCycle     uint64
+}
+
+type robEntry struct {
+	inst isa.Inst
+	done bool
+}
+
+// Core executes one thread's instruction stream.
+type Core struct {
+	ID  int
+	cfg Config
+
+	stream    isa.Stream
+	pending   *isa.Inst // dispatch-blocked instruction
+	exhausted bool
+
+	rob []*robEntry
+
+	mem     MemPort
+	offload OffloadPort
+	store   *mem.Store
+	as      *mem.AddrSpace
+	barrier *Barrier
+
+	fenced bool // Gather or barrier outstanding: dispatch stops
+
+	calls []timedCall
+
+	Stats Stats
+	IPC   *stats.IPCSeries
+}
+
+type timedCall struct {
+	at uint64
+	fn func()
+}
+
+// NewCore builds core id over the given stream and ports. barrier may be
+// nil when the workload never synchronizes.
+func NewCore(id int, cfg Config, stream isa.Stream, memPort MemPort, offload OffloadPort,
+	store *mem.Store, as *mem.AddrSpace, barrier *Barrier) *Core {
+	return &Core{
+		ID:      id,
+		cfg:     cfg,
+		stream:  stream,
+		mem:     memPort,
+		offload: offload,
+		store:   store,
+		as:      as,
+		barrier: barrier,
+		IPC:     stats.NewIPCSeries(1 << 14),
+	}
+}
+
+// Finished reports whether the thread has fully retired.
+func (c *Core) Finished() bool {
+	return c.exhausted && c.pending == nil && len(c.rob) == 0
+}
+
+// Tick advances the core one cycle: retire, then dispatch.
+func (c *Core) Tick(cycle uint64) {
+	if c.Finished() {
+		return
+	}
+	if len(c.calls) > 0 {
+		due := c.calls
+		c.calls = nil
+		for _, t := range due {
+			if t.at <= cycle {
+				t.fn()
+			} else {
+				c.calls = append(c.calls, t)
+			}
+		}
+	}
+	c.retire(cycle)
+	c.dispatch(cycle)
+	if c.Finished() && c.Stats.DoneCycle == 0 {
+		c.Stats.DoneCycle = cycle
+	}
+}
+
+// retire commits completed instructions in order.
+func (c *Core) retire(cycle uint64) {
+	n := 0
+	for n < c.cfg.CommitWidth && len(c.rob) > 0 && c.rob[0].done {
+		c.rob = c.rob[1:]
+		c.Stats.Retired++
+		n++
+	}
+	if n > 0 {
+		c.IPC.Retire(uint64(n), cycle)
+	}
+}
+
+// applyEffect applies an instruction's functional memory effect at dispatch
+// time. Dispatch is in program order, so a store's value is visible in the
+// backing store before any later Update of the same thread is offloaded —
+// the ordering the fire-and-forget offload semantics rely on (a store still
+// pays its full coherence timing separately).
+func (c *Core) applyEffect(in isa.Inst) {
+	switch in.Kind {
+	case isa.KindStore:
+		c.store.WriteF64(c.as.Translate(in.Addr), in.Value)
+	case isa.KindAtomicAdd:
+		pa := c.as.Translate(in.Addr)
+		c.store.WriteF64(pa, c.store.ReadF64(pa)+in.Value)
+	}
+}
+
+// dispatch fills the ROB from the instruction stream.
+func (c *Core) dispatch(cycle uint64) {
+	memIssued := 0
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.fenced {
+			c.Stats.FenceCycles++
+			return
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.Stats.ROBFullCycles++
+			return
+		}
+		in, ok := c.nextInst()
+		if !ok {
+			return
+		}
+		if (in.Kind == isa.KindLoad || in.Kind == isa.KindStore || in.Kind == isa.KindAtomicAdd) &&
+			memIssued >= c.cfg.MemPorts {
+			c.stash(in)
+			return
+		}
+		if !c.issue(in, cycle) {
+			c.stash(in)
+			return
+		}
+		if in.Kind == isa.KindLoad || in.Kind == isa.KindStore || in.Kind == isa.KindAtomicAdd {
+			memIssued++
+		}
+	}
+}
+
+func (c *Core) nextInst() (isa.Inst, bool) {
+	if c.pending != nil {
+		in := *c.pending
+		c.pending = nil
+		return in, true
+	}
+	if c.exhausted {
+		return isa.Inst{}, false
+	}
+	in, ok := c.stream.Next()
+	if !ok {
+		c.exhausted = true
+		return isa.Inst{}, false
+	}
+	return in, true
+}
+
+func (c *Core) stash(in isa.Inst) {
+	if c.pending != nil {
+		panic("cpu: dispatch stash overwrite")
+	}
+	cp := in
+	c.pending = &cp
+}
+
+// issue places one instruction in the ROB and starts its execution. It
+// reports false when a downstream structure refused the instruction.
+func (c *Core) issue(in isa.Inst, cycle uint64) bool {
+	e := &robEntry{inst: in}
+	switch in.Kind {
+	case isa.KindCompute:
+		var lat uint64
+		switch in.Class {
+		case isa.ClassInt:
+			lat = c.cfg.IntLat
+		case isa.ClassFP:
+			lat = c.cfg.FPLat
+		default:
+			lat = c.cfg.FPMulLat
+		}
+		c.calls = append(c.calls, timedCall{at: cycle + lat, fn: func() { e.done = true }})
+		c.Stats.Computes++
+	case isa.KindLoad, isa.KindStore, isa.KindAtomicAdd:
+		pa := c.as.Translate(in.Addr)
+		write := in.Kind != isa.KindLoad
+		if !c.mem.Access(pa, write, cycle, func(uint64) { e.done = true }) {
+			c.Stats.MemStalls++
+			return false
+		}
+		c.applyEffect(in)
+		if write {
+			c.Stats.Stores++
+		} else {
+			c.Stats.Loads++
+		}
+	case isa.KindUpdate:
+		cmd := core.UpdateCmd{
+			ThreadID: c.ID,
+			Op:       in.Op,
+			Target:   c.as.Translate(in.Target),
+			Imm:      in.Imm,
+			Count:    in.Count,
+		}
+		if in.Src1 != 0 {
+			cmd.Src1 = c.as.Translate(in.Src1)
+		}
+		if in.Src2 != 0 {
+			cmd.Src2 = c.as.Translate(in.Src2)
+		}
+		if !c.offload.Update(cmd, cycle) {
+			c.Stats.OffloadStalls++
+			return false
+		}
+		e.done = true // fire-and-forget (§3.3: offload overlaps processing)
+		c.Stats.Updates++
+	case isa.KindGather:
+		cmd := core.GatherCmd{
+			ThreadID: c.ID,
+			Target:   c.as.Translate(in.Target),
+			Threads:  in.Threads,
+			Wake: func(uint64) {
+				e.done = true
+				c.fenced = false
+			},
+		}
+		if !c.offload.Gather(cmd, cycle) {
+			c.Stats.OffloadStalls++
+			return false
+		}
+		// Gather is a thread fence: later updates of a dependent flow must
+		// not overtake the reduction write-back.
+		c.fenced = true
+		c.Stats.Gathers++
+	case isa.KindBarrier:
+		if c.barrier == nil {
+			panic(fmt.Sprintf("cpu: core %d hit a barrier without one configured", c.ID))
+		}
+		c.fenced = true
+		c.Stats.Barriers++
+		c.barrier.Arrive(func() {
+			e.done = true
+			c.fenced = false
+		})
+	default:
+		panic(fmt.Sprintf("cpu: unknown instruction kind %s", in.Kind))
+	}
+	c.rob = append(c.rob, e)
+	return true
+}
+
+// Barrier is a reusable centralized thread barrier.
+type Barrier struct {
+	n         int
+	arrived   int
+	waiters   []func()
+	Crossings uint64
+}
+
+// NewBarrier creates a barrier over n threads.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// Arrive registers a thread; when the n-th arrives, every waiter wakes and
+// the barrier resets.
+func (b *Barrier) Arrive(wake func()) {
+	b.arrived++
+	b.waiters = append(b.waiters, wake)
+	if b.arrived == b.n {
+		ws := b.waiters
+		b.arrived = 0
+		b.waiters = nil
+		b.Crossings++
+		for _, w := range ws {
+			w()
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package dram models DRAM bank timing: row-buffer management with
+// tRCD/tRAS/tRP/tCL/tBL constraints, a shared data bus, and an FR-FCFS
+// scheduler. The same model serves the DDR baseline (4 channels, 4 ranks,
+// 64 banks/rank, Table 4.1) and — with different geometry — the DRAM layers
+// behind each HMC vault controller.
+package dram
+
+import (
+	"repro/internal/mem"
+)
+
+// Timing holds the DRAM timing parameters of Table 4.1, expressed in DRAM
+// command-clock cycles, plus the conversion factor to simulator cycles.
+type Timing struct {
+	RCD uint64 // activate to column command
+	RAS uint64 // activate to precharge
+	RP  uint64 // precharge to activate
+	CL  uint64 // column command to first data
+	BL  uint64 // burst length (data bus beats)
+	RR  uint64 // rank-to-rank switch penalty
+
+	// CyclesPerTick converts DRAM cycles to simulator (CPU) cycles. The
+	// baseline DDR command clock is modeled at half the 2 GHz core clock.
+	CyclesPerTick uint64
+}
+
+// DefaultDDRTiming returns the Table 4.1 baseline parameters.
+func DefaultDDRTiming() Timing {
+	return Timing{RCD: 14, RAS: 34, RP: 14, CL: 14, BL: 4, RR: 1, CyclesPerTick: 2}
+}
+
+// DefaultVaultTiming returns the timing used behind HMC vault controllers.
+// TSV-attached DRAM layers use the same core timing family but the vault
+// clock matches the 1 GHz logic-layer clock of Table 4.1.
+func DefaultVaultTiming() Timing {
+	return Timing{RCD: 14, RAS: 34, RP: 14, CL: 14, BL: 2, RR: 1, CyclesPerTick: 2}
+}
+
+// Request is one memory access presented to a bank set.
+type Request struct {
+	Addr  mem.PAddr
+	Write bool
+	Bank  int    // flat bank index within the bank set
+	Row   uint64 // row within the bank
+	// OnDone is invoked exactly once, at the simulator cycle when the data
+	// transfer completes.
+	OnDone func(cycle uint64)
+
+	arrival uint64
+	doneAt  uint64
+}
+
+// Stats counts row-buffer outcomes and traffic for one bank set.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+	QueueFullRej uint64
+	BusyCycles   uint64
+}
+
+type bankState struct {
+	hasOpenRow  bool
+	openRow     uint64
+	freeAt      uint64
+	activatedAt uint64
+}
+
+// BankSet is a group of banks behind one controller sharing a data bus,
+// with a bounded request queue scheduled FR-FCFS (row hits first, then
+// oldest).
+type BankSet struct {
+	timing    Timing
+	banks     []bankState
+	queue     []*Request
+	inflight  []*Request
+	maxQueue  int
+	busFreeAt uint64
+	Stats     Stats
+}
+
+// NewBankSet creates a bank set with n banks and the given queue depth.
+func NewBankSet(n int, timing Timing, maxQueue int) *BankSet {
+	if n <= 0 {
+		panic("dram: bank set needs at least one bank")
+	}
+	if maxQueue <= 0 {
+		maxQueue = 32
+	}
+	return &BankSet{
+		timing:   timing,
+		banks:    make([]bankState, n),
+		maxQueue: maxQueue,
+	}
+}
+
+// Enqueue presents a request; it reports false when the queue is full (the
+// caller must retry, modeling controller backpressure).
+func (b *BankSet) Enqueue(r *Request, cycle uint64) bool {
+	if len(b.queue) >= b.maxQueue {
+		b.Stats.QueueFullRej++
+		return false
+	}
+	if r.Bank < 0 || r.Bank >= len(b.banks) {
+		panic("dram: request bank out of range")
+	}
+	r.arrival = cycle
+	b.queue = append(b.queue, r)
+	return true
+}
+
+// Pending reports queued plus in-flight requests.
+func (b *BankSet) Pending() int { return len(b.queue) + len(b.inflight) }
+
+// QueueFree reports remaining queue slots.
+func (b *BankSet) QueueFree() int { return b.maxQueue - len(b.queue) }
+
+// Tick advances the bank set one simulator cycle: completes finished
+// transfers and issues at most one new command (FR-FCFS).
+func (b *BankSet) Tick(cycle uint64) {
+	// Complete transfers.
+	for i := 0; i < len(b.inflight); {
+		r := b.inflight[i]
+		if r.doneAt <= cycle {
+			b.inflight[i] = b.inflight[len(b.inflight)-1]
+			b.inflight = b.inflight[:len(b.inflight)-1]
+			if r.OnDone != nil {
+				r.OnDone(cycle)
+			}
+			continue
+		}
+		i++
+	}
+	if len(b.queue) == 0 {
+		return
+	}
+	b.Stats.BusyCycles++
+	// FR-FCFS: oldest row hit whose bank is free; otherwise oldest request
+	// whose bank is free.
+	pick := -1
+	for i, r := range b.queue {
+		bank := &b.banks[r.Bank]
+		if bank.freeAt > cycle {
+			continue
+		}
+		if bank.hasOpenRow && bank.openRow == r.Row {
+			pick = i
+			break
+		}
+		if pick < 0 {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	r := b.queue[pick]
+	copy(b.queue[pick:], b.queue[pick+1:])
+	b.queue = b.queue[:len(b.queue)-1]
+	b.issue(r, cycle)
+}
+
+func (b *BankSet) issue(r *Request, cycle uint64) {
+	t := &b.timing
+	bank := &b.banks[r.Bank]
+	start := cycle
+	if bank.freeAt > start {
+		start = bank.freeAt
+	}
+
+	var commandLat uint64
+	switch {
+	case bank.hasOpenRow && bank.openRow == r.Row:
+		b.Stats.RowHits++
+		commandLat = t.CL * t.CyclesPerTick
+	case !bank.hasOpenRow:
+		b.Stats.RowMisses++
+		commandLat = (t.RCD + t.CL) * t.CyclesPerTick
+		bank.activatedAt = start
+	default:
+		b.Stats.RowConflicts++
+		// Precharge may not begin before tRAS expires for the open row.
+		rasReady := bank.activatedAt + t.RAS*t.CyclesPerTick
+		if rasReady > start {
+			start = rasReady
+		}
+		commandLat = (t.RP + t.RCD + t.CL) * t.CyclesPerTick
+		bank.activatedAt = start + t.RP*t.CyclesPerTick
+	}
+	burst := t.BL * t.CyclesPerTick
+
+	dataStart := start + commandLat
+	if dataStart < b.busFreeAt {
+		// Wait for the shared data bus.
+		delta := b.busFreeAt - dataStart
+		start += delta
+		dataStart += delta
+	}
+	done := dataStart + burst
+
+	bank.hasOpenRow = true
+	bank.openRow = r.Row
+	bank.freeAt = done
+	b.busFreeAt = done
+	r.doneAt = done
+
+	if r.Write {
+		b.Stats.Writes++
+	} else {
+		b.Stats.Reads++
+	}
+	b.inflight = append(b.inflight, r)
+}
+
+// Controller is a DDR channel controller for the baseline system: it maps
+// physical addresses onto its rank/bank geometry and owns one BankSet.
+type Controller struct {
+	Channel int
+	Geom    mem.DRAMGeometry
+	Banks   *BankSet
+}
+
+// NewController builds a channel controller with the given geometry.
+func NewController(channel int, geom mem.DRAMGeometry, timing Timing, queue int) *Controller {
+	return &Controller{
+		Channel: channel,
+		Geom:    geom,
+		Banks:   NewBankSet(geom.RanksPerChan*geom.BanksPerRank, timing, queue),
+	}
+}
+
+// Access enqueues a block access for pa; it reports false on backpressure.
+func (c *Controller) Access(pa mem.PAddr, write bool, cycle uint64, done func(uint64)) bool {
+	flat := c.Geom.RankOf(pa)*c.Geom.BanksPerRank + c.Geom.BankOf(pa)
+	return c.Banks.Enqueue(&Request{
+		Addr:   pa,
+		Write:  write,
+		Bank:   flat,
+		Row:    c.Geom.RowOf(pa),
+		OnDone: done,
+	}, cycle)
+}
+
+// Tick advances the controller one cycle.
+func (c *Controller) Tick(cycle uint64) { c.Banks.Tick(cycle) }

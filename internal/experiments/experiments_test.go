@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// microSuite runs the microbenchmarks at tiny scale once per test binary.
+var microSuiteCache *Suite
+
+func microSuite(t *testing.T) *Suite {
+	t.Helper()
+	if microSuiteCache == nil {
+		s, err := RunSuite(workload.ScaleTiny, workload.Microbenchmarks(), system.Schemes(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		microSuiteCache = s
+	}
+	return microSuiteCache
+}
+
+func TestFig51Structure(t *testing.T) {
+	s := microSuite(t)
+	tab := Fig51(s)
+	if len(tab.Speedup) != 4 || len(tab.Speedup[0]) != 5 {
+		t.Fatalf("table shape %dx%d", len(tab.Speedup), len(tab.Speedup[0]))
+	}
+	for wi := range tab.Speedup {
+		if tab.Speedup[wi][0] != 1.0 {
+			t.Fatalf("DRAM speedup over itself must be 1.0, got %v", tab.Speedup[wi][0])
+		}
+		for si := range tab.Speedup[wi] {
+			if tab.Speedup[wi][si] <= 0 {
+				t.Fatal("non-positive speedup")
+			}
+		}
+	}
+	if tab.GMean[0] != 1.0 {
+		t.Fatalf("DRAM gmean = %v", tab.GMean[0])
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	if !strings.Contains(buf.String(), "gmean") {
+		t.Fatal("rendered table missing gmean row")
+	}
+}
+
+func TestFig52Structure(t *testing.T) {
+	s := microSuite(t)
+	tab := Fig52(s)
+	if len(tab.Schemes) != 3 {
+		t.Fatalf("latency table must cover the 3 AR schemes, got %d", len(tab.Schemes))
+	}
+	for wi := range tab.Req {
+		for si := range tab.Req[wi] {
+			if tab.Req[wi][si] < 0 || tab.Resp[wi][si] <= 0 {
+				t.Fatalf("latency components implausible at %d/%d", wi, si)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	if !strings.Contains(buf.String(), "stall") {
+		t.Fatal("render missing stall column")
+	}
+}
+
+func TestFig54Structure(t *testing.T) {
+	s := microSuite(t)
+	tab := Fig54(s)
+	// HMC normalized to itself: totals must be 1.0.
+	for wi := range tab.Workloads {
+		if diff := tab.Total(wi, 0) - 1.0; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("HMC total for %s = %v, want 1.0", tab.Workloads[wi], tab.Total(wi, 0))
+		}
+		// The HMC baseline has no active traffic.
+		if tab.ActiveReq[wi][0] != 0 || tab.ActiveResp[wi][0] != 0 {
+			t.Fatal("HMC row has active components")
+		}
+	}
+}
+
+func TestFig55to57Structure(t *testing.T) {
+	s := microSuite(t)
+	e := Fig55to57(s, false)
+	for wi := range e.Workloads {
+		// DRAM normalized to itself.
+		total := e.Cache[wi][0] + e.Memory[wi][0] + e.Network[wi][0]
+		if total < 0.999 || total > 1.001 {
+			t.Fatalf("DRAM energy total = %v, want 1.0", total)
+		}
+		if e.Network[wi][0] != 0 {
+			t.Fatal("DRAM has no network energy")
+		}
+		if e.EDP[wi][0] != 1.0 {
+			t.Fatalf("DRAM EDP = %v", e.EDP[wi][0])
+		}
+	}
+	p := Fig55to57(s, true)
+	if p.EDPGM[0] != 1.0 {
+		t.Fatal("power table EDP gmean for DRAM must be 1.0")
+	}
+}
+
+func TestFig53Heatmaps(t *testing.T) {
+	s, err := RunSuite(workload.ScaleTiny, []string{"lud"},
+		[]system.Scheme{system.SchemeDRAM, system.SchemeHMC, system.SchemeARFtid, system.SchemeARFaddr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := Fig53(s)
+	if len(sets) != 2 {
+		t.Fatalf("want ARF-tid and ARF-addr sets, got %d", len(sets))
+	}
+	for _, set := range sets {
+		if len(set.Updates) != 16 {
+			t.Fatal("heatmap must have 16 cells")
+		}
+		var total uint64
+		for _, c := range set.Updates {
+			total += c
+		}
+		if total == 0 {
+			t.Fatalf("%s: empty update heatmap", set.Scheme)
+		}
+	}
+	var buf bytes.Buffer
+	PrintHeatmaps(&buf, sets)
+	if !strings.Contains(buf.String(), "operand buffer stalls") {
+		t.Fatal("heatmap render incomplete")
+	}
+}
+
+func TestFig58CaseStudy(t *testing.T) {
+	res, err := Fig58(workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 3 {
+		t.Fatalf("want 3 traces, got %d", len(res.Traces))
+	}
+	if res.Speedup[0] != 1.0 {
+		t.Fatalf("HMC speedup over itself = %v", res.Speedup[0])
+	}
+	for i, tr := range res.Traces {
+		if len(tr) == 0 {
+			t.Fatalf("trace %d empty", i)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "speedup over HMC") {
+		t.Fatal("case study render incomplete")
+	}
+}
+
+func TestTable41Renders(t *testing.T) {
+	var buf bytes.Buffer
+	Table41(&buf)
+	for _, want := range []string{"O3cores", "dragonfly", "banks/vault", "flow table"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table 4.1 render missing %q", want)
+		}
+	}
+}
+
+func TestSuiteAccessors(t *testing.T) {
+	s := microSuite(t)
+	keys := s.SortedKeys()
+	if len(keys) != len(s.Results) {
+		t.Fatal("sorted keys incomplete")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get of missing run must panic")
+		}
+	}()
+	s.Get("nonexistent", system.SchemeDRAM)
+}
+
+func TestGMean(t *testing.T) {
+	if g := gmean([]float64{2, 8}); g != 4 {
+		t.Fatalf("gmean(2,8) = %v", g)
+	}
+	if gmean(nil) != 0 || gmean([]float64{0, 1}) != 0 {
+		t.Fatal("degenerate gmean handling")
+	}
+}

@@ -1,0 +1,313 @@
+// Package hmc models the Hybrid Memory Cube side of Table 4.1: cubes with
+// 32 vault controllers over 8-bank DRAM stacks, an intra-cube crossbar on
+// the logic layer, SerDes-linked membership in the memory network, and the
+// HMC controllers that bridge the host to it. Each cube optionally hosts an
+// Active-Routing Engine (internal/core) on its logic layer.
+package hmc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/network"
+)
+
+// CubeConfig sizes one cube.
+type CubeConfig struct {
+	Geom       mem.HMCGeometry
+	Timing     dram.Timing
+	VaultQueue int    // requests per vault controller queue
+	XbarDelay  uint64 // intra-cube crossbar latency, simulator cycles
+	XbarRate   int    // crossbar operations per cycle
+}
+
+// DefaultCubeConfig returns the Table 4.1 cube.
+func DefaultCubeConfig() CubeConfig {
+	return CubeConfig{
+		Geom:       mem.DefaultHMCGeometry(),
+		Timing:     dram.DefaultVaultTiming(),
+		VaultQueue: 16,
+		XbarDelay:  8, // 4 crossbar cycles at 1 GHz under a 2 GHz core clock
+		XbarRate:   4,
+	}
+}
+
+// CubeStats counts per-cube activity (operand serves feed the Fig 5.3
+// operand-distribution heatmap; vault accesses feed the energy model).
+type CubeStats struct {
+	MemReads      uint64
+	MemWrites     uint64
+	OperandServes uint64
+	ActiveStores  uint64
+	VaultAccesses uint64
+	XbarStalls    uint64
+}
+
+// vaultOp is a staged intra-cube operation waiting for crossbar traversal
+// and a vault queue slot.
+type vaultOp struct {
+	readyAt uint64
+	run     func(cycle uint64) bool
+}
+
+// Cube is one memory cube: a memory-network endpoint with vaults and an
+// optional ARE.
+type Cube struct {
+	ID     int
+	cfg    CubeConfig
+	fabric *network.Fabric
+	store  *mem.Store
+	vaults []*dram.BankSet
+	are    *core.Engine
+
+	staged []vaultOp
+	outbox []*network.Packet
+
+	Stats CubeStats
+}
+
+// NewCube builds cube id attached to the fabric. The ARE is attached later
+// (AttachARE) for Active-Routing schemes.
+func NewCube(id int, cfg CubeConfig, fabric *network.Fabric, store *mem.Store) *Cube {
+	c := &Cube{ID: id, cfg: cfg, fabric: fabric, store: store}
+	c.vaults = make([]*dram.BankSet, cfg.Geom.VaultsPerCube)
+	for v := range c.vaults {
+		c.vaults[v] = dram.NewBankSet(cfg.Geom.BanksPerVault, cfg.Timing, cfg.VaultQueue)
+	}
+	fabric.SetEndpoint(id, c)
+	return c
+}
+
+// AttachARE places an Active-Routing Engine on the cube's logic layer.
+func (c *Cube) AttachARE(cfg core.EngineConfig) *core.Engine {
+	c.are = core.NewEngine(c.ID, c.ID, cfg, c)
+	return c.are
+}
+
+// ARE returns the attached engine (nil without Active-Routing).
+func (c *Cube) ARE() *core.Engine { return c.are }
+
+// Busy reports whether any vault, staged op, outbox entry or ARE state
+// remains in flight.
+func (c *Cube) Busy() bool {
+	if len(c.staged) > 0 || len(c.outbox) > 0 {
+		return true
+	}
+	for _, v := range c.vaults {
+		if v.Pending() > 0 {
+			return true
+		}
+	}
+	return c.are != nil && c.are.Busy()
+}
+
+// Deliver implements network.Endpoint: demultiplex arriving packets to the
+// vaults or the ARE. Refusals backpressure the network.
+func (c *Cube) Deliver(p *network.Packet, cycle uint64) bool {
+	switch p.Kind {
+	case network.UpdateReq, network.GatherReq, network.GatherResp:
+		if c.are == nil {
+			panic(fmt.Sprintf("hmc: active packet %s at cube %d without an ARE", p.Kind, c.ID))
+		}
+		return c.are.Deliver(p, cycle)
+	case network.MemReadReq, network.MemWriteReq:
+		return c.stageMemAccess(p, cycle)
+	case network.OperandReq:
+		return c.stageOperandRead(p, cycle)
+	case network.OperandResp:
+		// Remote operand values feed the ARE directly: they free operand
+		// buffers, so they are never refused (deadlock freedom).
+		if c.are == nil {
+			panic(fmt.Sprintf("hmc: operand response at cube %d without an ARE", c.ID))
+		}
+		c.are.OperandResp(p.Tag, p.Value, cycle)
+		return true
+	case network.ActiveStoreReq:
+		return c.stageActiveStore(p, cycle)
+	default:
+		panic(fmt.Sprintf("hmc: cube %d cannot handle packet kind %s", c.ID, p.Kind))
+	}
+}
+
+// stage admits an operation into the crossbar pipeline; the staging queue
+// is bounded to model crossbar input buffering.
+func (c *Cube) stage(cycle uint64, run func(cycle uint64) bool) bool {
+	if len(c.staged) >= 4*c.cfg.XbarRate {
+		c.Stats.XbarStalls++
+		return false
+	}
+	c.staged = append(c.staged, vaultOp{readyAt: cycle + c.cfg.XbarDelay, run: run})
+	return true
+}
+
+func (c *Cube) stageMemAccess(p *network.Packet, cycle uint64) bool {
+	return c.stage(cycle, func(now uint64) bool {
+		write := p.Kind == network.MemWriteReq
+		return c.vaultAccess(p.Addr, write, func(v float64, done uint64) {
+			kind := network.MemReadResp
+			if write {
+				kind = network.MemWriteAck
+				c.Stats.MemWrites++
+			} else {
+				c.Stats.MemReads++
+			}
+			resp := network.NewPacket(0, kind, c.ID, p.Src)
+			resp.Addr, resp.Tag = p.Addr, p.Tag
+			c.outbox = append(c.outbox, resp)
+		})
+	})
+}
+
+func (c *Cube) stageOperandRead(p *network.Packet, cycle uint64) bool {
+	return c.stage(cycle, func(now uint64) bool {
+		return c.vaultAccess(p.Addr, false, func(v float64, done uint64) {
+			c.Stats.OperandServes++
+			resp := network.NewPacket(0, network.OperandResp, c.ID, p.Src)
+			resp.Addr, resp.Tag, resp.Value = p.Addr, p.Tag, v
+			c.outbox = append(c.outbox, resp)
+		})
+	})
+}
+
+// stageActiveStore handles mov/const_assign stores. A mov whose source
+// lives here but whose target lives elsewhere reads locally and forwards
+// the value; the final write acks to the originating controller.
+func (c *Cube) stageActiveStore(p *network.Packet, cycle uint64) bool {
+	if p.Origin == 0 {
+		p.Origin = p.Src
+	}
+	targetCube := c.cfg.Geom.CubeOf(p.Target)
+	if p.Src1 != 0 { // mov: the source operand must be read first
+		return c.stage(cycle, func(now uint64) bool {
+			return c.vaultAccess(p.Src1, false, func(v float64, done uint64) {
+				if targetCube == c.ID {
+					c.localActiveWrite(p, v)
+					return
+				}
+				fwd := network.NewPacket(0, network.ActiveStoreReq, c.ID, targetCube)
+				fwd.Target, fwd.Value, fwd.Tag, fwd.Origin = p.Target, v, p.Tag, p.Origin
+				c.outbox = append(c.outbox, fwd)
+			})
+		})
+	}
+	// Value-carrying store (const_assign, flow write-back, forwarded mov).
+	return c.stage(cycle, func(now uint64) bool {
+		v := p.Value
+		ok := c.vaultAccess(p.Target, true, func(_ float64, done uint64) {
+			c.store.WriteF64(p.Target, v)
+			c.Stats.ActiveStores++
+			ack := network.NewPacket(0, network.ActiveStoreAck, c.ID, p.Origin)
+			ack.Tag = p.Tag
+			c.outbox = append(c.outbox, ack)
+		})
+		return ok
+	})
+}
+
+func (c *Cube) localActiveWrite(p *network.Packet, v float64) {
+	// Local write path for a mov whose source and target share this cube:
+	// stage the write behind the crossbar again.
+	c.staged = append(c.staged, vaultOp{readyAt: 0, run: func(now uint64) bool {
+		return c.vaultAccess(p.Target, true, func(_ float64, done uint64) {
+			c.store.WriteF64(p.Target, v)
+			c.Stats.ActiveStores++
+			ack := network.NewPacket(0, network.ActiveStoreAck, c.ID, p.Origin)
+			ack.Tag = p.Tag
+			c.outbox = append(c.outbox, ack)
+		})
+	}})
+}
+
+// vaultAccess enqueues a DRAM access at the owning vault; reads supply the
+// stored value to onDone at completion time.
+func (c *Cube) vaultAccess(pa mem.PAddr, write bool, onDone func(v float64, cycle uint64)) bool {
+	v := c.cfg.Geom.VaultOf(pa)
+	req := &dram.Request{
+		Addr:  pa,
+		Write: write,
+		Bank:  c.cfg.Geom.BankOf(pa),
+		Row:   c.cfg.Geom.RowOf(pa),
+	}
+	req.OnDone = func(done uint64) {
+		var val float64
+		if !write {
+			val = c.store.ReadF64(pa &^ 7)
+		}
+		onDone(val, done)
+	}
+	if !c.vaults[v].Enqueue(req, 0) {
+		return false
+	}
+	c.Stats.VaultAccesses++
+	return true
+}
+
+// Tick advances the cube: vaults, crossbar staging, outbox and ARE.
+func (c *Cube) Tick(cycle uint64) {
+	for _, v := range c.vaults {
+		v.Tick(cycle)
+	}
+	// Crossbar: admit staged operations into vaults strictly in order
+	// (head-of-line blocking). FIFO order here is load-bearing: it keeps a
+	// mov's source read ahead of a later store to the same address when
+	// both arrived in order from the network.
+	n := 0
+	for len(c.staged) > 0 && n < c.cfg.XbarRate {
+		op := c.staged[0]
+		if op.readyAt > cycle || !op.run(cycle) {
+			break
+		}
+		c.staged = c.staged[1:]
+		n++
+	}
+	// Drain response outbox into the network.
+	for len(c.outbox) > 0 {
+		p := c.outbox[0]
+		if !c.fabric.Inject(c.ID, p, cycle) {
+			break
+		}
+		c.outbox = c.outbox[1:]
+	}
+	if c.are != nil {
+		c.are.Tick(cycle)
+	}
+}
+
+// --- core.Cube interface -------------------------------------------------
+
+// VaultAccess implements core.Cube for the attached ARE.
+func (c *Cube) VaultAccess(pa mem.PAddr, write bool, value float64, onDone func(v float64, cycle uint64)) bool {
+	if write {
+		return c.vaultAccess(pa, true, func(_ float64, done uint64) {
+			c.store.WriteF64(pa, value)
+			onDone(0, done)
+		})
+	}
+	return c.vaultAccess(pa, false, onDone)
+}
+
+// Inject implements core.Cube.
+func (c *Cube) Inject(p *network.Packet) bool {
+	return c.fabric.Inject(c.ID, p, 0)
+}
+
+// CubeOf implements core.Cube.
+func (c *Cube) CubeOf(pa mem.PAddr) int { return c.cfg.Geom.CubeOf(pa) }
+
+// NodeOfCube implements core.Cube (cube ids are their node ids).
+func (c *Cube) NodeOfCube(cube int) int { return cube }
+
+// NextHopToCube implements core.Cube.
+func (c *Cube) NextHopToCube(cube int) int {
+	return network.NextHop(c.fabric.Topo, c.ID, cube)
+}
+
+// DebugState reports internal queue depths (debug tooling).
+func (c *Cube) DebugState() (staged, outbox, vaultPending int) {
+	for _, v := range c.vaults {
+		vaultPending += v.Pending()
+	}
+	return len(c.staged), len(c.outbox), vaultPending
+}

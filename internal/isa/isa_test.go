@@ -1,0 +1,156 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	reducing := []ALUOp{OpAdd, OpMac, OpAbsDiffAcc, OpMin, OpMax, OpMacSub}
+	for _, op := range reducing {
+		if !op.Reducing() {
+			t.Fatalf("%s must be reducing", op)
+		}
+	}
+	for _, op := range []ALUOp{OpNop, OpMov, OpConstAssign} {
+		if op.Reducing() {
+			t.Fatalf("%s must not be reducing", op)
+		}
+	}
+	for _, op := range []ALUOp{OpMac, OpAbsDiffAcc, OpMacSub} {
+		if !op.TwoOperand() {
+			t.Fatalf("%s needs two operands", op)
+		}
+	}
+	for _, op := range []ALUOp{OpAdd, OpMin, OpMax} {
+		if op.TwoOperand() {
+			t.Fatalf("%s is single-operand", op)
+		}
+	}
+}
+
+func TestOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   ALUOp
+		a, b float64
+		want float64
+	}{
+		{OpAdd, 3, 0, 3},
+		{OpMac, 3, 4, 12},
+		{OpMacSub, 3, 4, -12},
+		{OpAbsDiffAcc, 3, 7, 4},
+		{OpAbsDiffAcc, 7, 3, 4},
+		{OpMov, 5, 0, 5},
+	}
+	for _, c := range cases {
+		if got := c.op.Value(c.a, c.b); got != c.want {
+			t.Fatalf("%s.Value(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	if OpMin.Combine(3, 5) != 3 || OpMin.Combine(5, 3) != 3 {
+		t.Fatal("min combine broken")
+	}
+	if OpMax.Combine(3, 5) != 5 {
+		t.Fatal("max combine broken")
+	}
+	if OpAdd.Combine(1, 2) != 3 {
+		t.Fatal("add combine broken")
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	if OpAdd.Identity() != 0 || OpMac.Identity() != 0 {
+		t.Fatal("additive identity must be 0")
+	}
+	if !math.IsInf(OpMin.Identity(), 1) || !math.IsInf(OpMax.Identity(), -1) {
+		t.Fatal("min/max identities wrong")
+	}
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		return OpAdd.Combine(OpAdd.Identity(), v) == v &&
+			OpMin.Combine(OpMin.Identity(), v) == v &&
+			OpMax.Combine(OpMax.Identity(), v) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCombineCommutativeAssociative checks the property §2.4.2 relies on:
+// network aggregation in arbitrary tree order must be valid.
+func TestCombineCommutativeAssociative(t *testing.T) {
+	comm := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		for _, op := range []ALUOp{OpMin, OpMax} {
+			if op.Combine(a, b) != op.Combine(b, a) {
+				return false
+			}
+		}
+		return OpAdd.Combine(a, b) == OpAdd.Combine(b, a)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Fatal("commutativity:", err)
+	}
+	assoc := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		for _, op := range []ALUOp{OpMin, OpMax} {
+			if op.Combine(op.Combine(a, b), c) != op.Combine(a, op.Combine(b, c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Fatal("associativity:", err)
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := NewSliceStream([]Inst{{Kind: KindLoad}, {Kind: KindStore}})
+	a, ok := s.Next()
+	if !ok || a.Kind != KindLoad {
+		t.Fatal("first inst wrong")
+	}
+	b, ok := s.Next()
+	if !ok || b.Kind != KindStore {
+		t.Fatal("second inst wrong")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+func TestChainStream(t *testing.T) {
+	c := NewChainStream(
+		NewSliceStream([]Inst{{Kind: KindLoad}}),
+		NewSliceStream(nil),
+		NewSliceStream([]Inst{{Kind: KindGather}}),
+	)
+	var kinds []Kind
+	for {
+		in, ok := c.Next()
+		if !ok {
+			break
+		}
+		kinds = append(kinds, in.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != KindLoad || kinds[1] != KindGather {
+		t.Fatalf("chained kinds = %v", kinds)
+	}
+}
+
+func TestStringsAreStable(t *testing.T) {
+	if OpMac.String() != "mac" || KindUpdate.String() != "update" {
+		t.Fatal("mnemonics changed")
+	}
+	if ALUOp(200).String() == "" || Kind(200).String() == "" {
+		t.Fatal("unknown values must still print")
+	}
+}

@@ -1,0 +1,429 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Endpoint consumes packets that reach their destination node. Deliver
+// returns false to refuse the packet (component backpressure); the fabric
+// keeps it queued and re-offers it on later cycles, which is how Active-
+// Routing Engine stalls propagate back into the network (Fig 5.2's stall
+// component).
+type Endpoint interface {
+	Deliver(p *Packet, cycle uint64) bool
+}
+
+// EndpointFunc adapts a function to Endpoint.
+type EndpointFunc func(p *Packet, cycle uint64) bool
+
+// Deliver calls f.
+func (f EndpointFunc) Deliver(p *Packet, cycle uint64) bool { return f(p, cycle) }
+
+// Config carries the fabric parameters of Table 4.1.
+type Config struct {
+	VCs           int    // virtual channels (request/response × 2 hop classes)
+	QueueDepth    int    // packets per (port, VC) input queue
+	InjDepth      int    // packets per injection queue
+	LinkLatency   uint64 // link traversal latency, network cycles
+	LinkBandwidth int    // bytes per network cycle per link
+	RouterDelay   uint64 // router pipeline latency, network cycles
+	ClockDiv      uint64 // simulator cycles per network cycle
+	EjectPerCycle int    // packets deliverable per node per network cycle
+}
+
+// DefaultMemNetConfig returns the memory-network parameters: 1 GHz network
+// clock under a 2 GHz core clock, 16-lane 12.5 Gbps links (25 GB/s ≈ 25
+// bytes per network cycle, rounded to 32 for the 1 GHz crossbar clock).
+func DefaultMemNetConfig() Config {
+	return Config{
+		VCs:           6,
+		QueueDepth:    8,
+		InjDepth:      16,
+		LinkLatency:   4,
+		LinkBandwidth: 32,
+		RouterDelay:   2,
+		ClockDiv:      2,
+		EjectPerCycle: 2,
+	}
+}
+
+// DefaultNoCConfig returns the on-chip 4×4 mesh parameters (full core
+// clock, wide links, short hops).
+func DefaultNoCConfig() Config {
+	return Config{
+		VCs:           6,
+		QueueDepth:    8,
+		InjDepth:      16,
+		LinkLatency:   1,
+		LinkBandwidth: 32,
+		RouterDelay:   2,
+		ClockDiv:      1,
+		EjectPerCycle: 4,
+	}
+}
+
+// vcBase maps a packet kind to its VC class pair. Three classes break
+// request-generates-request protocol deadlock: plain requests (updates,
+// gathers, memory reads) may generate operand/active-store requests, which
+// only generate responses — an acyclic class order, each class guaranteed
+// to drain assuming the classes above it do.
+func vcBase(k Kind) int {
+	switch {
+	case k.IsResponse():
+		return 4
+	case k == OperandReq || k == ActiveStoreReq:
+		return 2
+	default:
+		return 0
+	}
+}
+
+type packetQueue struct {
+	q []*Packet
+}
+
+func (pq *packetQueue) len() int       { return len(pq.q) }
+func (pq *packetQueue) head() *Packet  { return pq.q[0] }
+func (pq *packetQueue) push(p *Packet) { pq.q = append(pq.q, p) }
+func (pq *packetQueue) pop() *Packet {
+	p := pq.q[0]
+	copy(pq.q, pq.q[1:])
+	pq.q = pq.q[:len(pq.q)-1]
+	return p
+}
+
+type arrival struct {
+	p     *Packet
+	port  int
+	vc    int
+	cycle uint64
+}
+
+type upstream struct {
+	node int
+	port int
+}
+
+type router struct {
+	node     int
+	ports    int
+	in       []packetQueue // [port*VCs + vc]
+	inj      []packetQueue // [vc]
+	up       []upstream    // [port] upstream node/port, node == -1 if unused
+	credits  []int         // [port*VCs + vc] credits toward downstream input
+	linkBusy []uint64      // [port] output link busy-until (simulator cycles)
+	pending  []arrival     // in-flight packets heading to this router
+	rrPort   int           // round-robin arbitration state
+}
+
+// Fabric is one interconnection network instance: topology + routers +
+// endpoints.
+type Fabric struct {
+	Topo Topology
+	Cfg  Config
+
+	routers   []*router
+	endpoints []Endpoint
+	nextID    uint64
+
+	// Counters for Fig 5.4 and the energy model.
+	Counters     *stats.Set
+	HopBytes     uint64 // bytes × link traversals (energy: 5 pJ/bit/hop)
+	Delivered    uint64
+	Injected     uint64
+	Movement     stats.DataMovement
+	ejectStalled uint64
+}
+
+// NewFabric builds a network over topo. Endpoints are attached later with
+// SetEndpoint.
+func NewFabric(topo Topology, cfg Config) *Fabric {
+	if cfg.VCs <= 0 || cfg.QueueDepth <= 0 || cfg.LinkBandwidth <= 0 || cfg.ClockDiv == 0 {
+		panic("network: invalid fabric config")
+	}
+	f := &Fabric{Topo: topo, Cfg: cfg, Counters: stats.NewSet()}
+	n := topo.Nodes()
+	f.routers = make([]*router, n)
+	f.endpoints = make([]Endpoint, n)
+	for i := 0; i < n; i++ {
+		ports := topo.Ports(i)
+		r := &router{
+			node:     i,
+			ports:    ports,
+			in:       make([]packetQueue, ports*cfg.VCs),
+			inj:      make([]packetQueue, cfg.VCs),
+			up:       make([]upstream, ports),
+			credits:  make([]int, ports*cfg.VCs),
+			linkBusy: make([]uint64, ports),
+		}
+		for p := 0; p < ports; p++ {
+			r.up[p] = upstream{node: -1}
+		}
+		f.routers[i] = r
+	}
+	// Wire credits and upstream pointers.
+	for i := 0; i < n; i++ {
+		r := f.routers[i]
+		for p := 0; p < r.ports; p++ {
+			peer, peerPort, ok := topo.Neighbor(i, p)
+			if !ok {
+				continue
+			}
+			f.routers[peer].up[peerPort] = upstream{node: i, port: p}
+			for vc := 0; vc < cfg.VCs; vc++ {
+				r.credits[p*cfg.VCs+vc] = cfg.QueueDepth
+			}
+		}
+	}
+	return f
+}
+
+// SetEndpoint attaches the component that consumes packets at node n.
+func (f *Fabric) SetEndpoint(n int, e Endpoint) { f.endpoints[n] = e }
+
+// NextID returns a fresh packet id.
+func (f *Fabric) NextID() uint64 {
+	f.nextID++
+	return f.nextID
+}
+
+// InjectionFree reports the free injection slots for p's VC at node n.
+func (f *Fabric) InjectionFree(n int, p *Packet) int {
+	vc := vcBase(p.Kind) // injection queues keyed by base class only
+	return f.Cfg.InjDepth - f.routers[n].inj[vc].len()
+}
+
+// Inject offers packet p for injection at node n; it reports false when the
+// injection queue is full. Src is forced to n.
+func (f *Fabric) Inject(n int, p *Packet, cycle uint64) bool {
+	if p.Dst < 0 || p.Dst >= f.Topo.Nodes() {
+		panic(fmt.Sprintf("network: inject to invalid node %d", p.Dst))
+	}
+	if p.Dst == n {
+		panic("network: inject to self; deliver locally instead")
+	}
+	r := f.routers[n]
+	vc := vcBase(p.Kind)
+	if r.inj[vc].len() >= f.Cfg.InjDepth {
+		return false
+	}
+	p.Src = n
+	if p.InjectCycle == 0 {
+		p.InjectCycle = cycle
+	}
+	r.inj[vc].push(p)
+	f.Injected++
+	f.account(p)
+	return true
+}
+
+func (f *Fabric) account(p *Packet) {
+	sz := uint64(p.Size)
+	switch {
+	case p.Kind.Active() && p.Kind.IsResponse():
+		f.Movement.ActiveResp += sz
+	case p.Kind.Active():
+		f.Movement.ActiveReq += sz
+	case p.Kind.IsResponse():
+		f.Movement.NormResp += sz
+	default:
+		f.Movement.NormReq += sz
+	}
+}
+
+// Drained reports whether no packets remain anywhere in the fabric.
+func (f *Fabric) Drained() bool {
+	for _, r := range f.routers {
+		if len(r.pending) > 0 {
+			return false
+		}
+		for i := range r.in {
+			if r.in[i].len() > 0 {
+				return false
+			}
+		}
+		for i := range r.inj {
+			if r.inj[i].len() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// InFlight counts packets currently inside the fabric.
+func (f *Fabric) InFlight() int {
+	n := 0
+	for _, r := range f.routers {
+		n += len(r.pending)
+		for i := range r.in {
+			n += r.in[i].len()
+		}
+		for i := range r.inj {
+			n += r.inj[i].len()
+		}
+	}
+	return n
+}
+
+// Tick advances the whole fabric by one simulator cycle.
+func (f *Fabric) Tick(cycle uint64) {
+	if cycle%f.Cfg.ClockDiv != 0 {
+		return
+	}
+	// Phase 1: land arrivals into input queues (credits guaranteed space).
+	for _, r := range f.routers {
+		if len(r.pending) == 0 {
+			continue
+		}
+		kept := r.pending[:0]
+		for _, a := range r.pending {
+			if a.cycle <= cycle {
+				r.in[a.port*f.Cfg.VCs+a.vc].push(a.p)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		r.pending = kept
+	}
+	// Phase 2: ejection — deliver packets that reached their destination.
+	for _, r := range f.routers {
+		f.eject(r, cycle)
+	}
+	// Phase 3: switch allocation and forwarding.
+	for _, r := range f.routers {
+		f.forward(r, cycle)
+	}
+}
+
+// eject delivers up to EjectPerCycle destination packets at router r,
+// higher traffic classes first (responses, then operand requests, then
+// plain requests) so the drain order matches the deadlock-freedom
+// argument.
+func (f *Fabric) eject(r *router, cycle uint64) {
+	ep := f.endpoints[r.node]
+	budget := f.Cfg.EjectPerCycle
+	for pass := 0; pass < 3 && budget > 0; pass++ {
+		class := 2 - pass // 2=response, 1=operand, 0=request
+		for port := 0; port < r.ports && budget > 0; port++ {
+			for vc := 0; vc < f.Cfg.VCs && budget > 0; vc++ {
+				if vc/2 != class {
+					continue
+				}
+				q := &r.in[port*f.Cfg.VCs+vc]
+				if q.len() == 0 || q.head().Dst != r.node {
+					continue
+				}
+				p := q.head()
+				if ep == nil {
+					panic(fmt.Sprintf("network: packet %s for node %d with no endpoint", p.Kind, r.node))
+				}
+				p.ArriveCycle = cycle
+				if !ep.Deliver(p, cycle) {
+					f.ejectStalled++
+					continue
+				}
+				q.pop()
+				f.returnCredit(r, port, vc)
+				f.Delivered++
+				f.Counters.Inc("delivered_" + p.Kind.String())
+			}
+		}
+	}
+}
+
+// forward performs output-port arbitration: for every output port pick one
+// eligible head packet (round-robin over inputs including injection).
+func (f *Fabric) forward(r *router, cycle uint64) {
+	nin := r.ports*f.Cfg.VCs + f.Cfg.VCs // link inputs + injection queues
+	for out := 0; out < r.ports; out++ {
+		if r.linkBusy[out] > cycle {
+			continue
+		}
+		peer, peerPort, ok := f.Topo.Neighbor(r.node, out)
+		if !ok {
+			continue
+		}
+		for k := 0; k < nin; k++ {
+			idx := (r.rrPort + k) % nin
+			var q *packetQueue
+			injected := idx >= r.ports*f.Cfg.VCs
+			if injected {
+				q = &r.inj[idx-r.ports*f.Cfg.VCs]
+			} else {
+				q = &r.in[idx]
+			}
+			if q.len() == 0 {
+				continue
+			}
+			p := q.head()
+			if p.Dst == r.node {
+				continue // ejection handles it
+			}
+			if f.Topo.Route(r.node, p.Dst) != out {
+				continue
+			}
+			vc := vcBase(p.Kind) + f.Topo.HopClass(r.node, p.Dst)
+			if r.credits[out*f.Cfg.VCs+vc] <= 0 {
+				continue
+			}
+			// Transmit.
+			q.pop()
+			if !injected {
+				f.returnCredit(r, idx/f.Cfg.VCs, idx%f.Cfg.VCs)
+			}
+			r.credits[out*f.Cfg.VCs+vc]--
+			ser := uint64((p.Size + f.Cfg.LinkBandwidth - 1) / f.Cfg.LinkBandwidth)
+			busy := ser * f.Cfg.ClockDiv
+			r.linkBusy[out] = cycle + busy
+			arrive := cycle + (ser+f.Cfg.LinkLatency+f.Cfg.RouterDelay)*f.Cfg.ClockDiv
+			p.Hops++
+			f.HopBytes += uint64(p.Size)
+			f.routers[peer].pending = append(f.routers[peer].pending, arrival{
+				p: p, port: peerPort, vc: vc, cycle: arrive,
+			})
+			r.rrPort = (idx + 1) % nin
+			break
+		}
+	}
+}
+
+// returnCredit gives a buffer slot back to the upstream router feeding
+// (port, vc) at r. Credit return is immediate — a simplification relative
+// to real credit turnaround, noted in DESIGN.md.
+func (f *Fabric) returnCredit(r *router, port, vc int) {
+	up := r.up[port]
+	if up.node < 0 {
+		return
+	}
+	f.routers[up.node].credits[up.port*f.Cfg.VCs+vc]++
+}
+
+// DebugQueues renders non-empty queue occupancy with head packet info
+// (debug tooling).
+func (f *Fabric) DebugQueues() string {
+	out := ""
+	for _, r := range f.routers {
+		for port := 0; port < r.ports; port++ {
+			for vc := 0; vc < f.Cfg.VCs; vc++ {
+				q := &r.in[port*f.Cfg.VCs+vc]
+				if q.len() > 0 {
+					h := q.head()
+					out += fmt.Sprintf("node %d in[p%d vc%d] len=%d head=%s dst=%d\n", r.node, port, vc, q.len(), h.Kind, h.Dst)
+				}
+			}
+		}
+		for vc := 0; vc < f.Cfg.VCs; vc++ {
+			if r.inj[vc].len() > 0 {
+				h := r.inj[vc].head()
+				out += fmt.Sprintf("node %d inj[vc%d] len=%d head=%s dst=%d\n", r.node, vc, r.inj[vc].len(), h.Kind, h.Dst)
+			}
+		}
+		if len(r.pending) > 0 {
+			out += fmt.Sprintf("node %d pending=%d\n", r.node, len(r.pending))
+		}
+	}
+	return out
+}

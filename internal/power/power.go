@@ -1,0 +1,79 @@
+// Package power implements the energy/power/EDP model of §4.1 and §5.3:
+// 5 pJ/bit per memory-network hop, 12 pJ/bit per HMC access, 39 pJ/bit per
+// DRAM access, plus CACTI-order per-access cache energies (a documented
+// substitution for the thesis's CACTI runs — DESIGN.md).
+package power
+
+// Constants of the thesis's energy model (§4.1).
+const (
+	NetHopPJPerBit  = 5.0  // memory network, per hop
+	HMCAccessPJBit  = 12.0 // per bit of HMC memory access
+	DRAMAccessPJBit = 39.0 // per bit of DRAM access
+
+	// Cache per-access dynamic energies (CACTI-order constants for the
+	// scaled cache sizes; the breakdown shape, not the absolute joules, is
+	// what Figs 5.5-5.7 compare).
+	L1AccessPJ = 10.0
+	L2AccessPJ = 60.0
+
+	pJ = 1e-12
+)
+
+// Inputs are the activity counts a simulation produces.
+type Inputs struct {
+	L1Accesses   uint64
+	L2Accesses   uint64
+	HMCAccesses  uint64 // vault accesses (64-byte granularity)
+	DRAMAccesses uint64 // DDR accesses (64-byte granularity)
+	NetHopBytes  uint64 // memory-network bytes × hops
+	Cycles       uint64
+	CoreClockGHz float64
+	AccessBytes  int // bytes per memory access (64)
+}
+
+// Breakdown is the three-component energy split of Figs 5.5/5.6, in joules.
+type Breakdown struct {
+	CacheJ   float64
+	MemoryJ  float64
+	NetworkJ float64
+}
+
+// Total returns the summed energy in joules.
+func (b Breakdown) Total() float64 { return b.CacheJ + b.MemoryJ + b.NetworkJ }
+
+// Energy computes the energy breakdown for the given activity.
+func Energy(in Inputs) Breakdown {
+	accessBytes := in.AccessBytes
+	if accessBytes == 0 {
+		accessBytes = 64
+	}
+	bitsPerAccess := float64(accessBytes * 8)
+	return Breakdown{
+		CacheJ: (float64(in.L1Accesses)*L1AccessPJ + float64(in.L2Accesses)*L2AccessPJ) * pJ,
+		MemoryJ: (float64(in.HMCAccesses)*bitsPerAccess*HMCAccessPJBit +
+			float64(in.DRAMAccesses)*bitsPerAccess*DRAMAccessPJBit) * pJ,
+		NetworkJ: float64(in.NetHopBytes) * 8 * NetHopPJPerBit * pJ,
+	}
+}
+
+// Seconds converts a cycle count at the core clock into wall time.
+func Seconds(cycles uint64, coreClockGHz float64) float64 {
+	if coreClockGHz == 0 {
+		coreClockGHz = 2
+	}
+	return float64(cycles) / (coreClockGHz * 1e9)
+}
+
+// Power returns the average power breakdown in watts.
+func Power(b Breakdown, cycles uint64, coreClockGHz float64) Breakdown {
+	t := Seconds(cycles, coreClockGHz)
+	if t == 0 {
+		return Breakdown{}
+	}
+	return Breakdown{CacheJ: b.CacheJ / t, MemoryJ: b.MemoryJ / t, NetworkJ: b.NetworkJ / t}
+}
+
+// EDP returns the energy-delay product in joule-seconds (Fig 5.7).
+func EDP(b Breakdown, cycles uint64, coreClockGHz float64) float64 {
+	return b.Total() * Seconds(cycles, coreClockGHz)
+}

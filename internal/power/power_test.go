@@ -1,0 +1,74 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyComponents(t *testing.T) {
+	b := Energy(Inputs{
+		L1Accesses:  1000,
+		L2Accesses:  100,
+		HMCAccesses: 10,
+		NetHopBytes: 1 << 10,
+	})
+	wantCache := (1000*L1AccessPJ + 100*L2AccessPJ) * pJ
+	if math.Abs(b.CacheJ-wantCache) > 1e-18 {
+		t.Fatalf("cache energy = %g, want %g", b.CacheJ, wantCache)
+	}
+	wantMem := 10 * 64 * 8 * HMCAccessPJBit * pJ
+	if math.Abs(b.MemoryJ-wantMem) > 1e-18 {
+		t.Fatalf("memory energy = %g, want %g", b.MemoryJ, wantMem)
+	}
+	wantNet := 1024 * 8 * NetHopPJPerBit * pJ
+	if math.Abs(b.NetworkJ-wantNet) > 1e-18 {
+		t.Fatalf("network energy = %g, want %g", b.NetworkJ, wantNet)
+	}
+	if math.Abs(b.Total()-(wantCache+wantMem+wantNet)) > 1e-18 {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestDRAMCostsMoreThanHMCPerAccess(t *testing.T) {
+	h := Energy(Inputs{HMCAccesses: 100})
+	d := Energy(Inputs{DRAMAccesses: 100})
+	if d.MemoryJ <= h.MemoryJ {
+		t.Fatal("39 pJ/bit DRAM must exceed 12 pJ/bit HMC")
+	}
+	if d.MemoryJ/h.MemoryJ != 39.0/12.0 {
+		t.Fatalf("ratio = %v, want 39/12", d.MemoryJ/h.MemoryJ)
+	}
+}
+
+func TestPowerScalesInverselyWithTime(t *testing.T) {
+	b := Energy(Inputs{L1Accesses: 1_000_000})
+	fast := Power(b, 1000, 2)
+	slow := Power(b, 2000, 2)
+	if math.Abs(fast.Total()-2*slow.Total()) > 1e-12*fast.Total() {
+		t.Fatal("halving runtime must double power")
+	}
+}
+
+func TestEDPDefinition(t *testing.T) {
+	b := Energy(Inputs{L1Accesses: 1000})
+	edp := EDP(b, 2_000_000_000, 2) // 1 second at 2 GHz
+	if math.Abs(edp-b.Total()) > 1e-18 {
+		t.Fatalf("EDP over 1s must equal energy: %g vs %g", edp, b.Total())
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	if Seconds(2_000_000_000, 2) != 1 {
+		t.Fatal("2G cycles at 2 GHz must be 1 second")
+	}
+	if Seconds(1000, 0) != Seconds(1000, 2) {
+		t.Fatal("zero clock must default to 2 GHz")
+	}
+}
+
+func TestZeroCyclesPower(t *testing.T) {
+	b := Energy(Inputs{L1Accesses: 1})
+	if p := Power(b, 0, 2); p.Total() != 0 {
+		t.Fatal("zero-cycle power must be zero, not Inf")
+	}
+}

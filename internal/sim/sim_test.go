@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStepOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register("a", TickFunc(func(uint64) { order = append(order, "a") }))
+	e.Register("b", TickFunc(func(uint64) { order = append(order, "b") }))
+	e.Step()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("tick order = %v, want [a b]", order)
+	}
+	if e.Cycle() != 1 {
+		t.Fatalf("cycle = %d, want 1", e.Cycle())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Register("c", TickFunc(func(uint64) { count++ }))
+	n, err := e.RunUntil(func() bool { return count >= 10 }, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || count != 10 {
+		t.Fatalf("ran %d cycles, count %d, want 10", n, count)
+	}
+}
+
+func TestEngineRunUntilTimeout(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.RunUntil(func() bool { return false }, 5); err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if e.Cycle() != 5 {
+		t.Fatalf("cycle = %d, want 5", e.Cycle())
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(7)
+	if e.Cycle() != 7 {
+		t.Fatalf("cycle = %d, want 7", e.Cycle())
+	}
+}
+
+func TestEngineRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().Register("bad", nil)
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at %d", i)
+		}
+	}
+}
+
+func TestRandZeroSeedOK(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandDistributionRough(t *testing.T) {
+	r := NewRand(13)
+	buckets := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(8)]++
+	}
+	for i, b := range buckets {
+		if b < n/8-n/40 || b > n/8+n/40 {
+			t.Fatalf("bucket %d heavily skewed: %d of %d", i, b, n)
+		}
+	}
+}

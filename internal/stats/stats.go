@@ -1,0 +1,224 @@
+// Package stats provides the performance counters used across the
+// simulator: scalar counters, latency breakdown accumulators, per-cube
+// heatmaps (Fig 5.3) and windowed IPC series (Fig 5.8).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a named collection of integer counters. The zero value is not
+// usable; construct with NewSet.
+type Set struct {
+	counters map[string]uint64
+	order    []string
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]uint64)} }
+
+// Add increments the named counter by v, creating it on first use.
+func (s *Set) Add(name string, v uint64) {
+	if _, ok := s.counters[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.counters[name] += v
+}
+
+// Inc increments the named counter by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the counter's value (zero if never touched).
+func (s *Set) Get(name string) uint64 { return s.counters[name] }
+
+// Names returns counter names in first-use order.
+func (s *Set) Names() []string { return append([]string(nil), s.order...) }
+
+// Merge adds every counter of other into s.
+func (s *Set) Merge(other *Set) {
+	for _, n := range other.order {
+		s.Add(n, other.counters[n])
+	}
+}
+
+// String renders the counters sorted by name, one per line.
+func (s *Set) String() string {
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// LatencyBreakdown accumulates the three-component update roundtrip latency
+// of Fig 5.2: request (injection to arrival at the commit cube), stall
+// (arrival to operand issue) and response (operand issue to commit).
+type LatencyBreakdown struct {
+	Count uint64
+	Req   uint64
+	Stall uint64
+	Resp  uint64
+}
+
+// AddSample records one update's component latencies, in cycles.
+func (l *LatencyBreakdown) AddSample(req, stall, resp uint64) {
+	l.Count++
+	l.Req += req
+	l.Stall += stall
+	l.Resp += resp
+}
+
+// Merge adds other's samples into l.
+func (l *LatencyBreakdown) Merge(other LatencyBreakdown) {
+	l.Count += other.Count
+	l.Req += other.Req
+	l.Stall += other.Stall
+	l.Resp += other.Resp
+}
+
+// Means returns the average request, stall and response latencies in cycles.
+// With no samples it returns zeros.
+func (l *LatencyBreakdown) Means() (req, stall, resp float64) {
+	if l.Count == 0 {
+		return 0, 0, 0
+	}
+	n := float64(l.Count)
+	return float64(l.Req) / n, float64(l.Stall) / n, float64(l.Resp) / n
+}
+
+// TotalMean returns the average total roundtrip latency in cycles.
+func (l *LatencyBreakdown) TotalMean() float64 {
+	r, s, p := l.Means()
+	return r + s + p
+}
+
+// Heatmap is a per-cube event accumulator rendered as the paper's 4x4 grids
+// (Fig 5.3). Cube c maps to row c/cols, column c%cols.
+type Heatmap struct {
+	Name  string
+	Cols  int
+	Cells []uint64
+}
+
+// NewHeatmap creates a heatmap with n cells arranged in rows of cols.
+func NewHeatmap(name string, n, cols int) *Heatmap {
+	return &Heatmap{Name: name, Cols: cols, Cells: make([]uint64, n)}
+}
+
+// Add accumulates v events at cube index.
+func (h *Heatmap) Add(cube int, v uint64) { h.Cells[cube] += v }
+
+// Total returns the sum over all cells.
+func (h *Heatmap) Total() uint64 {
+	var t uint64
+	for _, c := range h.Cells {
+		t += c
+	}
+	return t
+}
+
+// Max returns the largest cell value.
+func (h *Heatmap) Max() uint64 {
+	var m uint64
+	for _, c := range h.Cells {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Imbalance returns max/mean over the cells, a load-balance figure of merit
+// (1.0 = perfectly even). With an empty map it returns 0.
+func (h *Heatmap) Imbalance() float64 {
+	t := h.Total()
+	if t == 0 || len(h.Cells) == 0 {
+		return 0
+	}
+	mean := float64(t) / float64(len(h.Cells))
+	return float64(h.Max()) / mean
+}
+
+// String renders the grid with right-aligned cell values.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (total=%d, imbalance=%.2f)\n", h.Name, h.Total(), h.Imbalance())
+	for i, c := range h.Cells {
+		fmt.Fprintf(&b, "%10d", c)
+		if (i+1)%h.Cols == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// IPCSeries records instructions retired in fixed-size instruction windows,
+// timestamped with the cycle at which each window closed (Fig 5.8).
+type IPCSeries struct {
+	Window     uint64 // instructions per window
+	retired    uint64 // within current window
+	lastCycle  uint64 // cycle at which last window closed
+	TotalInsts uint64
+	Points     []IPCPoint
+}
+
+// IPCPoint is one window: cumulative instructions at the window boundary and
+// the IPC achieved within the window.
+type IPCPoint struct {
+	Insts uint64
+	IPC   float64
+}
+
+// NewIPCSeries creates a series with the given window size in instructions.
+func NewIPCSeries(window uint64) *IPCSeries {
+	if window == 0 {
+		window = 1 << 20
+	}
+	return &IPCSeries{Window: window}
+}
+
+// Retire records n retired instructions at the given cycle, closing windows
+// as they fill.
+func (s *IPCSeries) Retire(n, cycle uint64) {
+	s.TotalInsts += n
+	s.retired += n
+	for s.retired >= s.Window {
+		dc := cycle - s.lastCycle
+		if dc == 0 {
+			dc = 1
+		}
+		s.Points = append(s.Points, IPCPoint{
+			Insts: s.TotalInsts - (s.retired - s.Window),
+			IPC:   float64(s.Window) / float64(dc),
+		})
+		s.retired -= s.Window
+		s.lastCycle = cycle
+	}
+}
+
+// DataMovement tallies on/off-chip traffic in bytes, split the way Fig 5.4
+// reports it: normal (plain memory) requests/responses and active
+// (Update/Gather/operand) requests/responses.
+type DataMovement struct {
+	NormReq    uint64
+	NormResp   uint64
+	ActiveReq  uint64
+	ActiveResp uint64
+}
+
+// Total returns the sum of the four components.
+func (d DataMovement) Total() uint64 {
+	return d.NormReq + d.NormResp + d.ActiveReq + d.ActiveResp
+}
+
+// Merge adds other into d.
+func (d *DataMovement) Merge(other DataMovement) {
+	d.NormReq += other.NormReq
+	d.NormResp += other.NormResp
+	d.ActiveReq += other.ActiveReq
+	d.ActiveResp += other.ActiveResp
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Add("a", 2)
+	s.Add("b", 5)
+	if s.Get("a") != 3 || s.Get("b") != 5 || s.Get("zzz") != 0 {
+		t.Fatalf("counters wrong: %v", s)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Fatalf("merge wrong: %v", a)
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet()
+	s.Add("hits", 7)
+	if !strings.Contains(s.String(), "hits") {
+		t.Fatal("String() missing counter name")
+	}
+}
+
+func TestLatencyBreakdownMeans(t *testing.T) {
+	var l LatencyBreakdown
+	l.AddSample(10, 20, 30)
+	l.AddSample(20, 40, 50)
+	r, s, p := l.Means()
+	if r != 15 || s != 30 || p != 40 {
+		t.Fatalf("means = %v %v %v", r, s, p)
+	}
+	if l.TotalMean() != 85 {
+		t.Fatalf("total mean = %v", l.TotalMean())
+	}
+	var empty LatencyBreakdown
+	if r, _, _ := empty.Means(); r != 0 {
+		t.Fatal("empty breakdown must report zeros")
+	}
+}
+
+func TestLatencyBreakdownMerge(t *testing.T) {
+	var a, b LatencyBreakdown
+	a.AddSample(1, 2, 3)
+	b.AddSample(3, 4, 5)
+	a.Merge(b)
+	if a.Count != 2 || a.Req != 4 || a.Stall != 6 || a.Resp != 8 {
+		t.Fatalf("merged = %+v", a)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := NewHeatmap("updates", 16, 4)
+	h.Add(0, 10)
+	h.Add(5, 30)
+	if h.Total() != 40 || h.Max() != 30 {
+		t.Fatalf("total=%d max=%d", h.Total(), h.Max())
+	}
+	// imbalance = max / mean = 30 / 2.5 = 12
+	if h.Imbalance() != 12 {
+		t.Fatalf("imbalance = %v", h.Imbalance())
+	}
+	if !strings.Contains(h.String(), "updates") {
+		t.Fatal("render missing name")
+	}
+}
+
+func TestHeatmapEmptyImbalance(t *testing.T) {
+	h := NewHeatmap("empty", 16, 4)
+	if h.Imbalance() != 0 {
+		t.Fatal("empty heatmap imbalance must be 0")
+	}
+}
+
+func TestHeatmapImbalanceBounds(t *testing.T) {
+	f := func(cells [16]uint16) bool {
+		h := NewHeatmap("p", 16, 4)
+		for i, c := range cells {
+			h.Add(i, uint64(c))
+		}
+		im := h.Imbalance()
+		if h.Total() == 0 {
+			return im == 0
+		}
+		return im >= 1 && im <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPCSeriesWindows(t *testing.T) {
+	s := NewIPCSeries(100)
+	s.Retire(50, 100)
+	if len(s.Points) != 0 {
+		t.Fatal("window closed early")
+	}
+	s.Retire(50, 200) // closes at cycle 200: 100 insts / 200 cycles
+	if len(s.Points) != 1 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if s.Points[0].IPC != 0.5 {
+		t.Fatalf("ipc = %v", s.Points[0].IPC)
+	}
+	s.Retire(250, 300) // closes two more windows
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(s.Points))
+	}
+	if s.TotalInsts != 350 {
+		t.Fatalf("total = %d", s.TotalInsts)
+	}
+}
+
+func TestDataMovement(t *testing.T) {
+	var d DataMovement
+	d.NormReq, d.ActiveReq, d.NormResp, d.ActiveResp = 1, 2, 3, 4
+	if d.Total() != 10 {
+		t.Fatalf("total = %d", d.Total())
+	}
+	var e DataMovement
+	e.Merge(d)
+	e.Merge(d)
+	if e.Total() != 20 {
+		t.Fatalf("merged total = %d", e.Total())
+	}
+}

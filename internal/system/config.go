@@ -1,0 +1,175 @@
+// Package system assembles the full simulated machine for each of the
+// thesis's configuration schemes (§5.1): DRAM, HMC, ART, ARF-tid, ARF-addr,
+// and the §5.4 ARF-tid-adaptive case study. It wires cores, the cache
+// hierarchy and NoC, the memory side (DDR channels or the HMC dragonfly
+// network with Active-Routing Engines), runs a workload to completion, and
+// reports every statistic the evaluation figures need.
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/hmc"
+	"repro/internal/mem"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// Scheme is one evaluated configuration (§5.1).
+type Scheme int
+
+// The six schemes.
+const (
+	SchemeDRAM Scheme = iota
+	SchemeHMC
+	SchemeART
+	SchemeARFtid
+	SchemeARFaddr
+	SchemeARFtidAdaptive
+	// SchemeARFea is the §6 energy-aware scheduling extension: forests
+	// rooted at the port minimizing operand hop distance.
+	SchemeARFea
+)
+
+// Schemes returns the five headline configurations in figure order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeDRAM, SchemeHMC, SchemeART, SchemeARFtid, SchemeARFaddr}
+}
+
+// String names the scheme as the figures label it.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDRAM:
+		return "DRAM"
+	case SchemeHMC:
+		return "HMC"
+	case SchemeART:
+		return "ART"
+	case SchemeARFtid:
+		return "ARF-tid"
+	case SchemeARFaddr:
+		return "ARF-addr"
+	case SchemeARFtidAdaptive:
+		return "ARF-tid-adaptive"
+	case SchemeARFea:
+		return "ARF-ea"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Active reports whether the scheme offloads with Active-Routing.
+func (s Scheme) Active() bool { return s >= SchemeART }
+
+// Mode returns the workload variant the scheme executes.
+func (s Scheme) Mode() workload.Mode {
+	switch s {
+	case SchemeDRAM, SchemeHMC:
+		return workload.ModeBaseline
+	case SchemeARFtidAdaptive:
+		return workload.ModeAdaptive
+	default:
+		return workload.ModeActive
+	}
+}
+
+// Policy returns the coordinator's port policy for the scheme.
+func (s Scheme) Policy() core.PortPolicy {
+	switch s {
+	case SchemeART:
+		return core.PolicyStatic
+	case SchemeARFaddr:
+		return core.PolicyAddress
+	case SchemeARFea:
+		return core.PolicyEnergyAware
+	default:
+		return core.PolicyThreadID
+	}
+}
+
+// MemTopology selects the memory network topology (dragonfly per Table
+// 4.1; mesh is the ablation).
+type MemTopology int
+
+// Memory network topologies.
+const (
+	TopoDragonfly MemTopology = iota
+	TopoMesh
+)
+
+// Config is the full machine configuration (Table 4.1, with cache sizes
+// scaled alongside the scaled workload inputs — DESIGN.md).
+type Config struct {
+	Scheme  Scheme
+	Threads int
+
+	Core cpu.Config
+	L1   cache.L1Config
+	L2   cache.L2Config
+
+	NoC    network.Config
+	MemNet network.Config
+
+	Cube    hmc.CubeConfig
+	ARE     core.EngineConfig
+	MemTopo MemTopology
+
+	DRAMTiming dram.Timing
+	DRAMGeom   mem.DRAMGeometry
+	HMCGeom    mem.HMCGeometry
+
+	CoordQueue int
+	MIQueue    int
+	MIWindow   int
+
+	Seed      uint64
+	MaxCycles uint64
+	// IPCSampleCycles sets the Fig 5.8 sampling window.
+	IPCSampleCycles uint64
+}
+
+// mcTiles are the NoC tiles hosting the four memory controllers (Table
+// 4.1: "4 MC at 4 corners").
+var mcTiles = [4]int{0, 3, 12, 15}
+
+// ctrlCubes are the cubes each HMC controller attaches to: one per
+// dragonfly group, so the ARF forests can root four disjoint trees
+// (DESIGN.md).
+var ctrlCubes = [4]int{0, 4, 8, 12}
+
+// DefaultConfig returns the evaluation machine for a scheme. Cache
+// capacities are scaled by the same factor as the workload inputs
+// (16 MB -> 32 KB L2, 16 KB -> 4 KB L1) so that the paper's
+// working-set-exceeds-cache regime is preserved.
+func DefaultConfig(scheme Scheme) Config {
+	l1 := cache.DefaultL1Config()
+	l1.SizeBytes = 4 << 10
+	l2 := cache.DefaultL2Config()
+	l2.BankSizeBytes = 2 << 10
+	l2.Ways = 4
+	return Config{
+		Scheme:          scheme,
+		Threads:         16,
+		Core:            cpu.DefaultConfig(),
+		L1:              l1,
+		L2:              l2,
+		NoC:             network.DefaultNoCConfig(),
+		MemNet:          network.DefaultMemNetConfig(),
+		Cube:            hmc.DefaultCubeConfig(),
+		ARE:             core.DefaultEngineConfig(),
+		MemTopo:         TopoDragonfly,
+		DRAMTiming:      dram.DefaultDDRTiming(),
+		DRAMGeom:        mem.DefaultDRAMGeometry(),
+		HMCGeom:         mem.DefaultHMCGeometry(),
+		CoordQueue:      32,
+		MIQueue:         16,
+		MIWindow:        16,
+		Seed:            42,
+		MaxCycles:       200_000_000,
+		IPCSampleCycles: 2048,
+	}
+}

@@ -1,0 +1,253 @@
+package system
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// TestDeterminism: identical configuration and seed must produce identical
+// cycle counts and statistics — the simulator has no hidden nondeterminism.
+func TestDeterminism(t *testing.T) {
+	run := func() *Results {
+		cfg := DefaultConfig(SchemeARFtid)
+		cfg.MaxCycles = 20_000_000
+		sys, err := New(cfg, "rand_mac", workload.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d cycles/insts",
+			a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+	if a.Engine.UpdatesCommitted != b.Engine.UpdatesCommitted {
+		t.Fatal("nondeterministic update counts")
+	}
+	if a.Movement != b.Movement {
+		t.Fatal("nondeterministic data movement")
+	}
+}
+
+// TestSchemesComputeIdenticalResults: every scheme must produce the same
+// functional result for the same seed — the central correctness claim that
+// in-network reduction is semantics-preserving. Verify() inside Run already
+// checks against the reference; this additionally diversifies seeds.
+func TestSchemesComputeIdenticalResults(t *testing.T) {
+	f := func(seed16 uint16) bool {
+		seed := uint64(seed16) + 1
+		for _, sch := range []Scheme{SchemeHMC, SchemeARFtid} {
+			cfg := DefaultConfig(sch)
+			cfg.Seed = seed
+			cfg.MaxCycles = 20_000_000
+			sys, err := New(cfg, "mac", workload.ScaleTiny)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if _, err := sys.Run(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateConservation: every offloaded update must commit exactly once
+// in the network, and every flow must be torn down.
+func TestUpdateConservation(t *testing.T) {
+	for _, wl := range []string{"mac", "sgemm", "pagerank"} {
+		for _, sch := range []Scheme{SchemeART, SchemeARFtid, SchemeARFaddr} {
+			res := runTiny(t, sch, wl)
+			if res.Engine.UpdatesCommitted != res.Coord.Updates {
+				t.Fatalf("%s/%s: %d updates offloaded, %d committed",
+					sch, wl, res.Coord.Updates, res.Engine.UpdatesCommitted)
+			}
+			if res.Coord.FlowsComplete == 0 {
+				t.Fatalf("%s/%s: no flows completed", sch, wl)
+			}
+			// Every gather request sent down a tree edge gets exactly one
+			// response back up.
+			if res.Engine.GatherReqs == 0 {
+				t.Fatalf("%s/%s: no gather requests processed", sch, wl)
+			}
+		}
+	}
+}
+
+// TestSingleOpBypassUsed: reduce is the single-operand kernel; the §3.2.3
+// bypass must cover all of its updates.
+func TestSingleOpBypassUsed(t *testing.T) {
+	res := runTiny(t, SchemeARFtid, "reduce")
+	if res.Engine.SingleOpBypasses != res.Engine.UpdatesCommitted {
+		t.Fatalf("bypasses %d != committed %d", res.Engine.SingleOpBypasses, res.Engine.UpdatesCommitted)
+	}
+	if res.Engine.PeakOperandInUse != 0 {
+		t.Fatalf("reduce should hold no operand buffers, peak %d", res.Engine.PeakOperandInUse)
+	}
+	mac := runTiny(t, SchemeARFtid, "mac")
+	if mac.Engine.PeakOperandInUse == 0 {
+		t.Fatal("mac must use operand buffers")
+	}
+}
+
+// TestARTUsesSinglePort: the static scheme roots every tree at port 0, so
+// updates only enter through the port-0 entry cube.
+func TestARTUsesSinglePort(t *testing.T) {
+	res := runTiny(t, SchemeART, "rand_mac")
+	// Every tree has Tree index 0; the entry cube of port 0 is cube 0, so
+	// cube 0 must have seen every update first (committed or forwarded).
+	seen := res.Engine.UpdatesCommitted + res.Engine.UpdatesForwarded
+	if seen < res.Coord.Updates {
+		t.Fatalf("ART updates seen %d < offloaded %d", seen, res.Coord.Updates)
+	}
+	// ARF spreads load: its update distribution must be strictly more
+	// balanced than ART's.
+	arf := runTiny(t, SchemeARFtid, "rand_mac")
+	if arf.UpdatesHeat.Imbalance() > res.UpdatesHeat.Imbalance() {
+		t.Fatalf("ARF imbalance %.2f worse than ART %.2f",
+			arf.UpdatesHeat.Imbalance(), res.UpdatesHeat.Imbalance())
+	}
+}
+
+// TestBackInvalQueriesIssued: every offload must have performed its §3.4.2
+// directory query.
+func TestBackInvalQueriesIssued(t *testing.T) {
+	res := runTiny(t, SchemeARFtid, "mac")
+	if res.Cache.BackInvalQ == 0 {
+		t.Fatal("no back-invalidation queries issued")
+	}
+	if res.Cache.BackInvalQ < res.Coord.Updates {
+		t.Fatalf("queries %d < updates %d", res.Cache.BackInvalQ, res.Coord.Updates)
+	}
+}
+
+// TestEnergyAccountingSane: active schemes must report network energy;
+// the DRAM baseline must not.
+func TestEnergyAccountingSane(t *testing.T) {
+	dram := runTiny(t, SchemeDRAM, "mac")
+	if dram.Energy.NetworkJ != 0 {
+		t.Fatal("DRAM baseline has no memory network")
+	}
+	if dram.Energy.MemoryJ == 0 || dram.Energy.CacheJ == 0 {
+		t.Fatalf("missing energy components: %+v", dram.Energy)
+	}
+	ar := runTiny(t, SchemeARFtid, "mac")
+	if ar.Energy.NetworkJ == 0 {
+		t.Fatal("Active-Routing run must burn network energy")
+	}
+	if ar.EDP <= 0 || dram.EDP <= 0 {
+		t.Fatal("EDP must be positive")
+	}
+}
+
+// TestMovementSplit: baseline schemes move no active bytes; active schemes
+// move both classes.
+func TestMovementSplit(t *testing.T) {
+	hmc := runTiny(t, SchemeHMC, "mac")
+	if hmc.Movement.ActiveReq != 0 || hmc.Movement.ActiveResp != 0 {
+		t.Fatalf("HMC baseline reports active traffic: %+v", hmc.Movement)
+	}
+	if hmc.Movement.NormReq == 0 || hmc.Movement.NormResp == 0 {
+		t.Fatalf("HMC baseline missing normal traffic: %+v", hmc.Movement)
+	}
+	ar := runTiny(t, SchemeARFtid, "mac")
+	if ar.Movement.ActiveReq == 0 {
+		t.Fatalf("AR run missing active traffic: %+v", ar.Movement)
+	}
+}
+
+// TestLatencyBreakdownPopulated: Fig 5.2's three components exist and sum
+// to the total for active runs.
+func TestLatencyBreakdownPopulated(t *testing.T) {
+	res := runTiny(t, SchemeARFtid, "rand_mac")
+	if res.Breakdown.Count == 0 {
+		t.Fatal("no latency samples")
+	}
+	req, stall, resp := res.Breakdown.Means()
+	if req <= 0 || resp <= 0 {
+		t.Fatalf("breakdown means: req=%v stall=%v resp=%v", req, stall, resp)
+	}
+	if req+stall+resp != res.Breakdown.TotalMean() {
+		t.Fatal("breakdown components do not sum")
+	}
+}
+
+// TestAdaptiveBetweenHostAndOffload: the §5.4 knob must land between
+// pure-HMC and pure-ARF behaviour in offload volume.
+func TestAdaptiveBetweenHostAndOffload(t *testing.T) {
+	full := runTiny(t, SchemeARFtid, "lud_phase")
+	adaptive := runTiny(t, SchemeARFtidAdaptive, "lud_phase")
+	if adaptive.Coord.Updates == 0 {
+		t.Fatal("adaptive scheme offloaded nothing")
+	}
+	if adaptive.Coord.Updates >= full.Coord.Updates {
+		t.Fatalf("adaptive offloaded %d >= full %d", adaptive.Coord.Updates, full.Coord.Updates)
+	}
+	if adaptive.CoreStats.Loads == 0 {
+		t.Fatal("adaptive scheme ran nothing on the host")
+	}
+}
+
+// TestMeshMemoryNetworkAblation: the mesh memory network must also run to
+// completion with verification.
+func TestMeshMemoryNetworkAblation(t *testing.T) {
+	cfg := DefaultConfig(SchemeARFtid)
+	cfg.MemTopo = TopoMesh
+	cfg.MaxCycles = 20_000_000
+	sys, err := New(cfg, "rand_mac", workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowTablePeakBounded: the batching bound (gatherBatch x threads
+// concurrent flows) keeps the per-cube flow table far from its capacity,
+// so exhaustion deadlock is impossible by construction.
+func TestFlowTablePeakBounded(t *testing.T) {
+	res := runTiny(t, SchemeARFtid, "sgemm")
+	if res.FlowPeak == 0 {
+		t.Fatal("no flow table activity")
+	}
+	if res.FlowPeak > 256 {
+		t.Fatalf("flow table peak %d exceeds capacity", res.FlowPeak)
+	}
+}
+
+// TestVectoredOffloadRuns: the §6 granularity extension must verify and
+// offload fewer packets than the scalar variant for the same work.
+func TestVectoredOffloadRuns(t *testing.T) {
+	vec := runTiny(t, SchemeARFtid, "mac_vec")
+	scalar := runTiny(t, SchemeARFtid, "mac")
+	if vec.Coord.Updates >= scalar.Coord.Updates {
+		t.Fatalf("vectored offload sent %d packets, scalar %d", vec.Coord.Updates, scalar.Coord.Updates)
+	}
+	if vec.Engine.UpdatesCommitted != scalar.Engine.UpdatesCommitted {
+		t.Fatalf("vectored commits %d != scalar %d (same element count expected)",
+			vec.Engine.UpdatesCommitted, scalar.Engine.UpdatesCommitted)
+	}
+}
+
+// TestEnergyAwareSchemeRuns: the §6 energy-aware scheduling extension must
+// verify and spend no more network hop-bytes than ARF-tid.
+func TestEnergyAwareSchemeRuns(t *testing.T) {
+	ea := runTiny(t, SchemeARFea, "rand_mac")
+	tid := runTiny(t, SchemeARFtid, "rand_mac")
+	if ea.NetHopByte > tid.NetHopByte {
+		t.Fatalf("energy-aware hop-bytes %d exceed ARF-tid %d", ea.NetHopByte, tid.NetHopByte)
+	}
+}

@@ -1,0 +1,147 @@
+package system
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// MessageInterface is the per-core MI of Fig 3.1 (§3.1.2): it accepts
+// Update/Gather instructions from the core, performs the §3.4.2 coherence
+// query (a back-invalidation probe at the block's directory bank) for each
+// offload, and forwards commands to the flow coordinator in program order —
+// a Gather can never overtake its thread's earlier Updates.
+type MessageInterface struct {
+	tile  int
+	send  cache.Sender
+	coord *core.Coordinator
+
+	queue   []*miEntry
+	cap     int
+	window  int
+	nextTag uint64
+	byTag   map[uint64]*miEntry
+
+	// Stats.
+	QueriesSent  uint64
+	UpdatesSent  uint64
+	GathersSent  uint64
+	QueueFullRej uint64
+}
+
+type miEntry struct {
+	upd     core.UpdateCmd
+	gather  *core.GatherCmd
+	queried bool
+	cleared bool
+	tag     uint64
+}
+
+// NewMessageInterface builds the MI for the core at tile.
+func NewMessageInterface(tile int, send cache.Sender, coord *core.Coordinator, capacity, window int) *MessageInterface {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	if window <= 0 {
+		window = 8
+	}
+	return &MessageInterface{
+		tile:   tile,
+		send:   send,
+		coord:  coord,
+		cap:    capacity,
+		window: window,
+		byTag:  make(map[uint64]*miEntry),
+	}
+}
+
+var _ cpu.OffloadPort = (*MessageInterface)(nil)
+
+// Update implements cpu.OffloadPort; false stalls the core (offload
+// backpressure).
+func (mi *MessageInterface) Update(cmd core.UpdateCmd, cycle uint64) bool {
+	if len(mi.queue) >= mi.cap {
+		mi.QueueFullRej++
+		return false
+	}
+	mi.queue = append(mi.queue, &miEntry{upd: cmd})
+	return true
+}
+
+// Gather implements cpu.OffloadPort.
+func (mi *MessageInterface) Gather(cmd core.GatherCmd, cycle uint64) bool {
+	if len(mi.queue) >= mi.cap {
+		mi.QueueFullRej++
+		return false
+	}
+	g := cmd
+	mi.queue = append(mi.queue, &miEntry{gather: &g})
+	return true
+}
+
+// Busy reports queued offloads.
+func (mi *MessageInterface) Busy() bool { return len(mi.queue) > 0 }
+
+// queryAddr picks the address whose directory bank is probed before the
+// offload proceeds (§3.4.2).
+func queryAddr(cmd core.UpdateCmd) mem.PAddr {
+	if cmd.Src1 != 0 {
+		return cmd.Src1
+	}
+	return cmd.Target
+}
+
+// Tick issues coherence queries (up to the window) and drains cleared
+// commands to the coordinator in FIFO order.
+func (mi *MessageInterface) Tick(cycle uint64) {
+	// Issue queries for the leading window of un-queried updates.
+	seen := 0
+	for _, e := range mi.queue {
+		if seen >= mi.window {
+			break
+		}
+		seen++
+		if e.gather != nil || e.queried {
+			continue
+		}
+		block := mem.BlockAlign(queryAddr(e.upd))
+		mi.nextTag++
+		tag := uint64(mi.tile)<<40 | mi.nextTag
+		m := &cache.Msg{Type: cache.MsgBackInvalQ, Block: block, From: mi.tile, Tag: tag}
+		if !mi.send(cache.BankOf(block, 16), m) {
+			break
+		}
+		e.queried = true
+		e.tag = tag
+		mi.byTag[tag] = e
+		mi.QueriesSent++
+	}
+	// Forward cleared heads.
+	for len(mi.queue) > 0 {
+		e := mi.queue[0]
+		if e.gather != nil {
+			if !mi.coord.EnqueueGather(*e.gather, cycle) {
+				return
+			}
+			mi.GathersSent++
+		} else {
+			if !e.cleared {
+				return
+			}
+			if !mi.coord.EnqueueUpdate(e.upd, cycle) {
+				return
+			}
+			mi.UpdatesSent++
+		}
+		mi.queue = mi.queue[1:]
+	}
+}
+
+// OnBackInvalDone clears the queried entry so it can be forwarded.
+func (mi *MessageInterface) OnBackInvalDone(tag uint64) {
+	if e, ok := mi.byTag[tag]; ok {
+		e.cleared = true
+		delete(mi.byTag, tag)
+	}
+}

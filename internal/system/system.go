@@ -1,0 +1,552 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/hmc"
+	"repro/internal/mem"
+	"repro/internal/network"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Results carries everything the evaluation figures report for one run.
+type Results struct {
+	Scheme       Scheme
+	Workload     string
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	// Fig 5.2: update roundtrip latency breakdown (ARE-cycle means).
+	Breakdown stats.LatencyBreakdown
+	// Fig 5.4: off-chip data movement split.
+	Movement stats.DataMovement
+	// Fig 5.3 heatmaps (per cube).
+	UpdatesHeat *stats.Heatmap
+	OperandHeat *stats.Heatmap
+	StallHeat   *stats.Heatmap
+	// Fig 5.5-5.7 energy model.
+	Energy power.Breakdown
+	PowerW power.Breakdown
+	EDP    float64
+	// Fig 5.8 aggregate IPC trace.
+	IPCTrace []stats.IPCPoint
+
+	Cache      cache.Stats
+	Coord      core.CoordStats
+	Engine     core.EngineStats
+	CoreStats  cpu.Stats
+	FlowPeak   int
+	VaultAcc   uint64
+	DRAMAcc    uint64
+	NetHopByte uint64
+}
+
+// System is one assembled machine bound to one workload instance.
+type System struct {
+	cfg Config
+	wl  workload.Workload
+	env *workload.Env
+
+	engine *sim.Engine
+	noc    *network.Fabric
+	memnet *network.Fabric
+
+	cores []*cpu.Core
+	l1s   []*cache.L1
+	l2s   []*cache.L2Bank
+	mis   []*MessageInterface
+	hubs  []*tileHub
+	mcs   []*mcPort
+
+	dramCtrls []*dram.Controller
+	hmcCtrls  []*hmc.Controller
+	cubes     []*hmc.Cube
+	coord     *core.Coordinator
+
+	nextMemTag uint64
+
+	// IPC sampling.
+	lastRetired uint64
+	ipcTrace    []stats.IPCPoint
+}
+
+// tileHub is the NoC endpoint at one mesh tile, demultiplexing coherence
+// messages to the tile's components.
+type tileHub struct {
+	sys        *System
+	tile       int
+	pendingMem map[uint64]func(cycle uint64)
+}
+
+// Deliver implements network.Endpoint for the NoC.
+func (h *tileHub) Deliver(p *network.Packet, cycle uint64) bool {
+	m, ok := p.Meta.(*cache.Msg)
+	if !ok {
+		panic(fmt.Sprintf("system: NoC packet without coherence payload at tile %d", h.tile))
+	}
+	return h.deliverMsg(m, cycle)
+}
+
+func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
+	s := h.sys
+	switch m.Type {
+	case cache.MsgGetS, cache.MsgGetX, cache.MsgPutM, cache.MsgInvAck,
+		cache.MsgFetchResp, cache.MsgBackInvalQ:
+		return s.l2s[h.tile].Deliver(m, cycle)
+	case cache.MsgData, cache.MsgInval, cache.MsgFetch, cache.MsgFetchInv:
+		return s.l1s[h.tile].Deliver(m, cycle)
+	case cache.MsgBackInvalD:
+		s.mis[h.tile].OnBackInvalDone(m.Tag)
+		return true
+	case cache.MsgMemRead, cache.MsgMemWrite:
+		for _, mc := range s.mcs {
+			if mc.tile == h.tile {
+				return mc.deliver(m, cycle)
+			}
+		}
+		panic(fmt.Sprintf("system: memory message at non-MC tile %d", h.tile))
+	case cache.MsgMemResp:
+		done, ok := h.pendingMem[m.Tag]
+		if !ok {
+			panic(fmt.Sprintf("system: memory response with unknown tag %d at tile %d", m.Tag, h.tile))
+		}
+		delete(h.pendingMem, m.Tag)
+		done(cycle)
+		return true
+	default:
+		panic(fmt.Sprintf("system: unroutable message %s at tile %d", m.Type, h.tile))
+	}
+}
+
+// mcPort bridges an MC tile to the memory backend (a DDR channel or an HMC
+// controller).
+type mcPort struct {
+	sys    *System
+	tile   int
+	index  int
+	access func(pa mem.PAddr, write bool, done func(uint64)) bool
+	outbox []struct {
+		dst int
+		m   *cache.Msg
+	}
+}
+
+func (mc *mcPort) deliver(m *cache.Msg, cycle uint64) bool {
+	write := m.Type == cache.MsgMemWrite
+	from, tag, block := m.From, m.Tag, m.Block
+	return mc.access(m.Block, write, func(cyc uint64) {
+		resp := &cache.Msg{Type: cache.MsgMemResp, Block: block, From: mc.tile, Tag: tag}
+		if !mc.sys.sendFrom(mc.tile, from, resp) {
+			mc.outbox = append(mc.outbox, struct {
+				dst int
+				m   *cache.Msg
+			}{from, resp})
+		}
+	})
+}
+
+func (mc *mcPort) tick(cycle uint64) {
+	for len(mc.outbox) > 0 {
+		o := mc.outbox[0]
+		if !mc.sys.sendFrom(mc.tile, o.dst, o.m) {
+			return
+		}
+		mc.outbox = mc.outbox[1:]
+	}
+}
+
+// New builds a machine for cfg running the named workload at the given
+// scale.
+func New(cfg Config, wlName string, scale workload.Scale) (*System, error) {
+	wl, err := workload.New(wlName, scale, cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	return NewWith(cfg, wl)
+}
+
+// NewWith builds a machine around an existing workload value.
+func NewWith(cfg Config, wl workload.Workload) (*System, error) {
+	s := &System{cfg: cfg, wl: wl}
+	s.env = workload.NewEnv(cfg.Threads, cfg.Seed)
+	wl.Init(s.env)
+	s.engine = sim.NewEngine()
+
+	// --- Host NoC: 4x4 mesh, every tile hosts a core+L1 and an L2 bank.
+	meshTopo := network.NewMesh(4, nil)
+	s.noc = network.NewFabric(meshTopo, cfg.NoC)
+	tiles := meshTopo.Tiles()
+	s.hubs = make([]*tileHub, tiles)
+	for t := 0; t < tiles; t++ {
+		s.hubs[t] = &tileHub{sys: s, tile: t, pendingMem: make(map[uint64]func(uint64))}
+		s.noc.SetEndpoint(t, s.hubs[t])
+	}
+
+	// --- Memory side.
+	if cfg.Scheme == SchemeDRAM {
+		s.dramCtrls = make([]*dram.Controller, cfg.DRAMGeom.Channels)
+		for ch := range s.dramCtrls {
+			s.dramCtrls[ch] = dram.NewController(ch, cfg.DRAMGeom, cfg.DRAMTiming, 32)
+		}
+	} else {
+		var topo network.Topology
+		switch cfg.MemTopo {
+		case TopoMesh:
+			topo = network.NewMesh(4, ctrlCubes[:])
+		default:
+			topo = network.NewDragonfly(ctrlCubes[:])
+		}
+		s.memnet = network.NewFabric(topo, cfg.MemNet)
+		s.cubes = make([]*hmc.Cube, cfg.HMCGeom.Cubes)
+		for c := range s.cubes {
+			s.cubes[c] = hmc.NewCube(c, cfg.Cube, s.memnet, s.env.Store)
+			if cfg.Scheme.Active() {
+				s.cubes[c].AttachARE(cfg.ARE)
+			}
+		}
+		s.hmcCtrls = make([]*hmc.Controller, 4)
+		ports := make([]core.Port, 4)
+		for i := range s.hmcCtrls {
+			node := cfg.HMCGeom.Cubes + i
+			s.hmcCtrls[i] = hmc.NewController(i, node, ctrlCubes[i], cfg.HMCGeom, s.memnet, 32)
+			ports[i] = s.hmcCtrls[i]
+		}
+		if cfg.Scheme.Active() {
+			s.coord = core.NewCoordinator(cfg.Scheme.Policy(), cfg.HMCGeom, ports, s.env.Store, cfg.CoordQueue)
+			memTopo := topo
+			s.coord.SetDistanceFn(func(port, cube int) int {
+				entry := ctrlCubes[port]
+				if entry == cube {
+					return 0
+				}
+				return network.PathLen(memTopo, entry, cube)
+			})
+			for _, ctrl := range s.hmcCtrls {
+				ctrl.OnGatherResp = s.coord.OnGatherResp
+				ctrl.OnActiveAck = s.coord.OnActiveAck
+			}
+		}
+	}
+
+	// --- Memory controller ports on the NoC corners.
+	s.mcs = make([]*mcPort, 4)
+	for i := range s.mcs {
+		mc := &mcPort{sys: s, tile: mcTiles[i], index: i}
+		if cfg.Scheme == SchemeDRAM {
+			ctrl := s.dramCtrls[i]
+			mc.access = func(pa mem.PAddr, write bool, done func(uint64)) bool {
+				return ctrl.Access(pa, write, s.engine.Cycle(), done)
+			}
+		} else {
+			ctrl := s.hmcCtrls[i]
+			mc.access = func(pa mem.PAddr, write bool, done func(uint64)) bool {
+				return ctrl.Access(pa, write, done)
+			}
+		}
+		s.mcs[i] = mc
+	}
+
+	// --- Cache hierarchy.
+	s.l2s = make([]*cache.L2Bank, tiles)
+	for t := 0; t < tiles; t++ {
+		tile := t
+		memPort := func(block mem.PAddr, write bool, done func(uint64)) bool {
+			var idx int
+			if cfg.Scheme == SchemeDRAM {
+				idx = cfg.DRAMGeom.ChannelOf(block)
+			} else {
+				idx = cfg.HMCGeom.CubeOf(block) * 4 / cfg.HMCGeom.Cubes
+			}
+			s.nextMemTag++
+			tag := uint64(tile)<<40 | s.nextMemTag
+			m := &cache.Msg{Type: cache.MsgMemRead, Block: block, From: tile, Tag: tag}
+			if write {
+				m.Type = cache.MsgMemWrite
+			}
+			if !s.sendFrom(tile, mcTiles[idx], m) {
+				return false
+			}
+			s.hubs[tile].pendingMem[tag] = done
+			return true
+		}
+		s.l2s[t] = cache.NewL2Bank(t, cfg.L2, s.senderFor(t), memPort)
+	}
+	s.l1s = make([]*cache.L1, tiles)
+	for t := 0; t < tiles; t++ {
+		s.l1s[t] = cache.NewL1(t, cfg.L1, s.senderFor(t),
+			func(block mem.PAddr) int { return cache.BankOf(block, tiles) })
+	}
+
+	// --- Message interfaces (Active-Routing schemes only).
+	s.mis = make([]*MessageInterface, tiles)
+	if cfg.Scheme.Active() {
+		for t := 0; t < tiles; t++ {
+			s.mis[t] = NewMessageInterface(t, s.senderFor(t), s.coord, cfg.MIQueue, cfg.MIWindow)
+		}
+	}
+
+	// --- Cores.
+	streams := s.wl.Streams(cfg.Scheme.Mode())
+	if len(streams) != cfg.Threads {
+		return nil, fmt.Errorf("system: workload produced %d streams for %d threads", len(streams), cfg.Threads)
+	}
+	barrier := cpu.NewBarrier(cfg.Threads)
+	s.cores = make([]*cpu.Core, cfg.Threads)
+	for i := range s.cores {
+		var off cpu.OffloadPort
+		if s.mis[i] != nil {
+			off = s.mis[i]
+		}
+		s.cores[i] = cpu.NewCore(i, cfg.Core, streams[i], s.l1s[i], off, s.env.Store, s.env.AS, barrier)
+	}
+
+	s.register()
+	return s, nil
+}
+
+// senderFor builds the NoC message sender for a tile. Same-tile messages
+// bypass the network.
+func (s *System) senderFor(tile int) cache.Sender {
+	return func(dst int, m *cache.Msg) bool { return s.sendFrom(tile, dst, m) }
+}
+
+func (s *System) sendFrom(src, dst int, m *cache.Msg) bool {
+	if src == dst {
+		return s.hubs[dst].deliverMsg(m, s.engine.Cycle())
+	}
+	p := cache.PacketFor(m, src, dst)
+	return s.noc.Inject(src, p, s.engine.Cycle())
+}
+
+// register wires every component into the tick order.
+func (s *System) register() {
+	for i, c := range s.cores {
+		s.engine.Register(fmt.Sprintf("core%d", i), c)
+	}
+	for i, l1 := range s.l1s {
+		s.engine.Register(fmt.Sprintf("l1.%d", i), sim.TickFunc(l1.Tick))
+	}
+	for i, l2 := range s.l2s {
+		s.engine.Register(fmt.Sprintf("l2.%d", i), sim.TickFunc(l2.Tick))
+	}
+	for i, mi := range s.mis {
+		if mi != nil {
+			s.engine.Register(fmt.Sprintf("mi.%d", i), sim.TickFunc(mi.Tick))
+		}
+	}
+	s.engine.Register("noc", sim.TickFunc(s.noc.Tick))
+	for i, mc := range s.mcs {
+		s.engine.Register(fmt.Sprintf("mc.%d", i), sim.TickFunc(mc.tick))
+	}
+	for i, d := range s.dramCtrls {
+		s.engine.Register(fmt.Sprintf("dram.%d", i), sim.TickFunc(d.Tick))
+	}
+	for i, h := range s.hmcCtrls {
+		s.engine.Register(fmt.Sprintf("hmcctrl.%d", i), sim.TickFunc(h.Tick))
+	}
+	if s.coord != nil {
+		s.engine.Register("coordinator", sim.TickFunc(s.coord.Tick))
+	}
+	if s.memnet != nil {
+		s.engine.Register("memnet", sim.TickFunc(s.memnet.Tick))
+	}
+	for i, c := range s.cubes {
+		s.engine.Register(fmt.Sprintf("cube%d", i), sim.TickFunc(c.Tick))
+	}
+	s.engine.Register("ipc-sampler", sim.TickFunc(s.sampleIPC))
+}
+
+// sampleIPC records the machine-wide IPC trace for Fig 5.8.
+func (s *System) sampleIPC(cycle uint64) {
+	if cycle == 0 || cycle%s.cfg.IPCSampleCycles != 0 {
+		return
+	}
+	var total uint64
+	for _, c := range s.cores {
+		total += c.Stats.Retired
+	}
+	delta := total - s.lastRetired
+	s.lastRetired = total
+	s.ipcTrace = append(s.ipcTrace, stats.IPCPoint{
+		Insts: total,
+		IPC:   float64(delta) / float64(s.cfg.IPCSampleCycles),
+	})
+}
+
+// done reports whether the machine has fully drained.
+func (s *System) done() bool {
+	for _, c := range s.cores {
+		if !c.Finished() {
+			return false
+		}
+	}
+	for _, l1 := range s.l1s {
+		if l1.Busy() {
+			return false
+		}
+	}
+	for _, l2 := range s.l2s {
+		if l2.Busy() {
+			return false
+		}
+	}
+	for _, mi := range s.mis {
+		if mi != nil && mi.Busy() {
+			return false
+		}
+	}
+	if !s.noc.Drained() {
+		return false
+	}
+	if s.coord != nil && s.coord.Busy() {
+		return false
+	}
+	for _, ctrl := range s.hmcCtrls {
+		if ctrl.Busy() {
+			return false
+		}
+	}
+	if s.memnet != nil && !s.memnet.Drained() {
+		return false
+	}
+	for _, c := range s.cubes {
+		if c.Busy() {
+			return false
+		}
+	}
+	for _, d := range s.dramCtrls {
+		if d.Banks.Pending() > 0 {
+			return false
+		}
+	}
+	for _, mc := range s.mcs {
+		if len(mc.outbox) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run simulates to completion, verifies the workload's final memory state,
+// and returns the collected results.
+func (s *System) Run() (*Results, error) {
+	if _, err := s.engine.RunUntil(s.done, s.cfg.MaxCycles); err != nil {
+		return nil, fmt.Errorf("system: %s/%s: %w", s.cfg.Scheme, s.wl.Name(), err)
+	}
+	if err := s.wl.Verify(); err != nil {
+		return nil, fmt.Errorf("system: %s/%s verification: %w", s.cfg.Scheme, s.wl.Name(), err)
+	}
+	return s.collect(), nil
+}
+
+// collect gathers every figure's statistics.
+func (s *System) collect() *Results {
+	r := &Results{
+		Scheme:   s.cfg.Scheme,
+		Workload: s.wl.Name(),
+		Cycles:   s.engine.Cycle(),
+		IPCTrace: s.ipcTrace,
+	}
+	for _, c := range s.cores {
+		r.Instructions += c.Stats.Retired
+		r.CoreStats.Retired += c.Stats.Retired
+		r.CoreStats.Loads += c.Stats.Loads
+		r.CoreStats.Stores += c.Stats.Stores
+		r.CoreStats.Updates += c.Stats.Updates
+		r.CoreStats.Gathers += c.Stats.Gathers
+		r.CoreStats.Computes += c.Stats.Computes
+		r.CoreStats.ROBFullCycles += c.Stats.ROBFullCycles
+		r.CoreStats.OffloadStalls += c.Stats.OffloadStalls
+		r.CoreStats.MemStalls += c.Stats.MemStalls
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / float64(r.Cycles)
+	}
+	for _, l1 := range s.l1s {
+		r.Cache.Merge(l1.Stats)
+	}
+	for _, l2 := range s.l2s {
+		r.Cache.Merge(l2.Stats)
+	}
+	ncubes := s.cfg.HMCGeom.Cubes
+	r.UpdatesHeat = stats.NewHeatmap("update distribution", ncubes, 4)
+	r.OperandHeat = stats.NewHeatmap("operand distribution", ncubes, 4)
+	r.StallHeat = stats.NewHeatmap("operand buffer stalls", ncubes, 4)
+	for i, cube := range s.cubes {
+		r.VaultAcc += cube.Stats.VaultAccesses
+		r.OperandHeat.Add(i, cube.Stats.OperandServes)
+		if are := cube.ARE(); are != nil {
+			r.UpdatesHeat.Add(i, are.Stats.UpdatesCommitted)
+			r.OperandHeat.Add(i, are.Stats.VaultAccessesSent)
+			r.StallHeat.Add(i, are.Stats.OperandBufStalls)
+			r.Breakdown.Merge(are.Breakdown)
+			mergeEngineStats(&r.Engine, are.Stats)
+			if are.Flows.Peak > r.FlowPeak {
+				r.FlowPeak = are.Flows.Peak
+			}
+		}
+	}
+	if s.coord != nil {
+		r.Coord = s.coord.Stats
+	}
+	if s.memnet != nil {
+		r.Movement = s.memnet.Movement
+		r.NetHopByte = s.memnet.HopBytes
+	}
+	for _, d := range s.dramCtrls {
+		r.DRAMAcc += d.Banks.Stats.Reads + d.Banks.Stats.Writes
+		// Synthesize the equivalent request/response byte movement so Fig
+		// 5.4 can compare DRAM against the packetized schemes.
+		r.Movement.NormReq += d.Banks.Stats.Reads*network.MemReadReqBytes +
+			d.Banks.Stats.Writes*network.MemWriteReqBytes
+		r.Movement.NormResp += d.Banks.Stats.Reads*network.MemReadRespBytes +
+			d.Banks.Stats.Writes*network.MemWriteAckBytes
+	}
+	e := power.Energy(power.Inputs{
+		L1Accesses:   r.Cache.L1Accesses,
+		L2Accesses:   r.Cache.L2Accesses,
+		HMCAccesses:  r.VaultAcc,
+		DRAMAccesses: r.DRAMAcc,
+		NetHopBytes:  r.NetHopByte,
+		Cycles:       r.Cycles,
+	})
+	r.Energy = e
+	r.PowerW = power.Power(e, r.Cycles, 2)
+	r.EDP = power.EDP(e, r.Cycles, 2)
+	return r
+}
+
+func mergeEngineStats(dst *core.EngineStats, src core.EngineStats) {
+	dst.UpdatesCommitted += src.UpdatesCommitted
+	dst.UpdatesForwarded += src.UpdatesForwarded
+	dst.OperandReqsSent += src.OperandReqsSent
+	dst.OperandBufStalls += src.OperandBufStalls
+	dst.FlowTableStalls += src.FlowTableStalls
+	dst.InjectStalls += src.InjectStalls
+	dst.GatherReqs += src.GatherReqs
+	dst.GatherResps += src.GatherResps
+	dst.FlowsCompleted += src.FlowsCompleted
+	dst.SingleOpBypasses += src.SingleOpBypasses
+	dst.DecodedPackets += src.DecodedPackets
+	dst.VaultAccessesSent += src.VaultAccessesSent
+	if src.PeakOperandInUse > dst.PeakOperandInUse {
+		dst.PeakOperandInUse = src.PeakOperandInUse
+	}
+}
+
+// Engine exposes the simulation engine (tests and tooling).
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// Env exposes the workload environment (tests).
+func (s *System) Env() *workload.Env { return s.env }
+
+// Workload exposes the bound workload.
+func (s *System) Workload() workload.Workload { return s.wl }

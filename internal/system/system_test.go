@@ -1,0 +1,76 @@
+package system
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// runTiny builds and runs one tiny workload under one scheme, failing the
+// test on timeout or verification mismatch.
+func runTiny(t *testing.T, scheme Scheme, wl string) *Results {
+	t.Helper()
+	cfg := DefaultConfig(scheme)
+	cfg.MaxCycles = 20_000_000
+	sys, err := New(cfg, wl, workload.ScaleTiny)
+	if err != nil {
+		t.Fatalf("build %s/%s: %v", scheme, wl, err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("run %s/%s: %v", scheme, wl, err)
+	}
+	return res
+}
+
+func TestEverySchemeRunsReduce(t *testing.T) {
+	for _, s := range Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			res := runTiny(t, s, "reduce")
+			if res.Cycles == 0 || res.Instructions == 0 {
+				t.Fatalf("empty run: %+v", res)
+			}
+		})
+	}
+}
+
+func TestEverySchemeRunsMAC(t *testing.T) {
+	for _, s := range Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			res := runTiny(t, s, "mac")
+			if s.Active() && res.Coord.Updates == 0 {
+				t.Fatalf("active scheme issued no updates")
+			}
+			if s.Active() && res.Engine.UpdatesCommitted != res.Coord.Updates {
+				t.Fatalf("committed %d updates, offloaded %d",
+					res.Engine.UpdatesCommitted, res.Coord.Updates)
+			}
+		})
+	}
+}
+
+func TestAllWorkloadsBaselineHMC(t *testing.T) {
+	names := append(workload.Benchmarks(), workload.Microbenchmarks()...)
+	for _, wl := range names {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			runTiny(t, SchemeHMC, wl)
+		})
+	}
+}
+
+func TestAllWorkloadsActiveARFtid(t *testing.T) {
+	names := append(workload.Benchmarks(), workload.Microbenchmarks()...)
+	names = append(names, "lud_phase")
+	for _, wl := range names {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			res := runTiny(t, SchemeARFtid, wl)
+			if res.Coord.Updates+res.Coord.ActiveStores == 0 {
+				t.Fatalf("no offloads for %s", wl)
+			}
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Backprop is the neural-network training benchmark (§4.2.1, Rodinia): the
+// feed-forward pass aggregates input×weight products per hidden unit (the
+// optimized region), followed by an unoptimized weight-adjustment pass that
+// keeps normal data movement in the trace (the Fig 5.4 "other phases"
+// effect).
+type Backprop struct {
+	scale   Scale
+	threads int
+
+	env    *Env
+	nIn    int
+	nHid   int
+	in     F64Array
+	w      F64Array // row-major [nIn][nHid]
+	hid    F64Array // gathered pre-activation sums
+	out    F64Array // sigmoid(hid)
+	delta  F64Array // per-hidden-unit error used by the adjust pass
+	inv    []float64
+	wv     []float64
+	refSum []float64
+	refW   []float64
+}
+
+// NewBackprop builds the benchmark.
+func NewBackprop(scale Scale, threads int) *Backprop {
+	return &Backprop{scale: scale, threads: threads}
+}
+
+// Name implements Workload.
+func (b *Backprop) Name() string { return "backprop" }
+
+func (b *Backprop) sizes() (nIn, nHid int) {
+	switch b.scale {
+	case ScaleTiny:
+		return 64, 8
+	case ScaleMedium:
+		return 2048, 96
+	default:
+		return 1024, 48
+	}
+}
+
+// Init implements Workload.
+func (b *Backprop) Init(env *Env) {
+	b.env = env
+	b.nIn, b.nHid = b.sizes()
+	b.in = NewF64Array(env, b.nIn)
+	b.w = NewF64Array(env, b.nIn*b.nHid)
+	b.hid = NewF64Array(env, b.nHid)
+	b.out = NewF64Array(env, b.nHid)
+	b.delta = NewF64Array(env, b.nHid)
+	b.inv = make([]float64, b.nIn)
+	b.wv = make([]float64, b.nIn*b.nHid)
+	for i := range b.inv {
+		b.inv[i] = env.Rand.Float64()
+		b.in.Set(i, b.inv[i])
+	}
+	for i := range b.wv {
+		b.wv[i] = env.Rand.Float64()*0.2 - 0.1
+		b.w.Set(i, b.wv[i])
+	}
+	b.refSum = make([]float64, b.nHid)
+	for j := 0; j < b.nHid; j++ {
+		var acc float64
+		for i := 0; i < b.nIn; i++ {
+			acc += b.inv[i] * b.wv[i*b.nHid+j]
+		}
+		b.refSum[j] = acc
+		b.hid.Set(j, 0)
+		b.out.Set(j, 0)
+		b.delta.Set(j, sigmoid(acc)*(1-sigmoid(acc)))
+	}
+	// Reference weight adjustment: w += eta * delta[j] * in[i].
+	const eta = 0.3
+	b.refW = make([]float64, len(b.wv))
+	for i := 0; i < b.nIn; i++ {
+		for j := 0; j < b.nHid; j++ {
+			d := sigmoid(b.refSum[j]) * (1 - sigmoid(b.refSum[j]))
+			b.refW[i*b.nHid+j] = b.wv[i*b.nHid+j] + eta*d*b.inv[i]
+		}
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Streams implements Workload: hidden units are partitioned over threads.
+func (b *Backprop) Streams(mode Mode) []isa.Stream {
+	const eta = 0.3
+	traces := make([]*Trace, b.env.Threads)
+	for tid := range traces {
+		t := &Trace{}
+		lo, hi := span(b.nHid, b.env.Threads, tid)
+		// Feed-forward aggregation (region of interest). The active variant
+		// issues every hidden unit's updates first, overlapping the flows,
+		// then fences with the gathers before the activations read the
+		// aggregated sums.
+		if mode == ModeBaseline {
+			for j := lo; j < hi; j++ {
+				acc := 0.0
+				for i := 0; i < b.nIn; i++ {
+					t.Int()
+					t.Ld(b.in.At(i))
+					t.Ld(b.w.At(i*b.nHid + j))
+					t.FPMul()
+					t.FP()
+					acc += b.inv[i] * b.wv[i*b.nHid+j]
+				}
+				t.St(b.hid.At(j), acc)
+			}
+		} else {
+			for j := lo; j < hi; j++ {
+				for i := 0; i < b.nIn; i++ {
+					t.Int()
+					t.Update(b.in.At(i), b.w.At(i*b.nHid+j), b.hid.At(j), isa.OpMac)
+				}
+			}
+			for j := lo; j < hi; j++ {
+				t.Gather(b.hid.At(j), 1)
+			}
+		}
+		// Activation on the host (both modes): sigmoid into out[j].
+		for j := lo; j < hi; j++ {
+			t.Ld(b.hid.At(j))
+			t.FPMul()
+			t.FP()
+			t.St(b.out.At(j), sigmoid(b.refSum[j]))
+		}
+		t.Barrier()
+		// Weight adjustment (unoptimized in both modes, §4.2.1): threads
+		// take row bands and walk the weight matrix row-major, the way the
+		// Rodinia kernel parallelizes this phase.
+		rlo, rhi := span(b.nIn, b.env.Threads, tid)
+		for i := rlo; i < rhi; i++ {
+			t.Ld(b.in.At(i))
+			for j := 0; j < b.nHid; j++ {
+				d := sigmoid(b.refSum[j]) * (1 - sigmoid(b.refSum[j]))
+				t.Int()
+				t.Ld(b.delta.At(j))
+				t.Ld(b.w.At(i*b.nHid + j))
+				t.FPMul()
+				t.FP()
+				t.St(b.w.At(i*b.nHid+j), b.wv[i*b.nHid+j]+eta*d*b.inv[i])
+			}
+		}
+		traces[tid] = t
+	}
+	return streamsOf(traces)
+}
+
+// Verify implements Workload.
+func (b *Backprop) Verify() error {
+	for j := 0; j < b.nHid; j++ {
+		if err := checkClose(fmt.Sprintf("backprop hid[%d]", j), b.hid.Get(j), b.refSum[j]); err != nil {
+			return err
+		}
+		if err := checkClose(fmt.Sprintf("backprop out[%d]", j), b.out.Get(j), sigmoid(b.refSum[j])); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < b.nIn*b.nHid; i++ {
+		if err := checkClose(fmt.Sprintf("backprop w[%d]", i), b.w.Get(i), b.refW[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

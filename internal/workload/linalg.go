@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// SGEMM is the dense matrix multiplication benchmark (§4.2.1): C = A×B with
+// one Active-Routing flow per output element, the multiply-accumulate
+// pattern the thesis motivates for BLAS/NNPACK.
+type SGEMM struct {
+	scale   Scale
+	threads int
+
+	env  *Env
+	n    int
+	a, b F64Array // row-major n×n
+	c    F64Array
+	av   []float64
+	bv   []float64
+	ref  []float64
+}
+
+// NewSGEMM builds the benchmark.
+func NewSGEMM(scale Scale, threads int) *SGEMM {
+	return &SGEMM{scale: scale, threads: threads}
+}
+
+// Name implements Workload.
+func (s *SGEMM) Name() string { return "sgemm" }
+
+func (s *SGEMM) size() int {
+	switch s.scale {
+	case ScaleTiny:
+		return 12
+	case ScaleMedium:
+		return 96
+	default:
+		return 64
+	}
+}
+
+// Init implements Workload.
+func (s *SGEMM) Init(env *Env) {
+	s.env = env
+	s.n = s.size()
+	n := s.n
+	s.a = NewF64Array(env, n*n)
+	s.b = NewF64Array(env, n*n)
+	s.c = NewF64Array(env, n*n)
+	s.av = make([]float64, n*n)
+	s.bv = make([]float64, n*n)
+	for i := range s.av {
+		s.av[i] = env.Rand.Float64()*2 - 1
+		s.bv[i] = env.Rand.Float64()*2 - 1
+		s.a.Set(i, s.av[i])
+		s.b.Set(i, s.bv[i])
+		s.c.Set(i, 0)
+	}
+	s.ref = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += s.av[i*n+k] * s.bv[k*n+j]
+			}
+			s.ref[i*n+j] = acc
+		}
+	}
+}
+
+// gatherBatch is the number of flows a thread keeps in flight before
+// fencing with their Gathers. Independent output elements overlap their
+// trees this way (the massive-concurrency regime the thesis evaluates);
+// the bound keeps system-wide concurrent flows (16 threads x 8) safely
+// below the per-cube flow table capacity so exhaustion cannot deadlock
+// the decoder.
+const gatherBatch = 8
+
+// Streams implements Workload: rows are partitioned over threads; the
+// active variant makes each C[i][j] one flow of n two-operand updates,
+// with gathers batched gatherBatch flows at a time.
+func (s *SGEMM) Streams(mode Mode) []isa.Stream {
+	n := s.n
+	traces := make([]*Trace, s.env.Threads)
+	for tid := range traces {
+		t := &Trace{}
+		lo, hi := span(n, s.env.Threads, tid)
+		pendingGathers := 0
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				switch mode {
+				case ModeBaseline:
+					acc := 0.0
+					for k := 0; k < n; k++ {
+						t.Int()
+						t.Ld(s.a.At(i*n + k))
+						t.Ld(s.b.At(k*n + j))
+						t.FPMul()
+						t.FP()
+						acc += s.av[i*n+k] * s.bv[k*n+j]
+					}
+					t.St(s.c.At(i*n+j), acc)
+				default:
+					for k := 0; k < n; k++ {
+						t.Int()
+						t.Update(s.a.At(i*n+k), s.b.At(k*n+j), s.c.At(i*n+j), isa.OpMac)
+					}
+					pendingGathers++
+					if pendingGathers == gatherBatch {
+						s.fenceBatch(t, i, j, pendingGathers)
+						pendingGathers = 0
+					}
+				}
+			}
+		}
+		if pendingGathers > 0 {
+			hi2 := hi - 1
+			s.fenceBatch(t, hi2, n-1, pendingGathers)
+		}
+		traces[tid] = t
+	}
+	return streamsOf(traces)
+}
+
+// fenceBatch emits the deferred Gathers for the batch ending at element
+// (i, j), walking backwards over the row-major order.
+func (s *SGEMM) fenceBatch(t *Trace, i, j, count int) {
+	n := s.n
+	idx := i*n + j
+	for k := count - 1; k >= 0; k-- {
+		t.Gather(s.c.At(idx-k), 1)
+	}
+}
+
+// Verify implements Workload.
+func (s *SGEMM) Verify() error {
+	for i := 0; i < s.n*s.n; i++ {
+		if err := checkClose(fmt.Sprintf("sgemm C[%d]", i), s.c.Get(i), s.ref[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpMV is the sparse matrix-vector multiplication benchmark (§4.2.1): CSR
+// y = A·x with 0.7 sparsity. The column-index loads stay on the host in
+// the active variant (the address of x[col[k]] must be computed before the
+// Update can be offloaded), reproducing the paper's observation that spmv's
+// irregular operand spread limits its EDP win.
+type SpMV struct {
+	scale   Scale
+	threads int
+
+	env    *Env
+	n      int
+	rowptr []int
+	colIdx []int
+	vals   F64Array
+	cols   F64Array // column indices stored as f64 words (loaded by host)
+	x      F64Array
+	y      F64Array
+	valv   []float64
+	xv     []float64
+	ref    []float64
+}
+
+// NewSpMV builds the benchmark.
+func NewSpMV(scale Scale, threads int) *SpMV {
+	return &SpMV{scale: scale, threads: threads}
+}
+
+// Name implements Workload.
+func (s *SpMV) Name() string { return "spmv" }
+
+func (s *SpMV) size() int {
+	switch s.scale {
+	case ScaleTiny:
+		return 32
+	case ScaleMedium:
+		return 512
+	default:
+		return 256
+	}
+}
+
+// Init implements Workload: a uniformly sparse matrix with 30% density
+// ("0.7 sparsity" in §4.2.1).
+func (s *SpMV) Init(env *Env) {
+	s.env = env
+	s.n = s.size()
+	n := s.n
+	s.rowptr = make([]int, n+1)
+	s.colIdx = s.colIdx[:0]
+	s.valv = s.valv[:0]
+	for i := 0; i < n; i++ {
+		s.rowptr[i] = len(s.colIdx)
+		for j := 0; j < n; j++ {
+			if env.Rand.Float64() < 0.3 {
+				s.colIdx = append(s.colIdx, j)
+				s.valv = append(s.valv, env.Rand.Float64()*2-1)
+			}
+		}
+	}
+	s.rowptr[n] = len(s.colIdx)
+	nnz := len(s.colIdx)
+	s.vals = NewF64Array(env, nnz)
+	s.cols = NewF64Array(env, nnz)
+	s.x = NewF64Array(env, n)
+	s.y = NewF64Array(env, n)
+	s.xv = make([]float64, n)
+	for k := 0; k < nnz; k++ {
+		s.vals.Set(k, s.valv[k])
+		s.cols.Set(k, float64(s.colIdx[k]))
+	}
+	for i := 0; i < n; i++ {
+		s.xv[i] = env.Rand.Float64()*2 - 1
+		s.x.Set(i, s.xv[i])
+		s.y.Set(i, 0)
+	}
+	s.ref = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for k := s.rowptr[i]; k < s.rowptr[i+1]; k++ {
+			acc += s.valv[k] * s.xv[s.colIdx[k]]
+		}
+		s.ref[i] = acc
+	}
+}
+
+// Streams implements Workload.
+func (s *SpMV) Streams(mode Mode) []isa.Stream {
+	traces := make([]*Trace, s.env.Threads)
+	for tid := range traces {
+		t := &Trace{}
+		lo, hi := span(s.n, s.env.Threads, tid)
+		var pend []int // rows with deferred gathers
+		for i := lo; i < hi; i++ {
+			switch mode {
+			case ModeBaseline:
+				acc := 0.0
+				for k := s.rowptr[i]; k < s.rowptr[i+1]; k++ {
+					t.Int()
+					t.Ld(s.cols.At(k))
+					t.Ld(s.vals.At(k))
+					t.Ld(s.x.At(s.colIdx[k]))
+					t.FPMul()
+					t.FP()
+					acc += s.valv[k] * s.xv[s.colIdx[k]]
+				}
+				t.St(s.y.At(i), acc)
+			default:
+				for k := s.rowptr[i]; k < s.rowptr[i+1]; k++ {
+					// The column index is loaded on the host to form the
+					// x[col[k]] operand address.
+					t.Ld(s.cols.At(k))
+					t.Int()
+					t.Update(s.vals.At(k), s.x.At(s.colIdx[k]), s.y.At(i), isa.OpMac)
+				}
+				if s.rowptr[i] != s.rowptr[i+1] {
+					pend = append(pend, i)
+				}
+				if len(pend) == gatherBatch {
+					for _, r := range pend {
+						t.Gather(s.y.At(r), 1)
+					}
+					pend = pend[:0]
+				}
+			}
+		}
+		for _, r := range pend {
+			t.Gather(s.y.At(r), 1)
+		}
+		traces[tid] = t
+	}
+	return streamsOf(traces)
+}
+
+// Verify implements Workload.
+func (s *SpMV) Verify() error {
+	for i := 0; i < s.n; i++ {
+		if err := checkClose(fmt.Sprintf("spmv y[%d]", i), s.y.Get(i), s.ref[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

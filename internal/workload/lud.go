@@ -1,0 +1,381 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// LUD is the LU decomposition benchmark (§4.2.1, Rodinia): blocked
+// right-looking LU without pivoting. Each step factorizes the diagonal
+// block and updates the perimeter blocks on the host, then updates the
+// trailing internal submatrix — dot products of perimeter rows and columns
+// — which is the Active-Routing region of interest: one flow of
+// block-length multiply-subtract updates per internal element.
+type LUD struct {
+	scale   Scale
+	threads int
+
+	env *Env
+	n   int
+	bs  int
+	a   F64Array
+	av  []float64 // generator mirror, factorized in place
+	ref []float64
+}
+
+// NewLUD builds the benchmark.
+func NewLUD(scale Scale, threads int) *LUD {
+	return &LUD{scale: scale, threads: threads}
+}
+
+// Name implements Workload.
+func (l *LUD) Name() string { return "lud" }
+
+func (l *LUD) sizes() (n, bs int) {
+	switch l.scale {
+	case ScaleTiny:
+		return 16, 8
+	case ScaleMedium:
+		return 128, 32
+	default:
+		return 96, 32
+	}
+}
+
+// Init implements Workload: a diagonally dominant matrix keeps the
+// factorization stable without pivoting.
+func (l *LUD) Init(env *Env) {
+	l.env = env
+	l.n, l.bs = l.sizes()
+	n := l.n
+	l.a = NewF64Array(env, n*n)
+	l.av = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := env.Rand.Float64()*2 - 1
+			if i == j {
+				v += float64(n)
+			}
+			l.av[i*n+j] = v
+			l.a.Set(i*n+j, v)
+		}
+	}
+	// Reference factorization (plain right-looking LU, in place).
+	l.ref = append([]float64(nil), l.av...)
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			l.ref[i*n+k] /= l.ref[k*n+k]
+			for j := k + 1; j < n; j++ {
+				l.ref[i*n+j] -= l.ref[i*n+k] * l.ref[k*n+j]
+			}
+		}
+	}
+}
+
+// Streams implements Workload. The generator factorizes its mirror step by
+// step in the deterministic order the barriers enforce, so store values and
+// the in-network results agree with the reference.
+func (l *LUD) Streams(mode Mode) []isa.Stream {
+	n, bs := l.n, l.bs
+	steps := n / bs
+	a := append([]float64(nil), l.av...)
+	traces := make([]*Trace, l.env.Threads)
+	for i := range traces {
+		traces[i] = &Trace{}
+	}
+	at := func(i, j int) mem.VAddr { return l.a.At(i*n + j) }
+
+	for s := 0; s < steps; s++ {
+		d := s * bs // diagonal block origin
+		// Phase 1 (thread 0, host in all modes): factorize the diagonal
+		// block in place.
+		t0 := traces[0]
+		for k := d; k < d+bs; k++ {
+			t0.Ld(at(k, k))
+			for i := k + 1; i < d+bs; i++ {
+				a[i*n+k] /= a[k*n+k]
+				t0.Ld(at(i, k))
+				t0.FPMul()
+				t0.St(at(i, k), a[i*n+k])
+				for j := k + 1; j < d+bs; j++ {
+					a[i*n+j] -= a[i*n+k] * a[k*n+j]
+					t0.Ld(at(k, j))
+					t0.FPMul()
+					t0.FP()
+					t0.St(at(i, j), a[i*n+j])
+				}
+			}
+		}
+		for _, t := range traces {
+			t.Barrier()
+		}
+		if d+bs >= n {
+			break
+		}
+		// Phase 2 (host in all modes): perimeter row and column blocks.
+		// Row blocks: A[d:d+bs, d+bs:] gets L^-1 applied; column blocks:
+		// A[d+bs:, d:d+bs] gets U^-1 applied. Columns are partitioned over
+		// threads.
+		rest := n - d - bs
+		for tid := 0; tid < l.env.Threads; tid++ {
+			t := traces[tid]
+			lo, hi := span(rest, l.env.Threads, tid)
+			for c := lo; c < hi; c++ {
+				// Row perimeter: column j of A[d:d+bs, d+bs:] gets L^-1.
+				j := d + bs + c
+				for k := d; k < d+bs; k++ {
+					for i := k + 1; i < d+bs; i++ {
+						a[i*n+j] -= a[i*n+k] * a[k*n+j]
+						t.Ld(at(i, k))
+						t.Ld(at(k, j))
+						t.FPMul()
+						t.FP()
+					}
+				}
+				for i := d; i < d+bs; i++ {
+					t.St(at(i, j), a[i*n+j])
+				}
+				// Column perimeter: row i of A[d+bs:, d:d+bs] gets U^-1.
+				i := d + bs + c
+				for k := d; k < d+bs; k++ {
+					a[i*n+k] /= a[k*n+k]
+					t.Ld(at(i, k))
+					t.Ld(at(k, k))
+					t.FPMul()
+					for kk := k + 1; kk < d+bs; kk++ {
+						a[i*n+kk] -= a[i*n+k] * a[k*n+kk]
+						t.Ld(at(k, kk))
+						t.FPMul()
+						t.FP()
+					}
+				}
+				for k := d; k < d+bs; k++ {
+					t.St(at(i, k), a[i*n+k])
+				}
+			}
+		}
+		for _, t := range traces {
+			t.Barrier()
+		}
+		// Phase 3 (region of interest): trailing submatrix update,
+		// A[i][j] -= sum_k A[i][k]*A[k][j] over the bs-wide band.
+		cells := rest * rest
+		for tid := 0; tid < l.env.Threads; tid++ {
+			t := traces[tid]
+			lo, hi := span(cells, l.env.Threads, tid)
+			var pend []int // cells with deferred gathers (batched fences)
+			flush := func() {
+				for _, pc := range pend {
+					t.Gather(at(d+bs+pc/rest, d+bs+pc%rest), 1)
+				}
+				pend = pend[:0]
+			}
+			for c := lo; c < hi; c++ {
+				i := d + bs + c/rest
+				j := d + bs + c%rest
+				switch mode {
+				case ModeBaseline:
+					acc := a[i*n+j]
+					for k := d; k < d+bs; k++ {
+						t.Int()
+						t.Ld(at(i, k))
+						t.Ld(at(k, j))
+						t.FPMul()
+						t.FP()
+						acc -= a[i*n+k] * a[k*n+j]
+					}
+					t.St(at(i, j), acc)
+				default:
+					for k := d; k < d+bs; k++ {
+						t.Int()
+						t.Update(at(i, k), at(k, j), at(i, j), isa.OpMacSub)
+					}
+					pend = append(pend, c)
+					if len(pend) == gatherBatch {
+						flush()
+					}
+				}
+			}
+			flush()
+		}
+		// Mirror the phase-3 arithmetic for the next step's generator state.
+		for c := 0; c < cells; c++ {
+			i := d + bs + c/rest
+			j := d + bs + c%rest
+			for k := d; k < d+bs; k++ {
+				a[i*n+j] -= a[i*n+k] * a[k*n+j]
+			}
+		}
+		for _, t := range traces {
+			t.Barrier()
+		}
+	}
+	return streamsOf(traces)
+}
+
+// Verify implements Workload.
+func (l *LUD) Verify() error {
+	for i := 0; i < l.n*l.n; i++ {
+		if err := checkClose(fmt.Sprintf("lud A[%d]", i), l.a.Get(i), l.ref[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LUDPhase is the §5.4 dynamic-offloading case study: per-thread Doolittle
+// LU factorizations (a batched-LU kernel; see DESIGN.md for why the phase
+// behaviour matches the thesis's lud analysis). Updates per flow equal
+// min(i, j) and grow as the factorization proceeds, so early flows favour
+// the host's cache locality and later flows favour Active-Routing — the
+// crossover Fig 5.8 plots. ModeAdaptive applies the thesis threshold
+// CACHE_BLK/stride1 + CACHE_BLK/stride2 per flow.
+type LUDPhase struct {
+	scale   Scale
+	threads int
+
+	env  *Env
+	n    int // per-thread matrix dimension
+	mats []F64Array
+	refs [][]float64
+
+	// Threshold for ModeAdaptive, from the §5.4 formula.
+	Threshold int
+}
+
+// NewLUDPhase builds the case-study workload.
+func NewLUDPhase(scale Scale, threads int) *LUDPhase {
+	return &LUDPhase{scale: scale, threads: threads}
+}
+
+// Name implements Workload.
+func (l *LUDPhase) Name() string { return "lud_phase" }
+
+func (l *LUDPhase) size() int {
+	switch l.scale {
+	case ScaleTiny:
+		return 12
+	case ScaleMedium:
+		return 64
+	default:
+		return 40
+	}
+}
+
+// Init implements Workload.
+func (l *LUDPhase) Init(env *Env) {
+	l.env = env
+	l.n = l.size()
+	n := l.n
+	// §5.4: threshold = CACHE_BLK/stride1 + CACHE_BLK/stride2. Operand 1
+	// walks a row (stride 8 B), operand 2 walks a column (stride 8n B,
+	// beyond a block, contributing its minimum of one element).
+	l.Threshold = mem.BlockSize/mem.WordSize + 1
+	l.mats = make([]F64Array, env.Threads)
+	l.refs = make([][]float64, env.Threads)
+	for t := 0; t < env.Threads; t++ {
+		m := NewF64Array(env, n*n)
+		vals := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := env.Rand.Float64()*2 - 1
+				if i == j {
+					v += float64(n)
+				}
+				vals[i*n+j] = v
+				m.Set(i*n+j, v)
+			}
+		}
+		ref := append([]float64(nil), vals...)
+		for k := 0; k < n; k++ {
+			for i := k + 1; i < n; i++ {
+				ref[i*n+k] /= ref[k*n+k]
+				for j := k + 1; j < n; j++ {
+					ref[i*n+j] -= ref[i*n+k] * ref[k*n+j]
+				}
+			}
+		}
+		l.mats[t] = m
+		l.refs[t] = ref
+	}
+}
+
+// Streams implements Workload: Doolittle (row-by-row) factorization; each
+// element (i, j) is one flow of min(i, j) multiply-subtract updates.
+func (l *LUDPhase) Streams(mode Mode) []isa.Stream {
+	n := l.n
+	traces := make([]*Trace, l.env.Threads)
+	for tid := range traces {
+		t := &Trace{}
+		m := l.mats[tid]
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = m.Get(i)
+		}
+		at := func(i, j int) mem.VAddr { return m.At(i*n + j) }
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				depth := i
+				if j < i {
+					depth = j
+				}
+				useHost := mode == ModeBaseline || (mode == ModeAdaptive && depth <= l.Threshold)
+				acc := a[i*n+j]
+				if useHost {
+					for k := 0; k < depth; k++ {
+						t.Int()
+						t.Ld(at(i, k))
+						t.Ld(at(k, j))
+						t.FPMul()
+						t.FP()
+						acc -= a[i*n+k] * a[k*n+j]
+					}
+				} else {
+					for k := 0; k < depth; k++ {
+						t.Int()
+						t.Update(at(i, k), at(k, j), at(i, j), isa.OpMacSub)
+					}
+					if depth > 0 {
+						t.Gather(at(i, j), 1)
+					}
+					for k := 0; k < depth; k++ {
+						acc -= a[i*n+k] * a[k*n+j]
+					}
+				}
+				if j < i {
+					// L element: divide by the pivot.
+					acc /= a[j*n+j]
+					if !useHost && depth > 0 {
+						t.Ld(at(i, j))
+					}
+					t.Ld(at(j, j))
+					t.FPMul()
+					t.St(at(i, j), acc)
+				} else if useHost {
+					t.St(at(i, j), acc)
+				} else if depth > 0 {
+					// U element: the gather write-back already produced it.
+				} else {
+					t.St(at(i, j), acc)
+				}
+				a[i*n+j] = acc
+			}
+		}
+		traces[tid] = t
+	}
+	return streamsOf(traces)
+}
+
+// Verify implements Workload.
+func (l *LUDPhase) Verify() error {
+	for tid := range l.mats {
+		for i := 0; i < l.n*l.n; i++ {
+			if err := checkClose(fmt.Sprintf("lud_phase t%d A[%d]", tid, i), l.mats[tid].Get(i), l.refs[tid][i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

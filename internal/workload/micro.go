@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Reduce is the reduce / rand_reduce microbenchmark (§4.2.2): the parallel
+// sum of a large array, sequential or random access order. It is the
+// single-operand reduction that exercises the ARE's operand-buffer bypass
+// (§3.2.3).
+type Reduce struct {
+	scale   Scale
+	threads int
+	random  bool
+
+	env  *Env
+	n    int
+	a    F64Array
+	sum  F64Array // one-element reduction target
+	vals []float64
+	ref  float64
+}
+
+// NewReduce builds the benchmark; random selects rand_reduce.
+func NewReduce(scale Scale, threads int, random bool) *Reduce {
+	return &Reduce{scale: scale, threads: threads, random: random}
+}
+
+// Name implements Workload.
+func (r *Reduce) Name() string {
+	if r.random {
+		return "rand_reduce"
+	}
+	return "reduce"
+}
+
+func (r *Reduce) size() int {
+	switch r.scale {
+	case ScaleTiny:
+		return 512
+	case ScaleMedium:
+		return 1 << 17
+	default:
+		return 1 << 14
+	}
+}
+
+// Init implements Workload.
+func (r *Reduce) Init(env *Env) {
+	r.env = env
+	r.n = r.size()
+	r.a = NewF64Array(env, r.n)
+	r.sum = NewF64Array(env, 1)
+	r.vals = make([]float64, r.n)
+	r.ref = 0
+	for i := 0; i < r.n; i++ {
+		v := env.Rand.Float64()*2 - 1
+		r.vals[i] = v
+		r.a.Set(i, v)
+		r.ref += v
+	}
+	r.sum.Set(0, 0)
+}
+
+// order returns the element visit order for thread tid.
+func (r *Reduce) order(tid int) []int {
+	lo, hi := span(r.n, r.env.Threads, tid)
+	idx := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		idx = append(idx, i)
+	}
+	if r.random {
+		rng := sim.NewRand(uint64(tid)*0x9E37 + 11)
+		for i := len(idx) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+	}
+	return idx
+}
+
+// Streams implements Workload.
+func (r *Reduce) Streams(mode Mode) []isa.Stream {
+	traces := make([]*Trace, r.env.Threads)
+	for tid := range traces {
+		t := &Trace{}
+		idx := r.order(tid)
+		switch mode {
+		case ModeBaseline:
+			part := 0.0
+			for _, i := range idx {
+				t.Int() // index/address arithmetic
+				t.Ld(r.a.At(i))
+				t.FP()
+				part += r.vals[i]
+			}
+			t.AtomicAdd(r.sum.At(0), part)
+		default:
+			for _, i := range idx {
+				t.Int()
+				t.Update(r.a.At(i), 0, r.sum.At(0), isa.OpAdd)
+			}
+			t.Gather(r.sum.At(0), r.env.Threads)
+		}
+		traces[tid] = t
+	}
+	return streamsOf(traces)
+}
+
+// Verify implements Workload.
+func (r *Reduce) Verify() error {
+	return checkClose(r.Name()+" sum", r.sum.Get(0), r.ref)
+}
+
+// MAC is the mac / rand_mac microbenchmark (§4.2.2): multiply-accumulate
+// over two large vectors, the two-operand flow of the walking-through
+// example (Fig 3.6).
+type MAC struct {
+	scale   Scale
+	threads int
+	random  bool
+	// vecWidth > 1 offloads vectored updates covering vecWidth
+	// consecutive element pairs per packet (the §6 offload-granularity
+	// extension). Only the sequential variant vectorizes.
+	vecWidth int
+
+	env   *Env
+	n     int
+	a, b  F64Array
+	sum   F64Array
+	av    []float64
+	bv    []float64
+	ref   float64
+	pairs [][2]int // per access: (a index, b index)
+}
+
+// NewMAC builds the benchmark; random selects rand_mac.
+func NewMAC(scale Scale, threads int, random bool) *MAC {
+	return &MAC{scale: scale, threads: threads, random: random, vecWidth: 1}
+}
+
+// NewMACVec builds the vectored-offload variant (mac_vec): width element
+// pairs per Update packet.
+func NewMACVec(scale Scale, threads, width int) *MAC {
+	return &MAC{scale: scale, threads: threads, vecWidth: width}
+}
+
+// Name implements Workload.
+func (m *MAC) Name() string {
+	switch {
+	case m.random:
+		return "rand_mac"
+	case m.vecWidth > 1:
+		return "mac_vec"
+	}
+	return "mac"
+}
+
+func (m *MAC) size() int {
+	switch m.scale {
+	case ScaleTiny:
+		return 512
+	case ScaleMedium:
+		return 1 << 17
+	default:
+		return 1 << 14
+	}
+}
+
+// Init implements Workload.
+func (m *MAC) Init(env *Env) {
+	m.env = env
+	m.n = m.size()
+	m.a = NewF64Array(env, m.n)
+	m.b = NewF64Array(env, m.n)
+	m.sum = NewF64Array(env, 1)
+	m.av = make([]float64, m.n)
+	m.bv = make([]float64, m.n)
+	m.pairs = make([][2]int, m.n)
+	for i := 0; i < m.n; i++ {
+		m.av[i] = env.Rand.Float64()
+		m.bv[i] = env.Rand.Float64()*2 - 1
+		m.a.Set(i, m.av[i])
+		m.b.Set(i, m.bv[i])
+	}
+	// Access pattern: sequential pairs, or random elements within the
+	// thread's own segments for rand_mac (§4.2.2).
+	for tid := 0; tid < env.Threads; tid++ {
+		lo, hi := span(m.n, env.Threads, tid)
+		rng := sim.NewRand(uint64(tid)*0xA5A5 + 77)
+		for i := lo; i < hi; i++ {
+			if m.random && hi > lo {
+				m.pairs[i] = [2]int{lo + rng.Intn(hi-lo), lo + rng.Intn(hi-lo)}
+			} else {
+				m.pairs[i] = [2]int{i, i}
+			}
+		}
+	}
+	m.ref = 0
+	for _, p := range m.pairs {
+		m.ref += m.av[p[0]] * m.bv[p[1]]
+	}
+	m.sum.Set(0, 0)
+}
+
+// Streams implements Workload.
+func (m *MAC) Streams(mode Mode) []isa.Stream {
+	traces := make([]*Trace, m.env.Threads)
+	for tid := range traces {
+		t := &Trace{}
+		lo, hi := span(m.n, m.env.Threads, tid)
+		switch mode {
+		case ModeBaseline:
+			part := 0.0
+			for i := lo; i < hi; i++ {
+				p := m.pairs[i]
+				t.Int()
+				t.Ld(m.a.At(p[0]))
+				t.Ld(m.b.At(p[1]))
+				t.FPMul()
+				t.FP()
+				part += m.av[p[0]] * m.bv[p[1]]
+			}
+			t.AtomicAdd(m.sum.At(0), part)
+		default:
+			if m.vecWidth > 1 {
+				for i := lo; i < hi; i += m.vecWidth {
+					w := m.vecWidth
+					if i+w > hi {
+						w = hi - i
+					}
+					t.Int()
+					t.UpdateVec(m.a.At(i), m.b.At(i), m.sum.At(0), isa.OpMac, w)
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					p := m.pairs[i]
+					t.Int()
+					t.Update(m.a.At(p[0]), m.b.At(p[1]), m.sum.At(0), isa.OpMac)
+				}
+			}
+			t.Gather(m.sum.At(0), m.env.Threads)
+		}
+		traces[tid] = t
+	}
+	return streamsOf(traces)
+}
+
+// Verify implements Workload.
+func (m *MAC) Verify() error {
+	if err := checkClose(m.Name()+" sum", m.sum.Get(0), m.ref); err != nil {
+		return fmt.Errorf("%w (n=%d)", err, m.n)
+	}
+	return nil
+}

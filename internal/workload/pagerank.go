@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"repro/internal/isa"
+)
+
+// PageRank is the graph analytics benchmark (§4.2.1, CRONO): one iteration
+// of rank propagation over a synthetic power-law graph (substituting the
+// web-Google input, DESIGN.md), followed by the Fig 3.2 score-difference
+// loop, which is the Active-Routing region of interest.
+//
+// Divergence from the Fig 3.2 listing, documented in DESIGN.md: the active
+// variant issues the abs-diff Updates and their Gather first, then the
+// mov/const_assign active stores. The thesis interleaves all three per
+// vertex, which races the in-network reads of pagerank/next_pagerank
+// against their overwrites; splitting the loop preserves the exact
+// semantics (the Gather is a fence) while issuing the same operations.
+type PageRank struct {
+	scale   Scale
+	threads int
+
+	env     *Env
+	nv      int
+	off     []int // CSR in-edge offsets
+	edges   []int
+	pr      F64Array
+	nextPr  F64Array
+	diff    F64Array
+	edgeArr F64Array // edge endpoints, loaded by the host
+	prv     []float64
+	nextv   []float64
+	refDiff float64
+}
+
+// NewPageRank builds the benchmark.
+func NewPageRank(scale Scale, threads int) *PageRank {
+	return &PageRank{scale: scale, threads: threads}
+}
+
+// Name implements Workload.
+func (p *PageRank) Name() string { return "pagerank" }
+
+func (p *PageRank) size() int {
+	switch p.scale {
+	case ScaleTiny:
+		return 64
+	case ScaleMedium:
+		return 8192
+	default:
+		return 4096
+	}
+}
+
+// Init implements Workload: a preferential-attachment graph gives the
+// power-law in-degree distribution of web graphs.
+func (p *PageRank) Init(env *Env) {
+	p.env = env
+	p.nv = p.size()
+	nv := p.nv
+	const mEdges = 4
+	targets := []int{0}
+	ins := make([][]int, nv)
+	for v := 1; v < nv; v++ {
+		for e := 0; e < mEdges; e++ {
+			u := targets[env.Rand.Intn(len(targets))]
+			if u == v {
+				u = (v + 1) % nv
+			}
+			ins[v] = append(ins[v], u)
+			targets = append(targets, u)
+		}
+		targets = append(targets, v)
+	}
+	p.off = make([]int, nv+1)
+	p.edges = p.edges[:0]
+	for v := 0; v < nv; v++ {
+		p.off[v] = len(p.edges)
+		p.edges = append(p.edges, ins[v]...)
+	}
+	p.off[nv] = len(p.edges)
+
+	p.pr = NewF64Array(env, nv)
+	p.nextPr = NewF64Array(env, nv)
+	p.diff = NewF64Array(env, 1)
+	p.edgeArr = NewF64Array(env, len(p.edges))
+	p.prv = make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		p.prv[v] = 1 / float64(nv)
+		p.pr.Set(v, p.prv[v])
+		p.nextPr.Set(v, 0)
+	}
+	for e, u := range p.edges {
+		p.edgeArr.Set(e, float64(u))
+	}
+	p.diff.Set(0, 0)
+
+	// Reference: one propagation step then the diff loop.
+	outDeg := make([]float64, nv)
+	for _, u := range p.edges {
+		outDeg[u]++
+	}
+	p.nextv = make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		var acc float64
+		for _, u := range p.edges[p.off[v]:p.off[v+1]] {
+			acc += p.prv[u] / maxf(outDeg[u], 1)
+		}
+		p.nextv[v] = 0.15/float64(nv) + 0.85*acc
+	}
+	p.refDiff = 0
+	for v := 0; v < nv; v++ {
+		p.refDiff += absf(p.nextv[v] - p.prv[v])
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Streams implements Workload.
+func (p *PageRank) Streams(mode Mode) []isa.Stream {
+	nv := p.nv
+	traces := make([]*Trace, p.env.Threads)
+	for tid := range traces {
+		t := &Trace{}
+		lo, hi := span(nv, p.env.Threads, tid)
+		// Phase A (both modes, unoptimized): pull-based rank propagation.
+		// Irregular reads of neighbours' scores dominate.
+		for v := lo; v < hi; v++ {
+			acc := 0.0
+			for e := p.off[v]; e < p.off[v+1]; e++ {
+				u := p.edges[e]
+				t.Ld(p.edgeArr.At(e)) // edge list walk
+				t.Int()
+				t.Ld(p.pr.At(u)) // neighbour score (irregular)
+				t.FPMul()
+				t.FP()
+				_ = u
+			}
+			acc = p.nextv[v]
+			t.FPMul()
+			t.St(p.nextPr.At(v), acc)
+		}
+		t.Barrier()
+		// Phase B (region of interest, Fig 3.2): score difference
+		// accumulation and rank rotation.
+		switch mode {
+		case ModeBaseline:
+			locDiff := 0.0
+			for v := lo; v < hi; v++ {
+				t.Ld(p.nextPr.At(v))
+				t.Ld(p.pr.At(v))
+				t.FP() // abs(next - cur)
+				t.FP() // loc_diff +=
+				locDiff += absf(p.nextv[v] - p.prv[v])
+				t.St(p.pr.At(v), p.nextv[v])
+				t.St(p.nextPr.At(v), 0.15/float64(nv))
+			}
+			t.AtomicAdd(p.diff.At(0), locDiff)
+		default:
+			for v := lo; v < hi; v++ {
+				t.Int()
+				t.Update(p.nextPr.At(v), p.pr.At(v), p.diff.At(0), isa.OpAbsDiffAcc)
+			}
+			t.Gather(p.diff.At(0), p.env.Threads)
+			for v := lo; v < hi; v++ {
+				t.Int()
+				t.UpdateMov(p.nextPr.At(v), p.pr.At(v))
+				t.UpdateConst(0.15/float64(nv), p.nextPr.At(v))
+			}
+		}
+		traces[tid] = t
+	}
+	return streamsOf(traces)
+}
+
+// Verify implements Workload.
+func (p *PageRank) Verify() error {
+	if err := checkClose("pagerank diff", p.diff.Get(0), p.refDiff); err != nil {
+		return err
+	}
+	for v := 0; v < p.nv; v++ {
+		if err := checkClose("pagerank pr", p.pr.Get(v), p.nextv[v]); err != nil {
+			return err
+		}
+		if err := checkClose("pagerank next_pr", p.nextPr.Get(v), 0.15/float64(p.nv)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
