@@ -13,10 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/system"
@@ -157,15 +159,86 @@ func (r *runner) run(fig string) error {
 	return nil
 }
 
+// benchRun is one (workload, scheme) wall-clock measurement.
+type benchRun struct {
+	Workload     string  `json:"workload"`
+	Scheme       string  `json:"scheme"`
+	WallNS       int64   `json:"wall_ns"`
+	Cycles       uint64  `json:"cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// benchReport is the machine-readable simulator-speed snapshot committed as
+// BENCH_*.json, tracking the perf trajectory across PRs.
+type benchReport struct {
+	Suite        string     `json:"suite"`
+	Scale        string     `json:"scale"`
+	Runs         []benchRun `json:"runs"`
+	TotalWallNS  int64      `json:"total_wall_ns"`
+	TotalCycles  uint64     `json:"total_cycles"`
+	CyclesPerSec float64    `json:"cycles_per_sec"`
+}
+
+// runBenchJSON times every (benchmark, scheme) pair of the Fig 5.1a suite
+// serially (so per-run wall times are not distorted by parallelism) and
+// writes the JSON report to path ("-" for stdout).
+func runBenchJSON(path string, scale workload.Scale, scaleName string) error {
+	rep := benchReport{Suite: "fig5.1a", Scale: scaleName}
+	for _, wl := range workload.Benchmarks() {
+		for _, sch := range system.Schemes() {
+			sys, err := system.New(system.DefaultConfig(sch), wl, scale)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := sys.Run()
+			wall := time.Since(start)
+			if err != nil {
+				return err
+			}
+			rep.Runs = append(rep.Runs, benchRun{
+				Workload:     wl,
+				Scheme:       sch.String(),
+				WallNS:       wall.Nanoseconds(),
+				Cycles:       res.Cycles,
+				CyclesPerSec: float64(res.Cycles) / wall.Seconds(),
+			})
+			rep.TotalWallNS += wall.Nanoseconds()
+			rep.TotalCycles += res.Cycles
+		}
+	}
+	rep.CyclesPerSec = float64(rep.TotalCycles) / (float64(rep.TotalWallNS) / 1e9)
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
 func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate (all, table4.1, 5.1a, 5.1b, 5.2a, 5.2b, 5.3, 5.4, 5.5, 5.6, 5.7, 5.8)")
 	scaleFlag := flag.String("scale", "small", "input scale (tiny, small, medium)")
+	benchFlag := flag.String("benchjson", "", "write a machine-readable Fig 5.1a wall-clock benchmark report to this file (use - for stdout) and exit")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arbench:", err)
 		os.Exit(2)
+	}
+	if *benchFlag != "" {
+		if err := runBenchJSON(*benchFlag, scale, strings.ToLower(*scaleFlag)); err != nil {
+			fmt.Fprintln(os.Stderr, "arbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	r := &runner{scale: scale}
 	figs := []string{*figFlag}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // lineState is the MESI state of an L1 line.
@@ -63,15 +64,20 @@ type L1 struct {
 	lruTick uint64
 
 	mshrs    map[mem.PAddr]*l1MSHR
+	unsent   []*l1MSHR // misses whose request the NoC refused, in FIFO order
 	send     Sender
 	homeBank func(block mem.PAddr) int
 
-	inQ    []*Msg
-	outbox []outMsg
-	calls  []timedCall
+	inQ        []*Msg
+	outbox     []outMsg
+	calls      []timedCall
+	callsSpare []timedCall
 
 	Stats Stats
 }
+
+// never aliases the sim.Idler "quiescent until external input" sentinel.
+const never = sim.Never
 
 // NewL1 builds an L1 for core id. send injects messages into the NoC;
 // homeBank maps a block to its S-NUCA L2 bank tile.
@@ -156,6 +162,9 @@ func (l *L1) Access(addr mem.PAddr, write bool, cycle uint64, done func(cycle ui
 	ms := &l1MSHR{block: block, write: write, waiters: []func(uint64){done}}
 	l.mshrs[block] = ms
 	l.trySendMiss(ms)
+	if !ms.sent {
+		l.unsent = append(l.unsent, ms)
+	}
 	return true
 }
 
@@ -195,14 +204,30 @@ func (l *L1) Deliver(m *Msg, cycle uint64) bool {
 	return true
 }
 
+// NextWork implements sim.Idler: the L1 needs its Tick only while it holds
+// an unsent miss, a queued send, a timed completion or a delivered message.
+// Waiting on an outstanding (sent) miss is quiescent — the fill arrives via
+// Deliver.
+func (l *L1) NextWork(now uint64) uint64 {
+	if len(l.unsent) > 0 || len(l.outbox) > 0 || len(l.calls) > 0 || len(l.inQ) > 0 {
+		return now
+	}
+	return never
+}
+
 // Tick advances the cache: retries sends, fires timed completions and
 // processes delivered messages.
 func (l *L1) Tick(cycle uint64) {
-	// Retry unsent miss requests.
-	for _, ms := range l.mshrs {
-		if !ms.sent {
+	// Retry unsent miss requests, oldest first.
+	if len(l.unsent) > 0 {
+		kept := l.unsent[:0]
+		for _, ms := range l.unsent {
 			l.trySendMiss(ms)
+			if !ms.sent {
+				kept = append(kept, ms)
+			}
 		}
+		l.unsent = kept
 	}
 	// Retry outbox.
 	for len(l.outbox) > 0 {
@@ -215,7 +240,7 @@ func (l *L1) Tick(cycle uint64) {
 	// Fire completions.
 	if len(l.calls) > 0 {
 		due := l.calls
-		l.calls = nil
+		l.calls = l.callsSpare[:0]
 		for _, c := range due {
 			if c.at <= cycle {
 				c.fn(cycle)
@@ -223,6 +248,7 @@ func (l *L1) Tick(cycle uint64) {
 				l.calls = append(l.calls, c)
 			}
 		}
+		l.callsSpare = due[:0]
 	}
 	// Process messages.
 	for n := 0; n < 4 && len(l.inQ) > 0; n++ {

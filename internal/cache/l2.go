@@ -75,10 +75,11 @@ type L2Bank struct {
 	send Sender
 	mem  MemPort
 
-	inQ    []*Msg
-	outbox []outMsg
-	calls  []timedCall
-	memQ   []func() bool // deferred memory ops awaiting port space
+	inQ        []*Msg
+	outbox     []outMsg
+	calls      []timedCall
+	callsSpare []timedCall
+	memQ       []func() bool // deferred memory ops awaiting port space
 
 	Stats Stats
 }
@@ -143,6 +144,17 @@ func (b *L2Bank) Deliver(m *Msg, cycle uint64) bool {
 	return true
 }
 
+// NextWork implements sim.Idler: the bank needs its Tick only while it has
+// queued sends, deferred memory ops, timed completions or delivered
+// messages. Transactions blocked on acks/fetches/fills advance through
+// Deliver and memory callbacks, not through Tick.
+func (b *L2Bank) NextWork(now uint64) uint64 {
+	if len(b.outbox) > 0 || len(b.memQ) > 0 || len(b.calls) > 0 || len(b.inQ) > 0 {
+		return now
+	}
+	return never
+}
+
 // Tick processes queued messages, retries sends and fires completions.
 func (b *L2Bank) Tick(cycle uint64) {
 	for len(b.outbox) > 0 {
@@ -163,7 +175,7 @@ func (b *L2Bank) Tick(cycle uint64) {
 	}
 	if len(b.calls) > 0 {
 		due := b.calls
-		b.calls = nil
+		b.calls = b.callsSpare[:0]
 		for _, c := range due {
 			if c.at <= cycle {
 				c.fn(cycle)
@@ -171,6 +183,7 @@ func (b *L2Bank) Tick(cycle uint64) {
 				b.calls = append(b.calls, c)
 			}
 		}
+		b.callsSpare = due[:0]
 	}
 	for n := 0; n < 4 && len(b.inQ) > 0; n++ {
 		m := b.inQ[0]

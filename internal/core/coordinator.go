@@ -6,6 +6,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/network"
+	"repro/internal/sim"
 )
 
 // PortPolicy selects the memory-access port (HMC controller) that roots a
@@ -371,6 +372,18 @@ func (c *Coordinator) OnActiveAck(p *network.Packet, cycle uint64) {
 	}
 	delete(c.flows, f.target)
 	c.Stats.FlowsComplete++
+}
+
+// NextWork implements sim.Idler: Tick only drains the per-port command
+// queues; flow completions and acks arrive through the controller
+// callbacks.
+func (c *Coordinator) NextWork(now uint64) uint64 {
+	for port := range c.queues {
+		if len(c.queues[port]) > 0 {
+			return now
+		}
+	}
+	return sim.Never
 }
 
 // Tick drains the per-port command queues into the network.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/network"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -142,6 +143,21 @@ func (e *Engine) Deliver(p *network.Packet, cycle uint64) bool {
 	}
 	e.inQ = append(e.inQ, p)
 	return true
+}
+
+// NextWork implements sim.Idler: the engine has work only on ARE clock
+// edges while any of its queues hold entries. Flow-table state waiting on
+// remote operands or gather responses advances through Deliver and
+// OperandResp, not through Tick.
+func (e *Engine) NextWork(now uint64) uint64 {
+	if len(e.inQ) == 0 && len(e.sendQ) == 0 && len(e.readyQ) == 0 &&
+		len(e.outQ[0]) == 0 && len(e.outQ[1]) == 0 && len(e.outQ[2]) == 0 {
+		return sim.Never
+	}
+	if rem := now % e.cfg.ClockDiv; rem != 0 {
+		return now + e.cfg.ClockDiv - rem
+	}
+	return now
 }
 
 // Tick advances the engine one simulator cycle.

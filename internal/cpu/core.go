@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -98,7 +99,14 @@ type Core struct {
 
 	fenced bool // Gather or barrier outstanding: dispatch stops
 
-	calls []timedCall
+	calls      []timedCall
+	callsSpare []timedCall // recycled backing array for the calls queue
+
+	// Idle-skip bookkeeping: the last cycle NextWork or Tick observed and
+	// the stall counter idle-skipped cycles must be credited to, so the
+	// stall statistics stay bit-identical to the lockstep kernel.
+	lastSeen   uint64
+	skipReason skipReason
 
 	Stats Stats
 	IPC   *stats.IPCSeries
@@ -108,6 +116,17 @@ type timedCall struct {
 	at uint64
 	fn func()
 }
+
+// skipReason records which per-cycle stall counter an idle-skipped stretch
+// belongs to, so skipping Ticks leaves the counters bit-identical to the
+// lockstep kernel.
+type skipReason uint8
+
+const (
+	skipNone skipReason = iota
+	skipFence
+	skipROBFull
+)
 
 // NewCore builds core id over the given stream and ports. barrier may be
 // nil when the workload never synchronizes.
@@ -131,14 +150,67 @@ func (c *Core) Finished() bool {
 	return c.exhausted && c.pending == nil && len(c.rob) == 0
 }
 
+// NextWork implements sim.Idler. The core must tick whenever it can retire,
+// fire a timed completion, or dispatch; it is quiescent while fenced, while
+// the ROB is full with an incomplete head, or once its stream is drained.
+// In the first two states the lockstep kernel's Tick would bump a per-cycle
+// stall counter and nothing else, so skipping credits that counter here
+// (and catchUp back-fills stretches the engine jumped over entirely),
+// keeping the stall statistics bit-identical.
+func (c *Core) NextWork(now uint64) uint64 {
+	c.catchUp(now)
+	if len(c.calls) > 0 {
+		return now
+	}
+	if c.Finished() {
+		c.skipReason = skipNone
+		return sim.Never
+	}
+	if len(c.rob) > 0 && c.rob[0].done {
+		return now // retirement can progress
+	}
+	if c.fenced {
+		c.skipReason = skipFence
+		c.Stats.FenceCycles++
+		return sim.Never
+	}
+	if len(c.rob) >= c.cfg.ROBSize {
+		c.skipReason = skipROBFull
+		c.Stats.ROBFullCycles++
+		return sim.Never
+	}
+	if c.exhausted && c.pending == nil {
+		// Stream drained, ROB waiting on in-flight memory: nothing to do.
+		c.skipReason = skipNone
+		return sim.Never
+	}
+	return now // dispatch can make (or at least attempt) progress
+}
+
+// catchUp credits cycles the engine jumped over (no NextWork evaluation at
+// all) to the stall counter recorded when the core last quiesced. A jump
+// freezes the whole machine, so every jumped cycle had that same state.
+func (c *Core) catchUp(now uint64) {
+	if gap := now - c.lastSeen; gap > 1 {
+		switch c.skipReason {
+		case skipFence:
+			c.Stats.FenceCycles += gap - 1
+		case skipROBFull:
+			c.Stats.ROBFullCycles += gap - 1
+		}
+	}
+	c.lastSeen = now
+}
+
 // Tick advances the core one cycle: retire, then dispatch.
 func (c *Core) Tick(cycle uint64) {
+	c.catchUp(cycle)
 	if c.Finished() {
 		return
 	}
 	if len(c.calls) > 0 {
 		due := c.calls
-		c.calls = nil
+		c.calls = c.callsSpare[:0]
 		for _, t := range due {
 			if t.at <= cycle {
 				t.fn()
@@ -146,6 +218,7 @@ func (c *Core) Tick(cycle uint64) {
 				c.calls = append(c.calls, t)
 			}
 		}
+		c.callsSpare = due[:0]
 	}
 	c.retire(cycle)
 	c.dispatch(cycle)

@@ -7,6 +7,7 @@ package dram
 
 import (
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // Timing holds the DRAM timing parameters of Table 4.1, expressed in DRAM
@@ -113,6 +114,29 @@ func (b *BankSet) Enqueue(r *Request, cycle uint64) bool {
 
 // Pending reports queued plus in-flight requests.
 func (b *BankSet) Pending() int { return len(b.queue) + len(b.inflight) }
+
+// NextWork implements sim.Idler: with requests queued the scheduler must
+// run every cycle (FR-FCFS decisions and the BusyCycles counter depend on
+// it); with only in-flight transfers the next work is the earliest
+// completion; empty bank sets are quiescent until Enqueue.
+func (b *BankSet) NextWork(now uint64) uint64 {
+	if len(b.queue) > 0 {
+		return now
+	}
+	if len(b.inflight) == 0 {
+		return sim.Never
+	}
+	next := b.inflight[0].doneAt
+	for _, r := range b.inflight[1:] {
+		if r.doneAt < next {
+			next = r.doneAt
+		}
+	}
+	if next <= now {
+		return now
+	}
+	return next
+}
 
 // QueueFree reports remaining queue slots.
 func (b *BankSet) QueueFree() int { return b.maxQueue - len(b.queue) }
@@ -245,3 +269,6 @@ func (c *Controller) Access(pa mem.PAddr, write bool, cycle uint64, done func(ui
 
 // Tick advances the controller one cycle.
 func (c *Controller) Tick(cycle uint64) { c.Banks.Tick(cycle) }
+
+// NextWork implements sim.Idler by delegating to the bank set.
+func (c *Controller) NextWork(now uint64) uint64 { return c.Banks.NextWork(now) }

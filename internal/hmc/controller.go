@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/network"
+	"repro/internal/sim"
 )
 
 // Controller is one HMC controller: the host-side bridge onto the memory
@@ -130,3 +131,12 @@ func (c *Controller) Tick(cycle uint64) {
 
 // Busy reports whether requests are queued or outstanding.
 func (c *Controller) Busy() bool { return len(c.queue) > 0 || len(c.pending) > 0 }
+
+// NextWork implements sim.Idler: Tick only drains the request queue;
+// outstanding responses arrive via Deliver.
+func (c *Controller) NextWork(now uint64) uint64 {
+	if len(c.queue) > 0 {
+		return now
+	}
+	return sim.Never
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/mem"
 	"repro/internal/network"
+	"repro/internal/sim"
 )
 
 // CubeConfig sizes one cube.
@@ -65,6 +66,11 @@ type Cube struct {
 	staged []vaultOp
 	outbox []*network.Packet
 
+	// vaultWork counts accesses enqueued at any vault and not yet
+	// completed, so Busy and the idle hints are counter reads instead of a
+	// 32-vault scan.
+	vaultWork int
+
 	Stats CubeStats
 }
 
@@ -92,15 +98,33 @@ func (c *Cube) ARE() *core.Engine { return c.are }
 // Busy reports whether any vault, staged op, outbox entry or ARE state
 // remains in flight.
 func (c *Cube) Busy() bool {
-	if len(c.staged) > 0 || len(c.outbox) > 0 {
+	if len(c.staged) > 0 || len(c.outbox) > 0 || c.vaultWork > 0 {
 		return true
 	}
-	for _, v := range c.vaults {
-		if v.Pending() > 0 {
-			return true
+	return c.are != nil && c.are.Busy()
+}
+
+// NextWork implements sim.Idler. The cube must tick while any vault access,
+// response or ARE work is outstanding; with only a not-yet-ready crossbar
+// head staged, the next work is its ready cycle.
+func (c *Cube) NextWork(now uint64) uint64 {
+	if c.vaultWork > 0 || len(c.outbox) > 0 {
+		return now
+	}
+	next := sim.Never
+	if len(c.staged) > 0 {
+		if head := c.staged[0].readyAt; head > now {
+			next = head
+		} else {
+			return now
 		}
 	}
-	return c.are != nil && c.are.Busy()
+	if c.are != nil {
+		if w := c.are.NextWork(now); w < next {
+			next = w
+		}
+	}
+	return next
 }
 
 // Deliver implements network.Endpoint: demultiplex arriving packets to the
@@ -231,6 +255,7 @@ func (c *Cube) vaultAccess(pa mem.PAddr, write bool, onDone func(v float64, cycl
 		Row:   c.cfg.Geom.RowOf(pa),
 	}
 	req.OnDone = func(done uint64) {
+		c.vaultWork--
 		var val float64
 		if !write {
 			val = c.store.ReadF64(pa &^ 7)
@@ -240,14 +265,19 @@ func (c *Cube) vaultAccess(pa mem.PAddr, write bool, onDone func(v float64, cycl
 	if !c.vaults[v].Enqueue(req, 0) {
 		return false
 	}
+	c.vaultWork++
 	c.Stats.VaultAccesses++
 	return true
 }
 
 // Tick advances the cube: vaults, crossbar staging, outbox and ARE.
 func (c *Cube) Tick(cycle uint64) {
-	for _, v := range c.vaults {
-		v.Tick(cycle)
+	if c.vaultWork > 0 {
+		for _, v := range c.vaults {
+			if v.Pending() > 0 {
+				v.Tick(cycle)
+			}
+		}
 	}
 	// Crossbar: admit staged operations into vaults strictly in order
 	// (head-of-line blocking). FIFO order here is load-bearing: it keeps a

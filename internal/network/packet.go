@@ -45,6 +45,9 @@ const (
 	// split into request and response classes for VC assignment.
 	HostMsg
 	HostMsgResp
+
+	// kindCount bounds the Kind space for per-kind lookup tables.
+	kindCount
 )
 
 // String returns the packet kind mnemonic.

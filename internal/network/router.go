@@ -2,7 +2,9 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -30,7 +32,12 @@ type Config struct {
 	LinkBandwidth int    // bytes per network cycle per link
 	RouterDelay   uint64 // router pipeline latency, network cycles
 	ClockDiv      uint64 // simulator cycles per network cycle
-	EjectPerCycle int    // packets deliverable per node per network cycle
+	// EjectPerCycle is retained for configuration compatibility but NOT
+	// enforced: ejection delivers at most one packet per (port, VC) queue
+	// per cycle and is otherwise unbounded. The seed kernel's budget was
+	// dead code and the simulated results depend on unbounded ejection;
+	// see DESIGN.md ("Known modeling simplifications").
+	EjectPerCycle int
 }
 
 // DefaultMemNetConfig returns the memory-network parameters: 1 GHz network
@@ -80,6 +87,16 @@ func vcBase(k Kind) int {
 	}
 }
 
+// deliveredKeys pre-interns the per-Kind delivery counter names so that the
+// ejection hot path never builds a string per packet.
+var deliveredKeys [kindCount]string
+
+func init() {
+	for k := Kind(0); k < kindCount; k++ {
+		deliveredKeys[k] = "delivered_" + k.String()
+	}
+}
+
 type packetQueue struct {
 	q []*Packet
 }
@@ -106,6 +123,13 @@ type upstream struct {
 	port int
 }
 
+// link is a precomputed Topology.Neighbor result for one output port.
+type link struct {
+	peer     int
+	peerPort int
+	ok       bool
+}
+
 type router struct {
 	node     int
 	ports    int
@@ -116,7 +140,23 @@ type router struct {
 	linkBusy []uint64      // [port] output link busy-until (simulator cycles)
 	pending  []arrival     // in-flight packets heading to this router
 	rrPort   int           // round-robin arbitration state
+
+	// Precomputed topology views (the topology is immutable).
+	links    []link // [port]
+	routeTo  []int8 // [dst] output port, -1 for self
+	hopClass []int8 // [dst]
+
+	// Occupancy tracking so the tick phases touch only non-empty state.
+	inCount  int    // packets across all input queues
+	injCount int    // packets across all injection queues
+	occ      uint64 // bit q set iff queue q non-empty; in queues at
+	// [0, ports*VCs), injection queues at [ports*VCs, ports*VCs+VCs).
+	// Valid only when maskable (nin <= 64); all our topologies qualify.
+	maskable bool
 }
+
+func (r *router) markIn(idx int)   { r.occ |= 1 << uint(idx) }
+func (r *router) unmarkIn(idx int) { r.occ &^= 1 << uint(idx) }
 
 // Fabric is one interconnection network instance: topology + routers +
 // endpoints.
@@ -127,6 +167,17 @@ type Fabric struct {
 	routers   []*router
 	endpoints []Endpoint
 	nextID    uint64
+
+	// Occupancy counters: inflight is every packet anywhere in the fabric
+	// (injected and not yet delivered), queued is the subset sitting in
+	// input/injection queues (as opposed to traversing a link).
+	inflight int
+	queued   int
+
+	// classMask[c] selects input-queue occupancy bits whose VC belongs to
+	// ejection class c (vc/2 == c); shared by all routers since the bit
+	// layout has stride Cfg.VCs.
+	classMask [3]uint64
 
 	// Counters for Fig 5.4 and the energy model.
 	Counters     *stats.Set
@@ -157,21 +208,42 @@ func NewFabric(topo Topology, cfg Config) *Fabric {
 			up:       make([]upstream, ports),
 			credits:  make([]int, ports*cfg.VCs),
 			linkBusy: make([]uint64, ports),
+			links:    make([]link, ports),
+			routeTo:  make([]int8, n),
+			hopClass: make([]int8, n),
+			maskable: ports*cfg.VCs+cfg.VCs <= 64,
 		}
 		for p := 0; p < ports; p++ {
 			r.up[p] = upstream{node: -1}
+			peer, peerPort, ok := topo.Neighbor(i, p)
+			r.links[p] = link{peer: peer, peerPort: peerPort, ok: ok}
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == i {
+				r.routeTo[dst] = -1
+				continue
+			}
+			r.routeTo[dst] = int8(topo.Route(i, dst))
+			r.hopClass[dst] = int8(topo.HopClass(i, dst))
 		}
 		f.routers[i] = r
+	}
+	for c := 0; c < 3; c++ {
+		for idx := 0; idx < 64; idx++ {
+			if (idx%cfg.VCs)/2 == c {
+				f.classMask[c] |= 1 << uint(idx)
+			}
+		}
 	}
 	// Wire credits and upstream pointers.
 	for i := 0; i < n; i++ {
 		r := f.routers[i]
 		for p := 0; p < r.ports; p++ {
-			peer, peerPort, ok := topo.Neighbor(i, p)
-			if !ok {
+			l := r.links[p]
+			if !l.ok {
 				continue
 			}
-			f.routers[peer].up[peerPort] = upstream{node: i, port: p}
+			f.routers[l.peer].up[l.peerPort] = upstream{node: i, port: p}
 			for vc := 0; vc < cfg.VCs; vc++ {
 				r.credits[p*cfg.VCs+vc] = cfg.QueueDepth
 			}
@@ -214,6 +286,10 @@ func (f *Fabric) Inject(n int, p *Packet, cycle uint64) bool {
 		p.InjectCycle = cycle
 	}
 	r.inj[vc].push(p)
+	r.injCount++
+	r.markIn(r.ports*f.Cfg.VCs + vc)
+	f.inflight++
+	f.queued++
 	f.Injected++
 	f.account(p)
 	return true
@@ -233,28 +309,16 @@ func (f *Fabric) account(p *Packet) {
 	}
 }
 
-// Drained reports whether no packets remain anywhere in the fabric.
-func (f *Fabric) Drained() bool {
-	for _, r := range f.routers {
-		if len(r.pending) > 0 {
-			return false
-		}
-		for i := range r.in {
-			if r.in[i].len() > 0 {
-				return false
-			}
-		}
-		for i := range r.inj {
-			if r.inj[i].len() > 0 {
-				return false
-			}
-		}
-	}
-	return true
-}
+// Drained reports whether no packets remain anywhere in the fabric. It is a
+// counter read, O(1); the full-scan equivalent is InFlightScan.
+func (f *Fabric) Drained() bool { return f.inflight == 0 }
 
-// InFlight counts packets currently inside the fabric.
-func (f *Fabric) InFlight() int {
+// InFlight counts packets currently inside the fabric (a counter read).
+func (f *Fabric) InFlight() int { return f.inflight }
+
+// InFlightScan recounts in-flight packets by walking every queue. It exists
+// to cross-check the occupancy counters in tests.
+func (f *Fabric) InFlightScan() int {
 	n := 0
 	for _, r := range f.routers {
 		n += len(r.pending)
@@ -268,9 +332,45 @@ func (f *Fabric) InFlight() int {
 	return n
 }
 
+// NextWork implements sim.Idler: the fabric needs its Tick only on network
+// clock edges while packets are inside it; with every packet in flight on a
+// link (none queued) the next work is the earliest arrival.
+func (f *Fabric) NextWork(now uint64) uint64 {
+	if f.inflight == 0 {
+		return sim.Never
+	}
+	if f.queued > 0 {
+		return f.alignUp(now)
+	}
+	next := sim.Never
+	for _, r := range f.routers {
+		for i := range r.pending {
+			if c := r.pending[i].cycle; c < next {
+				next = c
+			}
+		}
+	}
+	if next <= now {
+		return f.alignUp(now)
+	}
+	return f.alignUp(next)
+}
+
+// alignUp rounds c up to the next network clock edge.
+func (f *Fabric) alignUp(c uint64) uint64 {
+	div := f.Cfg.ClockDiv
+	if rem := c % div; rem != 0 {
+		return c + div - rem
+	}
+	return c
+}
+
 // Tick advances the whole fabric by one simulator cycle.
 func (f *Fabric) Tick(cycle uint64) {
 	if cycle%f.Cfg.ClockDiv != 0 {
+		return
+	}
+	if f.inflight == 0 {
 		return
 	}
 	// Phase 1: land arrivals into input queues (credits guaranteed space).
@@ -281,7 +381,11 @@ func (f *Fabric) Tick(cycle uint64) {
 		kept := r.pending[:0]
 		for _, a := range r.pending {
 			if a.cycle <= cycle {
-				r.in[a.port*f.Cfg.VCs+a.vc].push(a.p)
+				idx := a.port*f.Cfg.VCs + a.vc
+				r.in[idx].push(a.p)
+				r.inCount++
+				r.markIn(idx)
+				f.queued++
 			} else {
 				kept = append(kept, a)
 			}
@@ -290,104 +394,175 @@ func (f *Fabric) Tick(cycle uint64) {
 	}
 	// Phase 2: ejection — deliver packets that reached their destination.
 	for _, r := range f.routers {
-		f.eject(r, cycle)
+		if r.inCount > 0 {
+			f.eject(r, cycle)
+		}
 	}
 	// Phase 3: switch allocation and forwarding.
 	for _, r := range f.routers {
-		f.forward(r, cycle)
+		if r.inCount+r.injCount > 0 {
+			f.forward(r, cycle)
+		}
 	}
 }
 
-// eject delivers up to EjectPerCycle destination packets at router r,
-// higher traffic classes first (responses, then operand requests, then
-// plain requests) so the drain order matches the deadlock-freedom
-// argument.
+// eject delivers destination packets at router r, higher traffic classes
+// first (responses, then operand requests, then plain requests) so the
+// drain order matches the deadlock-freedom argument. Each queue gets one
+// delivery attempt per cycle; endpoint refusals backpressure the network.
+// Ejection bandwidth is otherwise unbounded — Cfg.EjectPerCycle is not
+// enforced, a modeling simplification the simulated results depend on (see
+// DESIGN.md). Only occupied (port, VC) queues are visited; the visit order
+// (class descending, then port then VC ascending) matches the plain scan.
 func (f *Fabric) eject(r *router, cycle uint64) {
 	ep := f.endpoints[r.node]
-	budget := f.Cfg.EjectPerCycle
-	for pass := 0; pass < 3 && budget > 0; pass++ {
+	for pass := 0; pass < 3; pass++ {
 		class := 2 - pass // 2=response, 1=operand, 0=request
-		for port := 0; port < r.ports && budget > 0; port++ {
-			for vc := 0; vc < f.Cfg.VCs && budget > 0; vc++ {
+		if r.maskable {
+			m := r.occ & f.classMask[class] // inj bits excluded by idx range
+			for m != 0 {
+				idx := bits.TrailingZeros64(m)
+				m &= m - 1
+				if idx >= r.ports*f.Cfg.VCs {
+					break // injection-queue bits: not ejectable
+				}
+				f.ejectQueue(r, ep, idx, cycle)
+			}
+			continue
+		}
+		for port := 0; port < r.ports; port++ {
+			for vc := 0; vc < f.Cfg.VCs; vc++ {
 				if vc/2 != class {
 					continue
 				}
-				q := &r.in[port*f.Cfg.VCs+vc]
-				if q.len() == 0 || q.head().Dst != r.node {
-					continue
-				}
-				p := q.head()
-				if ep == nil {
-					panic(fmt.Sprintf("network: packet %s for node %d with no endpoint", p.Kind, r.node))
-				}
-				p.ArriveCycle = cycle
-				if !ep.Deliver(p, cycle) {
-					f.ejectStalled++
-					continue
-				}
-				q.pop()
-				f.returnCredit(r, port, vc)
-				f.Delivered++
-				f.Counters.Inc("delivered_" + p.Kind.String())
+				f.ejectQueue(r, ep, port*f.Cfg.VCs+vc, cycle)
 			}
 		}
 	}
 }
 
+// ejectQueue delivers at most one packet from input queue idx (each queue
+// gets one ejection attempt per class pass, exactly like the plain scan);
+// it reports whether a packet was popped.
+func (f *Fabric) ejectQueue(r *router, ep Endpoint, idx int, cycle uint64) bool {
+	q := &r.in[idx]
+	if q.len() == 0 || q.head().Dst != r.node {
+		return false
+	}
+	p := q.head()
+	if ep == nil {
+		panic(fmt.Sprintf("network: packet %s for node %d with no endpoint", p.Kind, r.node))
+	}
+	p.ArriveCycle = cycle
+	if !ep.Deliver(p, cycle) {
+		f.ejectStalled++
+		return false
+	}
+	q.pop()
+	r.inCount--
+	f.queued--
+	f.inflight--
+	if q.len() == 0 {
+		r.unmarkIn(idx)
+	}
+	f.returnCredit(r, idx/f.Cfg.VCs, idx%f.Cfg.VCs)
+	f.Delivered++
+	f.Counters.Inc(deliveredKeys[p.Kind])
+	return true
+}
+
 // forward performs output-port arbitration: for every output port pick one
-// eligible head packet (round-robin over inputs including injection).
+// eligible head packet (round-robin over inputs including injection). Only
+// occupied queues are visited, in exactly the round-robin order of the
+// plain scan.
 func (f *Fabric) forward(r *router, cycle uint64) {
 	nin := r.ports*f.Cfg.VCs + f.Cfg.VCs // link inputs + injection queues
 	for out := 0; out < r.ports; out++ {
 		if r.linkBusy[out] > cycle {
 			continue
 		}
-		peer, peerPort, ok := f.Topo.Neighbor(r.node, out)
-		if !ok {
+		l := r.links[out]
+		if !l.ok {
+			continue
+		}
+		if r.maskable {
+			// Visit occupied queues in (rrPort + k) % nin order: the bits
+			// at and above rrPort first, then the wrapped-around low bits.
+			high := r.occ & (^uint64(0) << uint(r.rrPort))
+			low := r.occ &^ (^uint64(0) << uint(r.rrPort))
+			done := false
+			for _, m := range [2]uint64{high, low} {
+				for m != 0 {
+					idx := bits.TrailingZeros64(m)
+					m &= m - 1
+					if f.tryForward(r, out, idx, l, cycle, nin) {
+						done = true
+						break
+					}
+				}
+				if done {
+					break
+				}
+			}
 			continue
 		}
 		for k := 0; k < nin; k++ {
 			idx := (r.rrPort + k) % nin
-			var q *packetQueue
-			injected := idx >= r.ports*f.Cfg.VCs
-			if injected {
-				q = &r.inj[idx-r.ports*f.Cfg.VCs]
-			} else {
-				q = &r.in[idx]
+			if f.tryForward(r, out, idx, l, cycle, nin) {
+				break
 			}
-			if q.len() == 0 {
-				continue
-			}
-			p := q.head()
-			if p.Dst == r.node {
-				continue // ejection handles it
-			}
-			if f.Topo.Route(r.node, p.Dst) != out {
-				continue
-			}
-			vc := vcBase(p.Kind) + f.Topo.HopClass(r.node, p.Dst)
-			if r.credits[out*f.Cfg.VCs+vc] <= 0 {
-				continue
-			}
-			// Transmit.
-			q.pop()
-			if !injected {
-				f.returnCredit(r, idx/f.Cfg.VCs, idx%f.Cfg.VCs)
-			}
-			r.credits[out*f.Cfg.VCs+vc]--
-			ser := uint64((p.Size + f.Cfg.LinkBandwidth - 1) / f.Cfg.LinkBandwidth)
-			busy := ser * f.Cfg.ClockDiv
-			r.linkBusy[out] = cycle + busy
-			arrive := cycle + (ser+f.Cfg.LinkLatency+f.Cfg.RouterDelay)*f.Cfg.ClockDiv
-			p.Hops++
-			f.HopBytes += uint64(p.Size)
-			f.routers[peer].pending = append(f.routers[peer].pending, arrival{
-				p: p, port: peerPort, vc: vc, cycle: arrive,
-			})
-			r.rrPort = (idx + 1) % nin
-			break
 		}
 	}
+}
+
+// tryForward attempts to transmit the head of input queue idx through
+// output port out; it reports whether a packet was sent.
+func (f *Fabric) tryForward(r *router, out, idx int, l link, cycle uint64, nin int) bool {
+	var q *packetQueue
+	injected := idx >= r.ports*f.Cfg.VCs
+	if injected {
+		q = &r.inj[idx-r.ports*f.Cfg.VCs]
+	} else {
+		q = &r.in[idx]
+	}
+	if q.len() == 0 {
+		return false
+	}
+	p := q.head()
+	if p.Dst == r.node {
+		return false // ejection handles it
+	}
+	if int(r.routeTo[p.Dst]) != out {
+		return false
+	}
+	vc := vcBase(p.Kind) + int(r.hopClass[p.Dst])
+	if r.credits[out*f.Cfg.VCs+vc] <= 0 {
+		return false
+	}
+	// Transmit.
+	q.pop()
+	if q.len() == 0 {
+		r.unmarkIn(idx)
+	}
+	if injected {
+		r.injCount--
+	} else {
+		r.inCount--
+		f.returnCredit(r, idx/f.Cfg.VCs, idx%f.Cfg.VCs)
+	}
+	f.queued--
+	r.credits[out*f.Cfg.VCs+vc]--
+	ser := uint64((p.Size + f.Cfg.LinkBandwidth - 1) / f.Cfg.LinkBandwidth)
+	busy := ser * f.Cfg.ClockDiv
+	r.linkBusy[out] = cycle + busy
+	arrive := cycle + (ser+f.Cfg.LinkLatency+f.Cfg.RouterDelay)*f.Cfg.ClockDiv
+	p.Hops++
+	f.HopBytes += uint64(p.Size)
+	f.routers[l.peer].pending = append(f.routers[l.peer].pending, arrival{
+		p: p, port: l.peerPort, vc: vc, cycle: arrive,
+	})
+	r.rrPort = (idx + 1) % nin
+	return true
 }
 
 // returnCredit gives a buffer slot back to the upstream router feeding

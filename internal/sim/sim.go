@@ -2,12 +2,19 @@
 // timing model in the repository: a global cycle clock, a ticker registry,
 // and a deterministic random number generator.
 //
-// The kernel is deliberately simple: all components advance in lockstep, one
-// call to Tick per cycle, in registration order. Registration order is part
-// of the simulated machine's definition (e.g. routers tick before cores so
-// that responses delivered this cycle are visible next cycle), so it is kept
-// deterministic. Components that are idle return quickly; the workloads in
-// this repository are sized so that full runs complete in seconds.
+// All components advance in lockstep, one call to Tick per cycle, in
+// registration order. Registration order is part of the simulated machine's
+// definition (e.g. routers tick before cores so that responses delivered
+// this cycle are visible next cycle), so it is kept deterministic.
+//
+// The kernel is idle-aware: a component may additionally implement Idler to
+// report quiescence. The engine then skips the component's Tick for cycles
+// in which it provably has no work, and when every registered component is
+// quiescent it advances the clock straight to the earliest future event in
+// one step. Both skips are exact — a correct NextWork implementation only
+// ever suppresses Ticks that would have been no-ops — so simulated results
+// are bit-identical to the plain lockstep kernel (see DESIGN.md for the
+// idle/wake protocol contract).
 package sim
 
 import "fmt"
@@ -18,29 +25,65 @@ type Ticker interface {
 	Tick(cycle uint64)
 }
 
-// TickFunc adapts a plain function to the Ticker interface.
+// TickFunc adapts a plain function to the Ticker interface. Note that a
+// TickFunc never implements Idler: wrapping a component's Tick method in a
+// TickFunc hides its idle hints, so components that can quiesce should be
+// registered directly.
 type TickFunc func(cycle uint64)
 
 // Tick calls f(cycle).
 func (f TickFunc) Tick(cycle uint64) { f(cycle) }
 
+// Never is the NextWork return value of a component that cannot make
+// progress until some other component hands it new input.
+const Never = ^uint64(0)
+
+// Idler is the optional quiescence protocol. A component implementing it
+// promises that NextWork is side-effect-free on simulated state and that
+// whenever NextWork(now) > now, Tick(now) would have been a no-op.
+//
+// The engine evaluates NextWork at the component's exact slot in the tick
+// order, so the implementation sees precisely the state its Tick would have
+// seen — including writes made earlier in the same cycle by components that
+// tick before it. Returning now when unsure is always safe; returning a
+// future cycle (or Never) when work exists changes simulated results.
+type Idler interface {
+	// NextWork reports the earliest cycle >= now at which Tick must run:
+	// now itself when the component has immediate work, a later cycle when
+	// its next work is a purely internal timed event, or Never when it is
+	// quiescent until external input (a delivered packet, a callback)
+	// arrives. NextWork is re-evaluated every engine step, so Never is a
+	// per-cycle claim, not a permanent one.
+	NextWork(now uint64) uint64
+}
+
 // Engine owns the global clock and the ordered set of tickers.
 type Engine struct {
 	cycle   uint64
 	tickers []Ticker
+	idlers  []Idler // idlers[i] is non-nil iff tickers[i] implements Idler
 	names   []string
+
+	// SkippedTicks counts component Ticks suppressed by idle hints and
+	// JumpedCycles counts clock advances beyond one cycle per step
+	// (diagnostics for the idle-aware scheduler; not simulated state).
+	SkippedTicks uint64
+	JumpedCycles uint64
 }
 
 // NewEngine returns an engine at cycle zero with no registered components.
 func NewEngine() *Engine { return &Engine{} }
 
 // Register appends a component to the tick order. The name is used in
-// diagnostics only.
+// diagnostics only. If the component implements Idler its idle hints are
+// used to skip no-op Ticks.
 func (e *Engine) Register(name string, t Ticker) {
 	if t == nil {
 		panic("sim: Register called with nil ticker")
 	}
 	e.tickers = append(e.tickers, t)
+	idler, _ := t.(Idler)
+	e.idlers = append(e.idlers, idler)
 	e.names = append(e.names, name)
 }
 
@@ -50,24 +93,73 @@ func (e *Engine) Cycle() uint64 { return e.cycle }
 // Components reports how many tickers are registered.
 func (e *Engine) Components() int { return len(e.tickers) }
 
-// Step advances the whole machine by one cycle.
-func (e *Engine) Step() {
+// step advances the whole machine by one cycle, skipping components that
+// report no work. It returns the earliest cycle at which any skipped
+// component has future work; the return value exceeds e.cycle (post
+// increment) only when no component ticked at all, in which case no
+// simulated state changed this cycle and the clock may be advanced to the
+// returned cycle directly.
+func (e *Engine) step() uint64 {
 	c := e.cycle
-	for _, t := range e.tickers {
+	next := Never
+	ran := false
+	for i, t := range e.tickers {
+		if h := e.idlers[i]; h != nil {
+			if w := h.NextWork(c); w > c {
+				if w < next {
+					next = w
+				}
+				e.SkippedTicks++
+				continue
+			}
+		}
 		t.Tick(c)
+		ran = true
 	}
 	e.cycle++
+	if ran {
+		return e.cycle
+	}
+	return next
 }
 
+// Step advances the whole machine by exactly one cycle.
+func (e *Engine) Step() { e.step() }
+
 // RunUntil steps the machine until done() reports true or maxCycles elapse.
-// It returns the number of cycles executed and an error on timeout.
+// It returns the number of cycles executed and an error on timeout. When
+// every component is quiescent the clock jumps to the next pending event in
+// O(1) instead of stepping the gap cycle by cycle.
 func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
 	for !done() {
 		if e.cycle-start >= maxCycles {
 			return e.cycle - start, fmt.Errorf("sim: no completion after %d cycles (deadlock or undersized budget)", maxCycles)
 		}
-		e.Step()
+		wake := e.step()
+		if wake > e.cycle {
+			// Nothing ticked and nothing will until wake: the machine is
+			// fully quiescent, so the skipped stretch is free of events and
+			// done() cannot change within it. A Never wake means permanent
+			// quiescence (deadlock); a wake at or past the budget means the
+			// machine times out first. Either way fast-forward to the
+			// budget and report the timeout the lockstep kernel would have
+			// reached cycle by cycle. The saturation guard keeps a
+			// near-MaxUint64 budget from wrapping the clock backward.
+			limit := start + maxCycles
+			if limit < start {
+				limit = Never // budget overflows the clock: saturate
+			}
+			if wake >= limit {
+				if limit > e.cycle {
+					e.JumpedCycles += limit - e.cycle
+					e.cycle = limit
+				}
+				return e.cycle - start, fmt.Errorf("sim: no completion after %d cycles (deadlock or undersized budget)", maxCycles)
+			}
+			e.JumpedCycles += wake - e.cycle
+			e.cycle = wake
+		}
 	}
 	return e.cycle - start, nil
 }

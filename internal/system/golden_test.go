@@ -1,0 +1,61 @@
+package system_test
+
+import (
+	"testing"
+
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// TestGoldenCycleCounts pins the simulated cycle and instruction counts of
+// every scheme at ScaleTiny on one benchmark (backprop) and one
+// microbenchmark (mac). The golden values were captured from the plain
+// lockstep kernel before the idle-aware scheduler landed (PR 1); the
+// idle-skip machinery, the fabric occupancy counters and every future
+// performance change must keep them bit-identical — determinism is part of
+// the machine definition. Run() also verifies each workload's final memory
+// state against a host-computed reference, so a pass covers functional
+// correctness too.
+func TestGoldenCycleCounts(t *testing.T) {
+	golden := []struct {
+		workload string
+		scheme   system.Scheme
+		cycles   uint64
+		insts    uint64
+	}{
+		{"backprop", system.SchemeDRAM, 3210, 5752},
+		{"backprop", system.SchemeHMC, 2794, 5752},
+		{"backprop", system.SchemeART, 5182, 4216},
+		{"backprop", system.SchemeARFtid, 4318, 4216},
+		{"backprop", system.SchemeARFaddr, 5182, 4216},
+		{"backprop", system.SchemeARFtidAdaptive, 4318, 4216},
+		{"backprop", system.SchemeARFea, 5182, 4216},
+		{"mac", system.SchemeDRAM, 3618, 2576},
+		{"mac", system.SchemeHMC, 1551, 2576},
+		{"mac", system.SchemeART, 3046, 1040},
+		{"mac", system.SchemeARFtid, 2060, 1040},
+		{"mac", system.SchemeARFaddr, 3046, 1040},
+		{"mac", system.SchemeARFtidAdaptive, 2060, 1040},
+		{"mac", system.SchemeARFea, 3046, 1040},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.workload+"/"+g.scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			sys, err := system.New(system.DefaultConfig(g.scheme), g.workload, workload.ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles != g.cycles {
+				t.Errorf("cycles = %d, want golden %d (simulated timing diverged from the lockstep kernel)", res.Cycles, g.cycles)
+			}
+			if res.Instructions != g.insts {
+				t.Errorf("instructions = %d, want golden %d", res.Instructions, g.insts)
+			}
+		})
+	}
+}

@@ -17,11 +17,12 @@ type MessageInterface struct {
 	send  cache.Sender
 	coord *core.Coordinator
 
-	queue   []*miEntry
-	cap     int
-	window  int
-	nextTag uint64
-	byTag   map[uint64]*miEntry
+	queue     []*miEntry
+	cap       int
+	window    int
+	nextTag   uint64
+	byTag     map[uint64]*miEntry
+	unqueried int // updates whose coherence query has not been sent yet
 
 	// Stats.
 	QueriesSent  uint64
@@ -66,6 +67,7 @@ func (mi *MessageInterface) Update(cmd core.UpdateCmd, cycle uint64) bool {
 		return false
 	}
 	mi.queue = append(mi.queue, &miEntry{upd: cmd})
+	mi.unqueried++
 	return true
 }
 
@@ -82,6 +84,32 @@ func (mi *MessageInterface) Gather(cmd core.GatherCmd, cycle uint64) bool {
 
 // Busy reports queued offloads.
 func (mi *MessageInterface) Busy() bool { return len(mi.queue) > 0 }
+
+// NextWork implements sim.Idler. The MI is quiescent when its queue is
+// empty, and also while every update in the query window has been queried
+// and the head is still waiting for its back-invalidation ack (which
+// arrives via OnBackInvalDone).
+func (mi *MessageInterface) NextWork(now uint64) uint64 {
+	if len(mi.queue) == 0 {
+		return never
+	}
+	head := mi.queue[0]
+	if head.gather != nil || head.cleared {
+		return now
+	}
+	if mi.unqueried > 0 {
+		window := mi.window
+		if window > len(mi.queue) {
+			window = len(mi.queue)
+		}
+		for _, e := range mi.queue[:window] {
+			if e.gather == nil && !e.queried {
+				return now
+			}
+		}
+	}
+	return never
+}
 
 // queryAddr picks the address whose directory bank is probed before the
 // offload proceeds (§3.4.2).
@@ -115,6 +143,7 @@ func (mi *MessageInterface) Tick(cycle uint64) {
 		e.queried = true
 		e.tag = tag
 		mi.byTag[tag] = e
+		mi.unqueried--
 		mi.QueriesSent++
 	}
 	// Forward cleared heads.

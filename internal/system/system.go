@@ -76,7 +76,16 @@ type System struct {
 	// IPC sampling.
 	lastRetired uint64
 	ipcTrace    []stats.IPCPoint
+
+	// busyChecks holds one O(1) drain probe per component; lastBusy
+	// memoizes the index that most recently reported busy so the common
+	// done() poll is a single check.
+	busyChecks []func() bool
+	lastBusy   int
 }
+
+// never aliases the sim.Idler "quiescent until external input" sentinel.
+const never = sim.Never
 
 // tileHub is the NoC endpoint at one mesh tile, demultiplexing coherence
 // messages to the tile's components.
@@ -127,17 +136,23 @@ func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
 }
 
 // mcPort bridges an MC tile to the memory backend (a DDR channel or an HMC
-// controller).
+// controller). Its retry outbox is drained by head index instead of
+// re-slicing so the steady state allocates nothing.
 type mcPort struct {
-	sys    *System
-	tile   int
-	index  int
-	access func(pa mem.PAddr, write bool, done func(uint64)) bool
-	outbox []struct {
-		dst int
-		m   *cache.Msg
-	}
+	sys     *System
+	tile    int
+	index   int
+	access  func(pa mem.PAddr, write bool, done func(uint64)) bool
+	outbox  []mcOut
+	outHead int
 }
+
+type mcOut struct {
+	dst int
+	m   *cache.Msg
+}
+
+func (mc *mcPort) queued() int { return len(mc.outbox) - mc.outHead }
 
 func (mc *mcPort) deliver(m *cache.Msg, cycle uint64) bool {
 	write := m.Type == cache.MsgMemWrite
@@ -145,22 +160,31 @@ func (mc *mcPort) deliver(m *cache.Msg, cycle uint64) bool {
 	return mc.access(m.Block, write, func(cyc uint64) {
 		resp := &cache.Msg{Type: cache.MsgMemResp, Block: block, From: mc.tile, Tag: tag}
 		if !mc.sys.sendFrom(mc.tile, from, resp) {
-			mc.outbox = append(mc.outbox, struct {
-				dst int
-				m   *cache.Msg
-			}{from, resp})
+			mc.outbox = append(mc.outbox, mcOut{from, resp})
 		}
 	})
 }
 
-func (mc *mcPort) tick(cycle uint64) {
-	for len(mc.outbox) > 0 {
-		o := mc.outbox[0]
+// NextWork implements sim.Idler: Tick only retries refused response sends.
+func (mc *mcPort) NextWork(now uint64) uint64 {
+	if mc.queued() > 0 {
+		return now
+	}
+	return never
+}
+
+// Tick retries queued response sends in FIFO order.
+func (mc *mcPort) Tick(cycle uint64) {
+	for mc.outHead < len(mc.outbox) {
+		o := mc.outbox[mc.outHead]
 		if !mc.sys.sendFrom(mc.tile, o.dst, o.m) {
 			return
 		}
-		mc.outbox = mc.outbox[1:]
+		mc.outbox[mc.outHead] = mcOut{}
+		mc.outHead++
 	}
+	mc.outbox = mc.outbox[:0]
+	mc.outHead = 0
 }
 
 // New builds a machine for cfg running the named workload at the given
@@ -326,42 +350,78 @@ func (s *System) sendFrom(src, dst int, m *cache.Msg) bool {
 	return s.noc.Inject(src, p, s.engine.Cycle())
 }
 
-// register wires every component into the tick order.
+// register wires every component into the tick order. Components are
+// registered directly (not wrapped in sim.TickFunc) so the engine sees
+// their sim.Idler hints; the drain probe for each is installed in the same
+// pass, mirroring the old whole-machine done() scan order.
 func (s *System) register() {
 	for i, c := range s.cores {
+		c := c
 		s.engine.Register(fmt.Sprintf("core%d", i), c)
+		s.busyChecks = append(s.busyChecks, func() bool { return !c.Finished() })
 	}
 	for i, l1 := range s.l1s {
-		s.engine.Register(fmt.Sprintf("l1.%d", i), sim.TickFunc(l1.Tick))
+		l1 := l1
+		s.engine.Register(fmt.Sprintf("l1.%d", i), l1)
+		s.busyChecks = append(s.busyChecks, l1.Busy)
 	}
 	for i, l2 := range s.l2s {
-		s.engine.Register(fmt.Sprintf("l2.%d", i), sim.TickFunc(l2.Tick))
+		l2 := l2
+		s.engine.Register(fmt.Sprintf("l2.%d", i), l2)
+		s.busyChecks = append(s.busyChecks, l2.Busy)
 	}
 	for i, mi := range s.mis {
 		if mi != nil {
-			s.engine.Register(fmt.Sprintf("mi.%d", i), sim.TickFunc(mi.Tick))
+			mi := mi
+			s.engine.Register(fmt.Sprintf("mi.%d", i), mi)
+			s.busyChecks = append(s.busyChecks, mi.Busy)
 		}
 	}
-	s.engine.Register("noc", sim.TickFunc(s.noc.Tick))
+	s.engine.Register("noc", s.noc)
+	s.busyChecks = append(s.busyChecks, func() bool { return !s.noc.Drained() })
 	for i, mc := range s.mcs {
-		s.engine.Register(fmt.Sprintf("mc.%d", i), sim.TickFunc(mc.tick))
+		mc := mc
+		s.engine.Register(fmt.Sprintf("mc.%d", i), mc)
+		s.busyChecks = append(s.busyChecks, func() bool { return mc.queued() > 0 })
 	}
 	for i, d := range s.dramCtrls {
-		s.engine.Register(fmt.Sprintf("dram.%d", i), sim.TickFunc(d.Tick))
+		d := d
+		s.engine.Register(fmt.Sprintf("dram.%d", i), d)
+		s.busyChecks = append(s.busyChecks, func() bool { return d.Banks.Pending() > 0 })
 	}
 	for i, h := range s.hmcCtrls {
-		s.engine.Register(fmt.Sprintf("hmcctrl.%d", i), sim.TickFunc(h.Tick))
+		h := h
+		s.engine.Register(fmt.Sprintf("hmcctrl.%d", i), h)
+		s.busyChecks = append(s.busyChecks, h.Busy)
 	}
 	if s.coord != nil {
-		s.engine.Register("coordinator", sim.TickFunc(s.coord.Tick))
+		s.engine.Register("coordinator", s.coord)
+		s.busyChecks = append(s.busyChecks, s.coord.Busy)
 	}
 	if s.memnet != nil {
-		s.engine.Register("memnet", sim.TickFunc(s.memnet.Tick))
+		s.engine.Register("memnet", s.memnet)
+		s.busyChecks = append(s.busyChecks, func() bool { return !s.memnet.Drained() })
 	}
 	for i, c := range s.cubes {
-		s.engine.Register(fmt.Sprintf("cube%d", i), sim.TickFunc(c.Tick))
+		c := c
+		s.engine.Register(fmt.Sprintf("cube%d", i), c)
+		s.busyChecks = append(s.busyChecks, c.Busy)
 	}
-	s.engine.Register("ipc-sampler", sim.TickFunc(s.sampleIPC))
+	s.engine.Register("ipc-sampler", ipcSampler{s})
+}
+
+// ipcSampler adapts the Fig 5.8 IPC probe to the engine with an idle hint:
+// its only work is on sampling boundaries.
+type ipcSampler struct{ s *System }
+
+func (p ipcSampler) Tick(cycle uint64) { p.s.sampleIPC(cycle) }
+
+func (p ipcSampler) NextWork(now uint64) uint64 {
+	iv := p.s.cfg.IPCSampleCycles
+	if rem := now % iv; rem != 0 {
+		return now + iv - rem
+	}
+	return now
 }
 
 // sampleIPC records the machine-wide IPC trace for Fig 5.8.
@@ -381,54 +441,17 @@ func (s *System) sampleIPC(cycle uint64) {
 	})
 }
 
-// done reports whether the machine has fully drained.
+// done reports whether the machine has fully drained. Every probe is an
+// O(1) counter read, and the component that blocked completion last time is
+// re-checked first, so the per-cycle poll is O(1) until the machine is
+// nearly drained (the full sweep then confirms quiescence once).
 func (s *System) done() bool {
-	for _, c := range s.cores {
-		if !c.Finished() {
-			return false
-		}
-	}
-	for _, l1 := range s.l1s {
-		if l1.Busy() {
-			return false
-		}
-	}
-	for _, l2 := range s.l2s {
-		if l2.Busy() {
-			return false
-		}
-	}
-	for _, mi := range s.mis {
-		if mi != nil && mi.Busy() {
-			return false
-		}
-	}
-	if !s.noc.Drained() {
+	if s.lastBusy < len(s.busyChecks) && s.busyChecks[s.lastBusy]() {
 		return false
 	}
-	if s.coord != nil && s.coord.Busy() {
-		return false
-	}
-	for _, ctrl := range s.hmcCtrls {
-		if ctrl.Busy() {
-			return false
-		}
-	}
-	if s.memnet != nil && !s.memnet.Drained() {
-		return false
-	}
-	for _, c := range s.cubes {
-		if c.Busy() {
-			return false
-		}
-	}
-	for _, d := range s.dramCtrls {
-		if d.Banks.Pending() > 0 {
-			return false
-		}
-	}
-	for _, mc := range s.mcs {
-		if len(mc.outbox) > 0 {
+	for i, busy := range s.busyChecks {
+		if busy() {
+			s.lastBusy = i
 			return false
 		}
 	}
