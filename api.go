@@ -25,8 +25,11 @@
 package activerouting
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -65,6 +68,9 @@ const (
 	ScaleSmall  = workload.ScaleSmall
 	ScaleMedium = workload.ScaleMedium
 )
+
+// ParseScale parses a CLI scale name ("tiny", "small", "medium").
+func ParseScale(s string) (Scale, error) { return workload.ParseScale(s) }
 
 // Config is the full machine configuration (Table 4.1).
 type Config = system.Config
@@ -117,6 +123,39 @@ type Suite = experiments.Suite
 // RunSuite executes every (workload, scheme) pair in parallel.
 func RunSuite(scale Scale, workloads []string, schemes []Scheme) (*Suite, error) {
 	return experiments.RunSuite(scale, workloads, schemes, nil)
+}
+
+// RunSuiteCtx is RunSuite with cancellation: the first failing run (or a
+// cancelled ctx) aborts the suite promptly — queued runs never start.
+func RunSuiteCtx(ctx context.Context, scale Scale, workloads []string, schemes []Scheme) (*Suite, error) {
+	return experiments.RunSuiteCtx(ctx, scale, workloads, schemes, nil)
+}
+
+// Sweep types: a declarative configuration grid (axes of Config mutations ×
+// workloads × schemes) executed on a bounded, cancellable worker pool. See
+// cmd/arsweep for the CLI and EXPERIMENTS.md for the built-in studies.
+type (
+	SweepGrid   = sweep.Grid
+	SweepAxis   = sweep.Axis
+	SweepPoint  = sweep.Point
+	SweepResult = sweep.Result
+)
+
+// RunSweep expands and executes a configuration sweep grid. Points run in
+// deterministic grid order with fail-fast cancellation; each point's cycle
+// count is bit-identical to a direct NewSystem+Run with the same mutated
+// config.
+func RunSweep(ctx context.Context, g SweepGrid) (*SweepResult, error) {
+	return sweep.Run(ctx, g)
+}
+
+// SweepStudies lists the built-in study names accepted by SweepStudy.
+func SweepStudies() []string { return sweep.StudyNames() }
+
+// SweepStudy resolves a built-in study (e.g. "flowtable", "linkbw") to its
+// grid at the given scale.
+func SweepStudy(name string, scale Scale) (SweepGrid, error) {
+	return sweep.StudyGrid(name, scale)
 }
 
 // PortPolicy is the coordinator's tree-rooting policy (ART vs ARF-tid vs

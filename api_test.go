@@ -1,6 +1,7 @@
 package activerouting
 
 import (
+	"context"
 	"testing"
 )
 
@@ -72,5 +73,45 @@ func TestDefaultConfigIsRunnable(t *testing.T) {
 		if cfg.Threads != 16 || cfg.MaxCycles == 0 {
 			t.Fatalf("default config implausible: %+v", cfg)
 		}
+	}
+}
+
+func TestPublicSweepAPI(t *testing.T) {
+	g, err := SweepStudy("flowtable", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to one axis value for test time; the full grids run in CI's
+	// arsweep smoke step.
+	g.Axes[0].Values = g.Axes[0].Values[:1]
+	res, err := RunSweep(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (one per scheme)", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Cycles == 0 || p.ConfigHash == "" {
+			t.Fatalf("empty point record: %+v", p)
+		}
+	}
+	if len(SweepStudies()) < 2 {
+		t.Fatalf("studies = %v", SweepStudies())
+	}
+	if _, err := SweepStudy("nope", ScaleTiny); err == nil {
+		t.Fatal("unknown study accepted")
+	}
+}
+
+func TestPublicParseScale(t *testing.T) {
+	for name, want := range map[string]Scale{"tiny": ScaleTiny, "Small": ScaleSmall, "MEDIUM": ScaleMedium} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("bad scale accepted")
 	}
 }

@@ -59,7 +59,10 @@ func BenchmarkTable41(b *testing.B) {
 func BenchmarkFig51a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := suite(b, workload.Benchmarks(), nil)
-		t := experiments.Fig51(s)
+		t, err := experiments.Fig51(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.GMean[3], "ARF-tid-gmean-speedup")
 		b.ReportMetric(t.GMean[1], "HMC-gmean-speedup")
 	}
@@ -69,7 +72,10 @@ func BenchmarkFig51a(b *testing.B) {
 func BenchmarkFig51b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := suite(b, workload.Microbenchmarks(), nil)
-		t := experiments.Fig51(s)
+		t, err := experiments.Fig51(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.GMean[3], "ARF-tid-gmean-speedup")
 		b.ReportMetric(t.GMean[2], "ART-gmean-speedup")
 	}
@@ -126,7 +132,10 @@ func BenchmarkFig53(b *testing.B) {
 func BenchmarkFig54(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := suite(b, workload.Microbenchmarks(), nil)
-		t := experiments.Fig54(s)
+		t, err := experiments.Fig54(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 		// mac's ARF-tid total (workload index 2, scheme index: HMC,ART,
 		// ARF-tid,ARF-addr -> 2).
 		b.ReportMetric(t.Total(2, 2), "mac-ARF-tid-movement-vs-HMC")
@@ -137,7 +146,10 @@ func BenchmarkFig54(b *testing.B) {
 func BenchmarkFig55(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := suite(b, workload.Microbenchmarks(), nil)
-		t := experiments.Fig55to57(s, true)
+		t, err := experiments.Fig55to57(s, true)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.Network[2][3], "mac-ARF-tid-net-power-vs-DRAM")
 	}
 }
@@ -146,7 +158,10 @@ func BenchmarkFig55(b *testing.B) {
 func BenchmarkFig56(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := suite(b, workload.Microbenchmarks(), nil)
-		t := experiments.Fig55to57(s, false)
+		t, err := experiments.Fig55to57(s, false)
+		if err != nil {
+			b.Fatal(err)
+		}
 		total := t.Cache[2][3] + t.Memory[2][3] + t.Network[2][3]
 		b.ReportMetric(total, "mac-ARF-tid-energy-vs-DRAM")
 	}
@@ -157,7 +172,10 @@ func BenchmarkFig56(b *testing.B) {
 func BenchmarkFig57(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := suite(b, workload.Microbenchmarks(), nil)
-		t := experiments.Fig55to57(s, false)
+		t, err := experiments.Fig55to57(s, false)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(t.EDPGM[3], "ARF-tid-gmean-EDP-vs-DRAM")
 		b.ReportMetric(t.EDPGM[1], "HMC-gmean-EDP-vs-DRAM")
 	}

@@ -16,8 +16,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,20 +25,9 @@ import (
 	"repro/internal/workload"
 )
 
-func parseScale(s string) (workload.Scale, error) {
-	switch strings.ToLower(s) {
-	case "tiny":
-		return workload.ScaleTiny, nil
-	case "small":
-		return workload.ScaleSmall, nil
-	case "medium":
-		return workload.ScaleMedium, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", s)
-}
-
 type runner struct {
 	scale workload.Scale
+	out   io.Writer
 	bench *experiments.Suite // benchmark suite cache
 	micro *experiments.Suite // microbenchmark suite cache
 }
@@ -66,7 +55,7 @@ func (r *runner) microSuite() (*experiments.Suite, error) {
 }
 
 func (r *runner) run(fig string) error {
-	out := os.Stdout
+	out := r.out
 	switch fig {
 	case "table4.1":
 		experiments.Table41(out)
@@ -76,14 +65,22 @@ func (r *runner) run(fig string) error {
 			return err
 		}
 		fmt.Fprintln(out, "Figure 5.1(a): Runtime Speedup over DRAM (benchmarks)")
-		experiments.Fig51(s).Print(out)
+		t, err := experiments.Fig51(s)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
 	case "5.1b":
 		s, err := r.microSuite()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "Figure 5.1(b): Runtime Speedup over DRAM (microbenchmarks)")
-		experiments.Fig51(s).Print(out)
+		t, err := experiments.Fig51(s)
+		if err != nil {
+			return err
+		}
+		t.Print(out)
 	case "5.2a":
 		s, err := r.benchSuite()
 		if err != nil {
@@ -115,9 +112,17 @@ func (r *runner) run(fig string) error {
 			return err
 		}
 		fmt.Fprintln(out, "Figure 5.4(a): Data Movement normalized to HMC (benchmarks)")
-		experiments.Fig54(s).Print(out)
+		tb, err := experiments.Fig54(s)
+		if err != nil {
+			return err
+		}
+		tb.Print(out)
 		fmt.Fprintln(out, "Figure 5.4(b): Data Movement normalized to HMC (microbenchmarks)")
-		experiments.Fig54(m).Print(out)
+		tm, err := experiments.Fig54(m)
+		if err != nil {
+			return err
+		}
+		tm.Print(out)
 	case "5.5", "5.6":
 		asPower := fig == "5.5"
 		name := map[bool]string{true: "Power", false: "Energy"}[asPower]
@@ -131,9 +136,17 @@ func (r *runner) run(fig string) error {
 			return err
 		}
 		fmt.Fprintf(out, "Figure %s(a): Normalized %s over DRAM (benchmarks)\n", figno, name)
-		experiments.Fig55to57(s, asPower).Print(out, "benchmarks")
+		tb, err := experiments.Fig55to57(s, asPower)
+		if err != nil {
+			return err
+		}
+		tb.Print(out, "benchmarks")
 		fmt.Fprintf(out, "Figure %s(b): Normalized %s over DRAM (microbenchmarks)\n", figno, name)
-		experiments.Fig55to57(m, asPower).Print(out, "microbenchmarks")
+		tm, err := experiments.Fig55to57(m, asPower)
+		if err != nil {
+			return err
+		}
+		tm.Print(out, "microbenchmarks")
 	case "5.7":
 		s, err := r.benchSuite()
 		if err != nil {
@@ -144,8 +157,16 @@ func (r *runner) run(fig string) error {
 			return err
 		}
 		fmt.Fprintln(out, "Figure 5.7: Normalized Energy-Delay Product over DRAM")
-		experiments.Fig55to57(s, false).Print(out, "benchmarks")
-		experiments.Fig55to57(m, false).Print(out, "microbenchmarks")
+		tb, err := experiments.Fig55to57(s, false)
+		if err != nil {
+			return err
+		}
+		tb.Print(out, "benchmarks")
+		tm, err := experiments.Fig55to57(m, false)
+		if err != nil {
+			return err
+		}
+		tm.Print(out, "microbenchmarks")
 	case "5.8":
 		fmt.Fprintln(out, "Figure 5.8: LUD Phase Analysis and Dynamic Offloading")
 		res, err := experiments.Fig58(r.scale)
@@ -228,19 +249,19 @@ func main() {
 	benchFlag := flag.String("benchjson", "", "write a machine-readable Fig 5.1a wall-clock benchmark report to this file (use - for stdout) and exit")
 	flag.Parse()
 
-	scale, err := parseScale(*scaleFlag)
+	scale, err := workload.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arbench:", err)
 		os.Exit(2)
 	}
 	if *benchFlag != "" {
-		if err := runBenchJSON(*benchFlag, scale, strings.ToLower(*scaleFlag)); err != nil {
+		if err := runBenchJSON(*benchFlag, scale, scale.String()); err != nil {
 			fmt.Fprintln(os.Stderr, "arbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	r := &runner{scale: scale}
+	r := &runner{scale: scale, out: os.Stdout}
 	figs := []string{*figFlag}
 	if *figFlag == "all" {
 		figs = []string{"table4.1", "5.1a", "5.1b", "5.2a", "5.2b", "5.3", "5.4", "5.5", "5.6", "5.7", "5.8"}

@@ -24,18 +24,6 @@ func parseScheme(s string) (activerouting.Scheme, error) {
 	return 0, fmt.Errorf("unknown scheme %q (want DRAM, HMC, ART, ARF-tid, ARF-addr, ARF-tid-adaptive)", s)
 }
 
-func parseScale(s string) (activerouting.Scale, error) {
-	switch strings.ToLower(s) {
-	case "tiny":
-		return activerouting.ScaleTiny, nil
-	case "small":
-		return activerouting.ScaleSmall, nil
-	case "medium":
-		return activerouting.ScaleMedium, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q (want tiny, small, medium)", s)
-}
-
 func main() {
 	schemeFlag := flag.String("scheme", "ARF-tid", "machine configuration (DRAM, HMC, ART, ARF-tid, ARF-addr, ARF-tid-adaptive)")
 	wlFlag := flag.String("workload", "mac", "workload (backprop, lud, pagerank, sgemm, spmv, reduce, rand_reduce, mac, rand_mac, lud_phase)")
@@ -47,7 +35,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arsim:", err)
 		os.Exit(2)
 	}
-	scale, err := parseScale(*scaleFlag)
+	scale, err := activerouting.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arsim:", err)
 		os.Exit(2)

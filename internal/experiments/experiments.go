@@ -5,14 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
+	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -33,56 +33,60 @@ type Suite struct {
 }
 
 // Configure tweaks the per-run configuration before a suite run (used by
-// ablation benchmarks); nil means defaults.
-type Configure func(cfg *system.Config)
+// ablation benchmarks); nil means defaults. It is the same mutator type
+// the sweep axes use, so axis values and suite configurators interchange.
+type Configure = sweep.Mutator
 
 // RunSuite executes every (workload, scheme) pair, in parallel across
 // available CPUs. Every run's final memory state is verified against the
 // workload reference; any mismatch fails the suite.
 func RunSuite(scale workload.Scale, workloads []string, schemes []system.Scheme, conf Configure) (*Suite, error) {
+	return RunSuiteCtx(context.Background(), scale, workloads, schemes, conf)
+}
+
+// RunSuiteCtx is RunSuite on the sweep worker pool: runs are scheduled on
+// bounded workers, the first failing run (or a cancelled ctx) cancels the
+// pool, and queued runs never start — a failed suite aborts promptly
+// instead of simulating the remaining cross product to completion.
+func RunSuiteCtx(ctx context.Context, scale workload.Scale, workloads []string, schemes []system.Scheme, conf Configure) (*Suite, error) {
 	s := &Suite{
 		Scale:     scale,
 		Workloads: workloads,
 		Schemes:   schemes,
 		Results:   make(map[Key]*system.Results),
 	}
-	type job struct {
-		key Key
-		res *system.Results
-		err error
-	}
-	jobs := make([]job, 0, len(workloads)*len(schemes))
+	keys := make([]Key, 0, len(workloads)*len(schemes))
 	for _, wl := range workloads {
 		for _, sch := range schemes {
-			jobs = append(jobs, job{key: Key{wl, sch}})
+			keys = append(keys, Key{wl, sch})
 		}
 	}
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(j *job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := system.DefaultConfig(j.key.Scheme)
-			if conf != nil {
-				conf(&cfg)
-			}
-			sys, err := system.New(cfg, j.key.Workload, scale)
-			if err != nil {
-				j.err = err
-				return
-			}
-			j.res, j.err = sys.Run()
-		}(&jobs[i])
-	}
-	wg.Wait()
-	for _, j := range jobs {
-		if j.err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w", j.key.Scheme, j.key.Workload, j.err)
+	results := make([]*system.Results, len(keys))
+	err := sweep.RunJobs(ctx, len(keys), 0, func(ctx context.Context, i int) error {
+		k := keys[i]
+		cfg := system.DefaultConfig(k.Scheme)
+		if conf != nil {
+			conf(&cfg)
 		}
-		s.Results[j.key] = j.res
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("experiments: %s/%s: %w", k.Scheme, k.Workload, err)
+		}
+		sys, err := system.New(cfg, k.Workload, scale)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s: %w", k.Scheme, k.Workload, err)
+		}
+		r, err := sys.Run()
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s: %w", k.Scheme, k.Workload, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		s.Results[k] = results[i]
 	}
 	return s, nil
 }
@@ -97,19 +101,30 @@ func (s *Suite) Get(wl string, sch system.Scheme) *system.Results {
 	return r
 }
 
-// gmean returns the geometric mean of positive values.
-func gmean(vs []float64) float64 {
+// gmean returns the geometric mean of positive values. A non-positive or
+// non-finite value is an error — silently collapsing the whole mean to 0
+// (the old behavior) corrupted every derived gmean row downstream.
+func gmean(vs []float64) (float64, error) {
 	if len(vs) == 0 {
-		return 0
+		return 0, fmt.Errorf("gmean of empty set")
 	}
 	acc := 0.0
-	for _, v := range vs {
-		if v <= 0 {
-			return 0
+	for i, v := range vs {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("gmean: value %d is %v (want positive finite)", i, v)
 		}
 		acc += math.Log(v)
 	}
-	return math.Exp(acc / float64(len(vs)))
+	return math.Exp(acc / float64(len(vs))), nil
+}
+
+// normalize divides v by base, rejecting the zero/non-finite denominators
+// that previously leaked NaN/Inf into the normalized figure tables.
+func normalize(what, wl string, v, base float64) (float64, error) {
+	if base == 0 || math.IsNaN(base) || math.IsInf(base, 0) {
+		return 0, fmt.Errorf("experiments: %s: zero or non-finite %s baseline for %s", what, what, wl)
+	}
+	return v / base, nil
 }
 
 // SpeedupTable is Fig 5.1: runtime speedup over the DRAM baseline.
@@ -123,26 +138,37 @@ type SpeedupTable struct {
 }
 
 // Fig51 derives the Fig 5.1 speedup bars from a suite.
-func Fig51(s *Suite) *SpeedupTable {
+func Fig51(s *Suite) (*SpeedupTable, error) {
 	t := &SpeedupTable{Workloads: s.Workloads, Schemes: s.Schemes}
 	t.Speedup = make([][]float64, len(s.Workloads))
 	for wi, wl := range s.Workloads {
 		base := float64(s.Get(wl, system.SchemeDRAM).Cycles)
+		if base == 0 {
+			return nil, fmt.Errorf("experiments: Fig 5.1: zero DRAM cycle baseline for %s", wl)
+		}
 		row := make([]float64, len(s.Schemes))
 		for si, sch := range s.Schemes {
-			row[si] = base / float64(s.Get(wl, sch).Cycles)
+			c := float64(s.Get(wl, sch).Cycles)
+			if c == 0 {
+				return nil, fmt.Errorf("experiments: Fig 5.1: zero cycle count for %s/%s", sch, wl)
+			}
+			row[si] = base / c
 		}
 		t.Speedup[wi] = row
 	}
 	t.GMean = make([]float64, len(s.Schemes))
-	for si := range s.Schemes {
+	for si, sch := range s.Schemes {
 		col := make([]float64, len(s.Workloads))
 		for wi := range s.Workloads {
 			col[wi] = t.Speedup[wi][si]
 		}
-		t.GMean[si] = gmean(col)
+		g, err := gmean(col)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig 5.1 %s speedup: %w", sch, err)
+		}
+		t.GMean[si] = g
 	}
-	return t
+	return t, nil
 }
 
 // Print renders the table in the paper's layout.
@@ -287,7 +313,9 @@ type MovementTable struct {
 }
 
 // Fig54 derives the Fig 5.4 movement breakdown (HMC-based schemes only).
-func Fig54(s *Suite) *MovementTable {
+// A workload whose HMC baseline moved zero bytes cannot be normalized and
+// fails the derivation instead of emitting NaN/Inf bars.
+func Fig54(s *Suite) (*MovementTable, error) {
 	var schemes []system.Scheme
 	for _, sch := range s.Schemes {
 		if sch != system.SchemeDRAM {
@@ -300,7 +328,11 @@ func Fig54(s *Suite) *MovementTable {
 		var nr, ar, np, ap []float64
 		for _, sch := range schemes {
 			m := s.Get(wl, sch).Movement
-			nr = append(nr, float64(m.NormReq)/base)
+			v, err := normalize("movement", wl, float64(m.NormReq), base)
+			if err != nil {
+				return nil, err
+			}
+			nr = append(nr, v)
 			ar = append(ar, float64(m.ActiveReq)/base)
 			np = append(np, float64(m.NormResp)/base)
 			ap = append(ap, float64(m.ActiveResp)/base)
@@ -310,7 +342,7 @@ func Fig54(s *Suite) *MovementTable {
 		t.NormResp = append(t.NormResp, np)
 		t.ActiveResp = append(t.ActiveResp, ap)
 	}
-	return t
+	return t, nil
 }
 
 // Total returns the normalized total movement for (workload index, scheme
@@ -346,8 +378,10 @@ type EnergyTable struct {
 }
 
 // Fig55to57 derives the power/energy/EDP figures. power selects Fig 5.5's
-// time-normalized view; otherwise components are energies (Fig 5.6).
-func Fig55to57(s *Suite, asPower bool) *EnergyTable {
+// time-normalized view; otherwise components are energies (Fig 5.6). Zero
+// DRAM baselines (energy, power or EDP) fail the derivation instead of
+// emitting NaN/Inf rows.
+func Fig55to57(s *Suite, asPower bool) (*EnergyTable, error) {
 	t := &EnergyTable{Workloads: s.Workloads, Schemes: s.Schemes}
 	for _, wl := range s.Workloads {
 		dram := s.Get(wl, system.SchemeDRAM)
@@ -358,15 +392,27 @@ func Fig55to57(s *Suite, asPower bool) *EnergyTable {
 		for _, sch := range s.Schemes {
 			r := s.Get(wl, sch)
 			if asPower {
-				ca = append(ca, r.PowerW.CacheJ/baseP)
+				v, err := normalize("power", wl, r.PowerW.CacheJ, baseP)
+				if err != nil {
+					return nil, err
+				}
+				ca = append(ca, v)
 				me = append(me, r.PowerW.MemoryJ/baseP)
 				ne = append(ne, r.PowerW.NetworkJ/baseP)
 			} else {
-				ca = append(ca, r.Energy.CacheJ/baseE)
+				v, err := normalize("energy", wl, r.Energy.CacheJ, baseE)
+				if err != nil {
+					return nil, err
+				}
+				ca = append(ca, v)
 				me = append(me, r.Energy.MemoryJ/baseE)
 				ne = append(ne, r.Energy.NetworkJ/baseE)
 			}
-			ed = append(ed, r.EDP/baseEDP)
+			v, err := normalize("EDP", wl, r.EDP, baseEDP)
+			if err != nil {
+				return nil, err
+			}
+			ed = append(ed, v)
 		}
 		t.Cache = append(t.Cache, ca)
 		t.Memory = append(t.Memory, me)
@@ -374,14 +420,18 @@ func Fig55to57(s *Suite, asPower bool) *EnergyTable {
 		t.EDP = append(t.EDP, ed)
 	}
 	t.EDPGM = make([]float64, len(s.Schemes))
-	for si := range s.Schemes {
+	for si, sch := range s.Schemes {
 		col := make([]float64, len(s.Workloads))
 		for wi := range s.Workloads {
 			col[wi] = t.EDP[wi][si]
 		}
-		t.EDPGM[si] = gmean(col)
+		g, err := gmean(col)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig 5.5-5.7 %s EDP: %w", sch, err)
+		}
+		t.EDPGM[si] = g
 	}
-	return t
+	return t, nil
 }
 
 // Print renders the normalized component bars plus the EDP row.
@@ -422,8 +472,8 @@ type IPCSample struct {
 func Fig58(scale workload.Scale) (*Fig58Result, error) {
 	schemes := []system.Scheme{system.SchemeHMC, system.SchemeARFtid, system.SchemeARFtidAdaptive}
 	out := &Fig58Result{Schemes: schemes}
-	var hmcCycles float64
-	for _, sch := range schemes {
+	cycles := make([]uint64, len(schemes))
+	for i, sch := range schemes {
 		cfg := system.DefaultConfig(sch)
 		sys, err := system.New(cfg, "lud_phase", scale)
 		if err != nil {
@@ -438,12 +488,39 @@ func Fig58(scale workload.Scale) (*Fig58Result, error) {
 			tr = append(tr, IPCSample{MInsts: float64(p.Insts) / 1e6, IPC: p.IPC})
 		}
 		out.Traces = append(out.Traces, tr)
-		if sch == system.SchemeHMC {
-			hmcCycles = float64(r.Cycles)
-		}
-		out.Speedup = append(out.Speedup, hmcCycles/float64(r.Cycles))
+		cycles[i] = r.Cycles
 	}
+	// Speedups derive only after every run completed: the old loop read the
+	// HMC cycle count before it was guaranteed set, so any scheme ordered
+	// ahead of HMC got 0/cycles = +Inf.
+	sp, err := fig58Speedups(schemes, cycles)
+	if err != nil {
+		return nil, err
+	}
+	out.Speedup = sp
 	return out, nil
+}
+
+// fig58Speedups derives per-scheme speedups over the HMC baseline from the
+// completed runs' cycle counts, in any scheme order.
+func fig58Speedups(schemes []system.Scheme, cycles []uint64) ([]float64, error) {
+	var hmc float64
+	for i, sch := range schemes {
+		if sch == system.SchemeHMC {
+			hmc = float64(cycles[i])
+		}
+	}
+	if hmc == 0 {
+		return nil, fmt.Errorf("experiments: Fig 5.8: no HMC baseline run (or zero cycles)")
+	}
+	sp := make([]float64, len(schemes))
+	for i, sch := range schemes {
+		if cycles[i] == 0 {
+			return nil, fmt.Errorf("experiments: Fig 5.8: zero cycle count for %s", sch)
+		}
+		sp[i] = hmc / float64(cycles[i])
+	}
+	return sp, nil
 }
 
 // Print renders the traces and speedup bars.

@@ -182,22 +182,37 @@ func NewIPCSeries(window uint64) *IPCSeries {
 }
 
 // Retire records n retired instructions at the given cycle, closing windows
-// as they fill.
+// as they fill. When one call closes several windows, the cycle span since
+// the last closure is apportioned across them (remainder to the earliest),
+// so every window's IPC reflects the span it actually covered. The old code
+// gave the whole span to the first window and a clamped dc=1 to the rest,
+// which recorded IPC = Window for every subsequent window — a bogus spike
+// in the trace.
 func (s *IPCSeries) Retire(n, cycle uint64) {
 	s.TotalInsts += n
 	s.retired += n
-	for s.retired >= s.Window {
-		dc := cycle - s.lastCycle
+	if s.retired < s.Window {
+		return
+	}
+	k := s.retired / s.Window
+	span := cycle - s.lastCycle
+	base, rem := span/k, span%k
+	leftover := s.retired - k*s.Window
+	for i := uint64(0); i < k; i++ {
+		dc := base
+		if i < rem {
+			dc++
+		}
 		if dc == 0 {
-			dc = 1
+			dc = 1 // more windows than elapsed cycles: floor at 1 cycle
 		}
 		s.Points = append(s.Points, IPCPoint{
-			Insts: s.TotalInsts - (s.retired - s.Window),
+			Insts: s.TotalInsts - leftover - (k-1-i)*s.Window,
 			IPC:   float64(s.Window) / float64(dc),
 		})
-		s.retired -= s.Window
-		s.lastCycle = cycle
 	}
+	s.retired = leftover
+	s.lastCycle = cycle
 }
 
 // DataMovement tallies on/off-chip traffic in bytes, split the way Fig 5.4

@@ -119,12 +119,58 @@ func TestIPCSeriesWindows(t *testing.T) {
 	if s.Points[0].IPC != 0.5 {
 		t.Fatalf("ipc = %v", s.Points[0].IPC)
 	}
-	s.Retire(250, 300) // closes two more windows
+	s.Retire(250, 300) // closes two more windows across a 100-cycle span
 	if len(s.Points) != 3 {
 		t.Fatalf("points = %d, want 3", len(s.Points))
 	}
 	if s.TotalInsts != 350 {
 		t.Fatalf("total = %d", s.TotalInsts)
+	}
+	// The 100-cycle span is apportioned 50/50: both windows record IPC 2,
+	// not (IPC 1, IPC 100) as the old whole-span-then-clamp logic did.
+	if s.Points[1].IPC != 2 || s.Points[2].IPC != 2 {
+		t.Fatalf("apportioned IPCs = %v, %v, want 2, 2", s.Points[1].IPC, s.Points[2].IPC)
+	}
+	if s.Points[1].Insts != 200 || s.Points[2].Insts != 300 {
+		t.Fatalf("window boundaries = %d, %d, want 200, 300", s.Points[1].Insts, s.Points[2].Insts)
+	}
+}
+
+// TestIPCSeriesMultiWindowNoSpike is the regression test for the Fig 5.8
+// spike: closing k>1 windows in one call must never record the
+// spike signature IPC == Window unless the span is genuinely that short.
+func TestIPCSeriesMultiWindowNoSpike(t *testing.T) {
+	s := NewIPCSeries(100)
+	s.Retire(500, 1000) // five windows over 1000 cycles: 200 cycles each
+	if len(s.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(s.Points))
+	}
+	for i, p := range s.Points {
+		if p.IPC != 0.5 {
+			t.Fatalf("window %d IPC = %v, want 0.5", i, p.IPC)
+		}
+		if want := uint64(100 * (i + 1)); p.Insts != want {
+			t.Fatalf("window %d boundary = %d, want %d", i, p.Insts, want)
+		}
+	}
+	// Uneven span: 3 windows over 100 cycles -> 34, 33, 33.
+	s2 := NewIPCSeries(100)
+	s2.Retire(300, 100)
+	want := []float64{100.0 / 34, 100.0 / 33, 100.0 / 33}
+	for i, p := range s2.Points {
+		if p.IPC != want[i] {
+			t.Fatalf("uneven window %d IPC = %v, want %v", i, p.IPC, want[i])
+		}
+	}
+	// Partial leftover stays pending and closes with the next span.
+	s3 := NewIPCSeries(100)
+	s3.Retire(250, 100) // two windows, 50 pending
+	if len(s3.Points) != 2 || s3.TotalInsts != 250 {
+		t.Fatalf("points = %d total = %d", len(s3.Points), s3.TotalInsts)
+	}
+	s3.Retire(50, 200) // pending window closes over the 100-cycle span
+	if len(s3.Points) != 3 || s3.Points[2].IPC != 1 || s3.Points[2].Insts != 300 {
+		t.Fatalf("leftover window = %+v", s3.Points[len(s3.Points)-1])
 	}
 }
 

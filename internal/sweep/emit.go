@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON renders the result as indented JSON.
+func WriteJSON(w io.Writer, r *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV renders the result as a flat CSV grid: one row per point, one
+// column per axis, then the measurement columns.
+func WriteCSV(w io.Writer, r *Result) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"index"}, r.AxisNames...)
+	header = append(header,
+		"workload", "scheme", "config_hash",
+		"cycles", "instructions", "ipc",
+		"flow_peak", "flow_table_stalls", "operand_buf_stalls",
+		"movement_bytes", "active_bytes", "energy_j", "edp")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		row := append([]string{strconv.Itoa(p.Index)}, p.Coords...)
+		row = append(row,
+			p.Workload, p.Scheme, p.ConfigHash,
+			strconv.FormatUint(p.Cycles, 10),
+			strconv.FormatUint(p.Instructions, 10),
+			strconv.FormatFloat(p.IPC, 'f', 4, 64),
+			strconv.Itoa(p.FlowPeak),
+			strconv.FormatUint(p.FlowTableStalls, 10),
+			strconv.FormatUint(p.OperandBufStalls, 10),
+			strconv.FormatUint(p.MovementBytes, 10),
+			strconv.FormatUint(p.ActiveBytes, 10),
+			fmt.Sprintf("%.6g", p.EnergyJ),
+			fmt.Sprintf("%.6g", p.EDP))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunJobs executes n indexed jobs on a bounded worker pool with fail-fast
+// cancellation. Workers pull indices in order; the first job error cancels
+// the pool context, so queued jobs never start (running jobs finish — the
+// simulator has no mid-run preemption points). The returned error is the
+// lowest-index job error, preferring real failures over cancellation noise;
+// a nil return means every job ran and succeeded.
+//
+// Jobs communicate results by writing to caller-owned, index-addressed
+// storage: distinct indices never alias, so no locking is needed and result
+// order is deterministic regardless of scheduling.
+func RunJobs(ctx context.Context, n, workers int, run func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := run(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstCancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return err
+	}
+	return firstCancel
+}

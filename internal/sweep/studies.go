@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Study builds a named grid at a given input scale.
+type Study func(scale workload.Scale) Grid
+
+// Studies returns the built-in studies by CLI name.
+func Studies() map[string]Study {
+	return map[string]Study{
+		"flowtable": FlowTableStudy,
+		"linkbw":    LinkBandwidthStudy,
+	}
+}
+
+// StudyNames lists the built-in studies in sorted order (CLI help).
+func StudyNames() []string {
+	var names []string
+	for n := range Studies() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FlowTableStudy is the Active Flow Table capacity ablation on lud: the
+// workload with the deepest concurrent-flow pressure (Fig 5.3), swept over
+// ARE.MaxFlows for both forest policies. FlowPeak in the per-point record
+// shows the demand each capacity must cover.
+//
+// The axis starts at 64 because capacities below the workload's peak
+// concurrent-flow demand (44 for ARF-tid, 64 for ARF-addr at ScaleTiny)
+// deadlock rather than degrade: a new-flow update head-of-line blocks the
+// ARE input queue ahead of the very gather packets that would release
+// existing entries. That feasibility frontier — not a graceful slowdown —
+// is the capacity ablation's finding; EXPERIMENTS.md records it.
+func FlowTableStudy(scale workload.Scale) Grid {
+	return Grid{
+		Name:      "flowtable",
+		Scale:     scale,
+		Workloads: []string{"lud"},
+		Schemes:   []system.Scheme{system.SchemeARFtid, system.SchemeARFaddr},
+		Axes: []Axis{
+			Ints("are.max_flows", []int{64, 96, 128, 192, 256},
+				func(cfg *system.Config, v int) { cfg.ARE.MaxFlows = v }),
+		},
+	}
+}
+
+// LinkBandwidthStudy is the memory-network link bandwidth sensitivity on
+// the Fig 5.1a benchmark suite, comparing plain HMC against ARF-tid. It
+// tests whether Active-Routing's movement profile (Fig 5.4) translates
+// into graceful degradation as links narrow; EXPERIMENTS.md records the
+// per-workload answer (it tracks the movement ratio, not one scheme).
+func LinkBandwidthStudy(scale workload.Scale) Grid {
+	return Grid{
+		Name:      "linkbw",
+		Scale:     scale,
+		Workloads: workload.Benchmarks(),
+		Schemes:   []system.Scheme{system.SchemeHMC, system.SchemeARFtid},
+		Axes: []Axis{
+			Ints("memnet.link_bw", []int{8, 16, 32, 64},
+				func(cfg *system.Config, v int) { cfg.MemNet.LinkBandwidth = v }),
+		},
+	}
+}
+
+// StudyGrid resolves a study name at a scale.
+func StudyGrid(name string, scale workload.Scale) (Grid, error) {
+	st, ok := Studies()[name]
+	if !ok {
+		return Grid{}, fmt.Errorf("sweep: unknown study %q (want one of %v)", name, StudyNames())
+	}
+	return st(scale), nil
+}

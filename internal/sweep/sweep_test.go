@@ -1,0 +1,269 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// TestSweepMatchesDirectRuns pins the acceptance property: a grid point's
+// cycle count is bit-identical to a standalone system.New + Run with the
+// same mutated configuration.
+func TestSweepMatchesDirectRuns(t *testing.T) {
+	g := Grid{
+		Name:      "flowtable-mini",
+		Scale:     workload.ScaleTiny,
+		Workloads: []string{"lud"},
+		Schemes:   []system.Scheme{system.SchemeARFtid},
+		Axes: []Axis{
+			Ints("are.max_flows", []int{64, 256},
+				func(cfg *system.Config, v int) { cfg.ARE.MaxFlows = v }),
+		},
+	}
+	res, err := Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	for i, mf := range []int{64, 256} {
+		cfg := system.DefaultConfig(system.SchemeARFtid)
+		cfg.ARE.MaxFlows = mf
+		sys, err := system.New(cfg, "lud", workload.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := res.Points[i]
+		if p.Cycles != direct.Cycles {
+			t.Fatalf("point %d: sweep cycles %d != direct cycles %d", i, p.Cycles, direct.Cycles)
+		}
+		if p.Instructions != direct.Instructions {
+			t.Fatalf("point %d: instruction count diverges", i)
+		}
+		if p.ConfigHash != cfg.Hash() {
+			t.Fatalf("point %d: config hash mismatch", i)
+		}
+	}
+	if res.Points[0].ConfigHash == res.Points[1].ConfigHash {
+		t.Fatal("distinct grid points share a config hash")
+	}
+}
+
+// TestSweepDeterministicOrder checks grid order: axes outermost, then
+// workload, then scheme — independent of pool scheduling.
+func TestSweepDeterministicOrder(t *testing.T) {
+	g := Grid{
+		Name:      "order",
+		Scale:     workload.ScaleTiny,
+		Workloads: []string{"reduce", "mac"},
+		Schemes:   []system.Scheme{system.SchemeHMC, system.SchemeARFtid},
+		Axes: []Axis{
+			Ints("memnet.link_bw", []int{16, 32},
+				func(cfg *system.Config, v int) { cfg.MemNet.LinkBandwidth = v }),
+		},
+	}
+	if g.Size() != 8 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	res, err := Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		coord, wl, sch string
+	}{
+		{"16", "reduce", "HMC"}, {"16", "reduce", "ARF-tid"},
+		{"16", "mac", "HMC"}, {"16", "mac", "ARF-tid"},
+		{"32", "reduce", "HMC"}, {"32", "reduce", "ARF-tid"},
+		{"32", "mac", "HMC"}, {"32", "mac", "ARF-tid"},
+	}
+	for i, w := range want {
+		p := res.Points[i]
+		if p.Index != i || p.Coords[0] != w.coord || p.Workload != w.wl || p.Scheme != w.sch {
+			t.Fatalf("point %d = %+v, want %+v", i, p, w)
+		}
+	}
+}
+
+// TestSweepInvalidConfigFails checks that validation runs per point and
+// aborts the sweep.
+func TestSweepInvalidConfigFails(t *testing.T) {
+	g := Grid{
+		Name:      "invalid",
+		Scale:     workload.ScaleTiny,
+		Workloads: []string{"reduce"},
+		Schemes:   []system.Scheme{system.SchemeARFtid},
+		Axes: []Axis{
+			Ints("are.max_flows", []int{0},
+				func(cfg *system.Config, v int) { cfg.ARE.MaxFlows = v }),
+		},
+	}
+	_, err := Run(context.Background(), g)
+	if err == nil || !strings.Contains(err.Error(), "MaxFlows") {
+		t.Fatalf("invalid point not rejected: %v", err)
+	}
+}
+
+// TestSweepCancelledBeforeStart checks that a cancelled sweep returns
+// promptly without running any grid point.
+func TestSweepCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := LinkBandwidthStudy(workload.ScaleTiny)
+	res, err := Run(ctx, g)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned (%v, %v)", res, err)
+	}
+}
+
+// TestPoolFailFast checks with one worker (deterministic schedule) that the
+// first error stops every queued job.
+func TestPoolFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := RunJobs(context.Background(), 100, 1, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d jobs ran after the failure", n)
+	}
+}
+
+// TestPoolFailFastParallel checks under real parallelism that a failure
+// cancels the jobs' context and the pool drains without running the whole
+// queue to completion.
+func TestPoolFailFastParallel(t *testing.T) {
+	boom := errors.New("boom")
+	var sawCancel atomic.Bool
+	err := RunJobs(context.Background(), 64, 4, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			sawCancel.Store(true)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestPoolReportsLowestIndexError checks deterministic error selection when
+// several jobs fail.
+func TestPoolReportsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := RunJobs(context.Background(), 4, 1, func(ctx context.Context, i int) error {
+		switch i {
+		case 1:
+			return errA
+		case 2:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want lowest-index error", err)
+	}
+}
+
+func TestPoolCompletesAllJobs(t *testing.T) {
+	var ran atomic.Int64
+	if err := RunJobs(context.Background(), 50, 8, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50 jobs", ran.Load())
+	}
+}
+
+func TestStudiesResolve(t *testing.T) {
+	for _, name := range StudyNames() {
+		g, err := StudyGrid(name, workload.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Size() == 0 {
+			t.Fatalf("study %s expands to an empty grid", name)
+		}
+	}
+	if _, err := StudyGrid("nope", workload.ScaleTiny); err == nil {
+		t.Fatal("unknown study accepted")
+	}
+}
+
+func TestEmitters(t *testing.T) {
+	g := Grid{
+		Name:      "emit",
+		Scale:     workload.ScaleTiny,
+		Workloads: []string{"reduce"},
+		Schemes:   []system.Scheme{system.SchemeARFtid},
+		Axes: []Axis{
+			Ints("are.operand_bufs", []int{16, 32},
+				func(cfg *system.Config, v int) { cfg.ARE.OperandBufs = v }),
+		},
+	}
+	res, err := Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&csvBuf, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"study": "emit"`, `"are.operand_bufs"`, `"config_hash"`} {
+		if !strings.Contains(jsonBuf.String(), want) {
+			t.Fatalf("JSON output missing %s", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 points", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "index,are.operand_bufs,workload,scheme") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "NaN") || strings.Contains(l, "Inf") {
+			t.Fatalf("CSV contains non-finite value: %q", l)
+		}
+	}
+}
+
+func TestSweepEmptyAxisRejected(t *testing.T) {
+	g := Grid{
+		Name:      "empty-axis",
+		Scale:     workload.ScaleTiny,
+		Workloads: []string{"reduce"},
+		Schemes:   []system.Scheme{system.SchemeHMC},
+		Axes:      []Axis{{Name: "are.max_flows"}},
+	}
+	if _, err := Run(context.Background(), g); err == nil || !strings.Contains(err.Error(), "no values") {
+		t.Fatalf("empty axis accepted: %v", err)
+	}
+}

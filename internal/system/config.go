@@ -8,6 +8,7 @@ package system
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -130,6 +131,51 @@ type Config struct {
 	MaxCycles uint64
 	// IPCSampleCycles sets the Fig 5.8 sampling window.
 	IPCSampleCycles uint64
+}
+
+// Validate rejects configurations the machine cannot be built or run with.
+// It covers every field the sweep axes mutate plus the structural minima the
+// assembly code assumes; DefaultConfig always validates.
+func (c *Config) Validate() error {
+	checks := []struct {
+		ok   bool
+		what string
+	}{
+		{c.Threads > 0, "Threads must be positive"},
+		{c.Core.IssueWidth > 0 && c.Core.CommitWidth > 0, "core issue/commit width must be positive"},
+		{c.Core.ROBSize > 0, "core ROB size must be positive"},
+		{c.L1.SizeBytes > 0 && c.L1.Ways > 0, "L1 geometry must be positive"},
+		{c.L2.BankSizeBytes > 0 && c.L2.Ways > 0, "L2 geometry must be positive"},
+		{c.NoC.LinkBandwidth > 0, "NoC.LinkBandwidth must be positive"},
+		{c.NoC.VCs > 0 && c.NoC.QueueDepth > 0, "NoC queues must be positive"},
+		{c.MemNet.LinkBandwidth > 0, "MemNet.LinkBandwidth must be positive"},
+		{c.MemNet.VCs > 0 && c.MemNet.QueueDepth > 0, "MemNet queues must be positive"},
+		{c.ARE.MaxFlows > 0, "ARE.MaxFlows must be positive"},
+		{c.ARE.OperandBufs > 0, "ARE.OperandBufs must be positive"},
+		{c.ARE.DecodeRate > 0 && c.ARE.ALURate > 0, "ARE decode/ALU rates must be positive"},
+		{c.DRAMGeom.Channels > 0, "DRAM channels must be positive"},
+		{c.HMCGeom.Cubes > 0 && c.HMCGeom.VaultsPerCube > 0, "HMC geometry must be positive"},
+		{c.CoordQueue > 0, "CoordQueue must be positive"},
+		{c.MIQueue > 0 && c.MIWindow > 0, "MI queue/window must be positive"},
+		{c.MaxCycles > 0, "MaxCycles must be positive"},
+		{c.IPCSampleCycles > 0, "IPCSampleCycles must be positive"},
+	}
+	for _, ch := range checks {
+		if !ch.ok {
+			return fmt.Errorf("system: invalid config: %s", ch.what)
+		}
+	}
+	return nil
+}
+
+// Hash returns a stable 64-bit digest of the full configuration, used to
+// key sweep results: two runs share a hash iff every configuration field
+// (including nested component configs) is identical. The config structs are
+// all plain value types, so the %#v rendering is deterministic.
+func (c *Config) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", *c)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // mcTiles are the NoC tiles hosting the four memory controllers (Table

@@ -1,0 +1,59 @@
+package system
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigValidates(t *testing.T) {
+	for _, sch := range append(Schemes(), SchemeARFtidAdaptive, SchemeARFea) {
+		cfg := DefaultConfig(sch)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: default config invalid: %v", sch, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero flows", func(c *Config) { c.ARE.MaxFlows = 0 }, "MaxFlows"},
+		{"negative operand bufs", func(c *Config) { c.ARE.OperandBufs = -1 }, "OperandBufs"},
+		{"zero link bw", func(c *Config) { c.MemNet.LinkBandwidth = 0 }, "LinkBandwidth"},
+		{"zero threads", func(c *Config) { c.Threads = 0 }, "Threads"},
+		{"zero max cycles", func(c *Config) { c.MaxCycles = 0 }, "MaxCycles"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(SchemeARFtid)
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("%s: invalid config accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestConfigHashStability(t *testing.T) {
+	a := DefaultConfig(SchemeARFtid)
+	b := DefaultConfig(SchemeARFtid)
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical configs hash differently")
+	}
+	b.ARE.MaxFlows = 8
+	if a.Hash() == b.Hash() {
+		t.Fatal("mutated config shares hash with default")
+	}
+	c := DefaultConfig(SchemeHMC)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different schemes share a hash")
+	}
+	if len(a.Hash()) != 16 {
+		t.Fatalf("hash %q is not 16 hex digits", a.Hash())
+	}
+}

@@ -36,8 +36,11 @@ type Results struct {
 	Energy power.Breakdown
 	PowerW power.Breakdown
 	EDP    float64
-	// Fig 5.8 aggregate IPC trace.
+	// Fig 5.8 aggregate IPC trace (cycle-windowed machine-wide sampler).
 	IPCTrace []stats.IPCPoint
+	// CoreIPC is each core's instruction-windowed IPC series (per-thread
+	// phase traces; window = 2^14 instructions).
+	CoreIPC [][]stats.IPCPoint
 
 	Cache      cache.Stats
 	Coord      core.CoordStats
@@ -479,6 +482,7 @@ func (s *System) collect() *Results {
 		IPCTrace: s.ipcTrace,
 	}
 	for _, c := range s.cores {
+		r.CoreIPC = append(r.CoreIPC, append([]stats.IPCPoint(nil), c.IPC.Points...))
 		r.Instructions += c.Stats.Retired
 		r.CoreStats.Retired += c.Stats.Retired
 		r.CoreStats.Loads += c.Stats.Loads

@@ -16,6 +16,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -95,6 +96,32 @@ const (
 	// ScaleMedium stresses the memory system harder (slower runs).
 	ScaleMedium
 )
+
+// String names the scale the way the CLIs spell it.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// ParseScale parses a CLI scale name (case-insensitive).
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want tiny, small, medium)", s)
+}
 
 // F64Array is a simulated array of float64 living in the workload's
 // address space.
