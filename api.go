@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/service"
 	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -157,6 +158,40 @@ func SweepStudies() []string { return sweep.StudyNames() }
 func SweepStudy(name string, scale Scale) (SweepGrid, error) {
 	return sweep.StudyGrid(name, scale)
 }
+
+// AllSchemes returns every evaluated configuration, including the §5.4
+// adaptive case study and the §6 energy-aware extension.
+func AllSchemes() []Scheme { return system.AllSchemes() }
+
+// ParseScheme parses a scheme by its figure label ("DRAM", "ARF-tid", ...),
+// the inverse of Scheme.String.
+func ParseScheme(name string) (Scheme, error) { return system.ParseScheme(name) }
+
+// Service types: the simulation-as-a-service layer behind cmd/arserved — a
+// sharded content-addressed result cache (key: Config.Hash() + workload +
+// scheme + scale) with singleflight de-duplication and one shared worker
+// budget for ad-hoc jobs, figure suites and sweeps. See DESIGN.md.
+type (
+	ServiceOptions = service.Options
+	ServiceServer  = service.Server
+	ServiceJob     = service.Job
+	ServiceStats   = service.Stats
+	ServiceClient  = service.Client
+
+	ServiceRunRequest   = service.RunRequest
+	ServiceRunResponse  = service.RunResponse
+	ServiceSweepRequest = service.SweepRequest
+)
+
+// NewService builds an embeddable service server (cache + scheduler +
+// statistics); Handler() exposes it over HTTP the way cmd/arserved does.
+func NewService(opts ServiceOptions) *ServiceServer { return service.New(opts) }
+
+// NewServiceClient builds a Go client for an arserved daemon.
+func NewServiceClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
+
+// ServiceFigureIDs lists the figure ids /figures/{id} serves.
+func ServiceFigureIDs() []string { return service.FigureIDs() }
 
 // PortPolicy is the coordinator's tree-rooting policy (ART vs ARF-tid vs
 // ARF-addr).

@@ -1,0 +1,79 @@
+// Command arserved is the simulation-as-a-service daemon: an HTTP/JSON
+// front end over the Active-Routing simulator with a content-addressed
+// result cache, singleflight de-duplication and one shared worker budget
+// for every kind of request.
+//
+// Usage:
+//
+//	arserved -addr :8080                 # serve with GOMAXPROCS workers
+//	arserved -addr :8080 -workers 4
+//
+// Endpoints:
+//
+//	POST /run           {"workload":"mac","scheme":"ARF-tid","scale":"tiny"}
+//	POST /sweep         {"study":"flowtable","scale":"tiny"}
+//	GET  /figures/{id}  e.g. /figures/5.1a?scale=tiny
+//	GET  /healthz       liveness probe
+//	GET  /stats         cache hit rate, in-flight jobs, queue depth
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: the listener closes, new
+// connections are refused, in-flight requests (including their running
+// simulations) complete, then the process exits. A second signal, or the
+// drain deadline expiring, aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "shared simulation worker budget (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "result cache shard count (0 = 16)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	svc := service.New(service.Options{Workers: *workers, Shards: *shards})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "arserved: listening on %s (workers=%d)\n", *addr, svc.Budget().Cap())
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. port in use).
+		fmt.Fprintln(os.Stderr, "arserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "arserved: draining (in-flight requests run to completion)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "arserved: drain aborted:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "arserved:", err)
+		os.Exit(1)
+	}
+	st := svc.Stats()
+	fmt.Fprintf(os.Stderr, "arserved: drained cleanly (served %d sims, %d cache hits, hit rate %.2f)\n",
+		st.SimsCompleted, st.CacheHits, st.HitRate)
+}

@@ -468,21 +468,41 @@ type IPCSample struct {
 	IPC    float64
 }
 
+// Fig58Schemes lists the case study's schemes in trace order.
+func Fig58Schemes() []system.Scheme {
+	return []system.Scheme{system.SchemeHMC, system.SchemeARFtid, system.SchemeARFtidAdaptive}
+}
+
 // Fig58 runs the case study at the given scale.
 func Fig58(scale workload.Scale) (*Fig58Result, error) {
-	schemes := []system.Scheme{system.SchemeHMC, system.SchemeARFtid, system.SchemeARFtidAdaptive}
-	out := &Fig58Result{Schemes: schemes}
-	cycles := make([]uint64, len(schemes))
+	schemes := Fig58Schemes()
+	runs := make([]*system.Results, len(schemes))
 	for i, sch := range schemes {
 		cfg := system.DefaultConfig(sch)
 		sys, err := system.New(cfg, "lud_phase", scale)
 		if err != nil {
 			return nil, err
 		}
-		r, err := sys.Run()
-		if err != nil {
+		if runs[i], err = sys.Run(); err != nil {
 			return nil, err
 		}
+	}
+	return Fig58From(schemes, runs)
+}
+
+// Fig58From derives the case study tables from completed lud_phase runs,
+// one per scheme in order. The direct Fig58 path and the service layer's
+// cache-resolved /figures/5.8 path share this derivation, so a fix here
+// reaches both. Speedups derive only after every run completed: an earlier
+// version read the HMC cycle count before it was guaranteed set, so any
+// scheme ordered ahead of HMC got 0/cycles = +Inf.
+func Fig58From(schemes []system.Scheme, runs []*system.Results) (*Fig58Result, error) {
+	if len(runs) != len(schemes) {
+		return nil, fmt.Errorf("experiments: Fig 5.8: %d runs for %d schemes", len(runs), len(schemes))
+	}
+	out := &Fig58Result{Schemes: schemes}
+	cycles := make([]uint64, len(schemes))
+	for i, r := range runs {
 		var tr []IPCSample
 		for _, p := range r.IPCTrace {
 			tr = append(tr, IPCSample{MInsts: float64(p.Insts) / 1e6, IPC: p.IPC})
@@ -490,9 +510,6 @@ func Fig58(scale workload.Scale) (*Fig58Result, error) {
 		out.Traces = append(out.Traces, tr)
 		cycles[i] = r.Cycles
 	}
-	// Speedups derive only after every run completed: the old loop read the
-	// HMC cycle count before it was guaranteed set, so any scheme ordered
-	// ahead of HMC got 0/cycles = +Inf.
 	sp, err := fig58Speedups(schemes, cycles)
 	if err != nil {
 		return nil, err

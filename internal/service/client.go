@@ -1,0 +1,121 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/sweep"
+)
+
+// Client is the Go client for an arserved daemon. The zero HTTP client is
+// usable; BaseURL is the daemon root (e.g. "http://localhost:8080").
+type Client struct {
+	BaseURL string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call performs one JSON round trip; in decodes into out (out may be nil).
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("service client: encoding %s request: %w", path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("service client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var problem struct {
+			Error string `json:"error"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&problem); derr == nil && problem.Error != "" {
+			return fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, problem.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Run submits one simulation job and returns the (possibly cached) result.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	var out RunResponse
+	if err := c.call(ctx, http.MethodPost, "/run", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep runs a named built-in study on the daemon.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*sweep.Result, error) {
+	var out sweep.Result
+	if err := c.call(ctx, http.MethodPost, "/sweep", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Figure fetches one derived figure; the data table is returned raw so
+// callers can decode into the figure's concrete type or feed it to tooling.
+func (c *Client) Figure(ctx context.Context, id, scale string) (*RawFigure, error) {
+	var out RawFigure
+	path := "/figures/" + url.PathEscape(id) + "?scale=" + url.QueryEscape(scale)
+	if err := c.call(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RawFigure is FigureResponse with the data table left undecoded.
+type RawFigure struct {
+	Figure string          `json:"figure"`
+	Scale  string          `json:"scale"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// Stats fetches the daemon's statistics snapshot.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.call(ctx, http.MethodGet, "/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz probes daemon liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/healthz", nil, nil)
+}

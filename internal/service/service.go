@@ -1,0 +1,207 @@
+// Package service is the simulation-as-a-service layer: a content-addressed
+// result cache plus a bounded shared scheduler in front of the simulator,
+// exposed over HTTP by cmd/arserved.
+//
+// Active-Routing experiments are pure functions of (Config, workload,
+// scheme, scale) — the simulator is deterministic by machine definition
+// (DESIGN.md, pinned by the golden and determinism tests) — so results are
+// cacheable by configuration identity: the cache key is Config.Hash() plus
+// the workload name, scheme and scale. Concurrent identical requests are
+// de-duplicated with singleflight so each distinct key simulates exactly
+// once, and every simulation (ad-hoc job, suite run behind a figure, sweep
+// point) draws a slot from one shared worker budget, so the daemon's total
+// simulation parallelism is bounded no matter how requests mix.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Job is one simulation request: a workload × scheme × scale triple with an
+// optional full machine configuration (nil means DefaultConfig(Scheme)).
+type Job struct {
+	Workload string
+	Scheme   system.Scheme
+	Scale    workload.Scale
+	Config   *system.Config
+}
+
+// normalize fills in the default configuration, forces the config's scheme
+// to the job's, and validates everything a run would trip over.
+func (j Job) normalize() (Job, error) {
+	if j.Config == nil {
+		cfg := system.DefaultConfig(j.Scheme)
+		j.Config = &cfg
+	} else {
+		cfg := *j.Config // callers keep ownership of their config
+		cfg.Scheme = j.Scheme
+		j.Config = &cfg
+	}
+	if err := j.Config.Validate(); err != nil {
+		return Job{}, err
+	}
+	// workload.New validates name, scale and thread count; constructors
+	// are bare struct literals (traces build at Init), so this is cheap.
+	// It is the same gate system.New applies.
+	if _, err := workload.New(j.Workload, j.Scale, j.Config.Threads); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}
+
+// Key is the content address of a normalized job: the full-configuration
+// hash joined with the workload, scheme and scale. Two jobs share a key iff
+// a deterministic simulator must produce bit-identical Results for them.
+func (j Job) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%s", j.Config.Hash(), j.Workload, j.Scheme, j.Scale)
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds total simulation parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Shards sets the cache shard count; 0 means 16.
+	Shards int
+}
+
+// Server is the embeddable service core: cache + scheduler + statistics.
+// cmd/arserved wraps it in an HTTP daemon; tests drive it directly.
+type Server struct {
+	budget *sweep.Budget
+	cache  *resultCache
+	start  time.Time
+
+	mu       sync.Mutex
+	hits     uint64
+	misses   uint64
+	started  uint64 // simulations begun (the singleflight test pins this)
+	done     uint64 // simulations completed successfully
+	failures uint64
+}
+
+// New builds a server.
+func New(opts Options) *Server {
+	return &Server{
+		budget: sweep.NewBudget(opts.Workers),
+		cache:  newResultCache(opts.Shards),
+		start:  time.Now(),
+	}
+}
+
+// Budget exposes the shared worker budget so callers embedding the server
+// can schedule their own work against the same cap.
+func (s *Server) Budget() *sweep.Budget { return s.budget }
+
+// Run executes one job through the cache: a repeat of a completed job is a
+// pure lookup, concurrent identical jobs coalesce onto one simulation, and
+// a fresh job acquires a budget slot and simulates. The bool reports
+// whether the result came from the cache (including coalesced waits).
+//
+// The returned Results are shared across callers and must be treated as
+// read-only.
+func (s *Server) Run(ctx context.Context, job Job) (*system.Results, bool, error) {
+	norm, err := job.normalize()
+	if err != nil {
+		return nil, false, fmt.Errorf("service: %w", err)
+	}
+	return s.runNormalized(ctx, norm)
+}
+
+// runNormalized is Run past the request gate; job must already be
+// normalized (the HTTP handler normalizes once and calls this directly).
+func (s *Server) runNormalized(ctx context.Context, job Job) (*system.Results, bool, error) {
+	res, hit, err := s.cache.do(ctx, job.Key(), func() (*system.Results, error) {
+		return s.simulate(ctx, job)
+	})
+	s.mu.Lock()
+	if err != nil {
+		s.failures++
+	} else if hit {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return res, hit, err
+}
+
+// simulate runs one normalized job under the shared budget. Once a slot is
+// held the run goes to completion — the simulator has no mid-run preemption
+// points — so cancellation only short-circuits the queue wait.
+func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error) {
+	if err := s.budget.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.budget.Release()
+	s.mu.Lock()
+	s.started++
+	s.mu.Unlock()
+	sys, err := system.New(*job.Config, job.Workload, job.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s/%s: %w", job.Scheme, job.Workload, err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("service: %s/%s: %w", job.Scheme, job.Workload, err)
+	}
+	s.mu.Lock()
+	s.done++
+	s.mu.Unlock()
+	return res, nil
+}
+
+// Sweep executes a named built-in study at the given scale on the shared
+// budget. Sweep points mutate configurations away from the defaults and are
+// not routed through the result cache (the cache serves the repeat-heavy
+// /run and /figures traffic; a sweep is a one-shot grid).
+func (s *Server) Sweep(ctx context.Context, study string, scale workload.Scale) (*sweep.Result, error) {
+	grid, err := sweep.StudyGrid(study, scale)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.RunOn(ctx, grid, s.budget)
+}
+
+// Stats is a point-in-time statistics snapshot.
+type Stats struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Workers        int     `json:"workers"`
+	InFlight       int     `json:"in_flight"`
+	QueueDepth     int     `json:"queue_depth"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	HitRate        float64 `json:"hit_rate"`
+	SimsStarted    uint64  `json:"sims_started"`
+	SimsCompleted  uint64  `json:"sims_completed"`
+	FailedRequests uint64  `json:"failed_requests"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		CacheHits:      s.hits,
+		CacheMisses:    s.misses,
+		SimsStarted:    s.started,
+		SimsCompleted:  s.done,
+		FailedRequests: s.failures,
+	}
+	s.mu.Unlock()
+	st.UptimeSeconds = time.Since(s.start).Seconds()
+	st.Workers = s.budget.Cap()
+	st.InFlight = s.budget.InUse()
+	st.QueueDepth = s.budget.Waiting()
+	st.CacheEntries = s.cache.len()
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSharedBudgetBoundsConcurrency runs several pools concurrently on one
+// shared budget and asserts their combined in-flight job count never
+// exceeds the budget cap — the property the service layer relies on to
+// bound total simulation parallelism across sweeps, suites and ad-hoc jobs.
+func TestSharedBudgetBoundsConcurrency(t *testing.T) {
+	const cap = 2
+	b := NewBudget(cap)
+	var inFlight, peak atomic.Int64
+	job := func(ctx context.Context, i int) error {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for pool := 0; pool < 3; pool++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunJobsOn(context.Background(), 8, b, job); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Errorf("peak concurrency %d exceeded shared budget cap %d", p, cap)
+	}
+	if got := b.InUse(); got != 0 {
+		t.Errorf("budget InUse = %d after drain, want 0", got)
+	}
+	if got := b.Waiting(); got != 0 {
+		t.Errorf("budget Waiting = %d after drain, want 0", got)
+	}
+}
+
+// TestBudgetAcquireHonorsCancel pins that a blocked Acquire returns when
+// the context dies instead of waiting for a slot forever.
+func TestBudgetAcquireHonorsCancel(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Acquire(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Acquire succeeded on a full budget with a dead context")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire did not observe cancellation")
+	}
+	b.Release()
+	if got := b.InUse(); got != 0 {
+		t.Errorf("InUse = %d, want 0", got)
+	}
+}

@@ -140,10 +140,19 @@ func (g *Grid) expand() []jobSpec {
 	return jobs
 }
 
-// Run executes the grid. On the first failing point (or context
-// cancellation) the pool cancels: queued points never start and the error
-// propagates with the point's coordinates attached.
+// Run executes the grid on a private worker budget sized by g.Workers. On
+// the first failing point (or context cancellation) the pool cancels:
+// queued points never start and the error propagates with the point's
+// coordinates attached.
 func Run(ctx context.Context, g Grid) (*Result, error) {
+	return RunOn(ctx, g, NewBudget(g.Workers))
+}
+
+// RunOn executes the grid drawing workers from the shared budget b (nil
+// means a private GOMAXPROCS-sized budget), so a sweep scheduled by the
+// service layer competes for the same slots as every other job instead of
+// oversubscribing the machine.
+func RunOn(ctx context.Context, g Grid, b *Budget) (*Result, error) {
 	if len(g.Workloads) == 0 || len(g.Schemes) == 0 {
 		return nil, fmt.Errorf("sweep %s: grid needs at least one workload and one scheme", g.Name)
 	}
@@ -154,7 +163,7 @@ func Run(ctx context.Context, g Grid) (*Result, error) {
 	}
 	jobs := g.expand()
 	points := make([]Point, len(jobs))
-	err := RunJobs(ctx, len(jobs), g.Workers, func(ctx context.Context, i int) error {
+	err := RunJobsOn(ctx, len(jobs), b, func(ctx context.Context, i int) error {
 		j := jobs[i]
 		cfg := system.DefaultConfig(j.scheme)
 		for _, mut := range j.mutators {

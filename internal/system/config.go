@@ -9,6 +9,7 @@ package system
 import (
 	"fmt"
 	"hash/fnv"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -39,6 +40,24 @@ const (
 // Schemes returns the five headline configurations in figure order.
 func Schemes() []Scheme {
 	return []Scheme{SchemeDRAM, SchemeHMC, SchemeART, SchemeARFtid, SchemeARFaddr}
+}
+
+// AllSchemes returns every evaluated configuration, including the §5.4
+// adaptive case study and the §6 energy-aware extension.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeDRAM, SchemeHMC, SchemeART, SchemeARFtid,
+		SchemeARFaddr, SchemeARFtidAdaptive, SchemeARFea}
+}
+
+// ParseScheme parses a scheme by its figure label (case-insensitive), the
+// inverse of Scheme.String.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range AllSchemes() {
+		if strings.EqualFold(name, s.String()) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("system: unknown scheme %q (want one of DRAM, HMC, ART, ARF-tid, ARF-addr, ARF-tid-adaptive, ARF-ea)", name)
 }
 
 // String names the scheme as the figures label it.
@@ -141,6 +160,7 @@ func (c *Config) Validate() error {
 		ok   bool
 		what string
 	}{
+		{c.Scheme >= SchemeDRAM && c.Scheme <= SchemeARFea, "Scheme out of range"},
 		{c.Threads > 0, "Threads must be positive"},
 		{c.Core.IssueWidth > 0 && c.Core.CommitWidth > 0, "core issue/commit width must be positive"},
 		{c.Core.ROBSize > 0, "core ROB size must be positive"},

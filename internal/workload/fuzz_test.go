@@ -1,0 +1,44 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzWorkloadNew asserts the workload registry's gate: New with an
+// arbitrary (name, scale, threads) triple either returns a workload or an
+// error — never a panic, and never both or neither. The service layer
+// feeds New directly from untrusted request bodies, so this boundary is
+// load-bearing.
+func FuzzWorkloadNew(f *testing.F) {
+	for _, name := range workload.Registered() {
+		f.Add(name, 0, 16)
+	}
+	f.Add("", 0, 0)
+	f.Add("no_such_benchmark", 1, 16)
+	f.Add("mac", -1, 16)
+	f.Add("mac", 99, 16)
+	f.Add("mac", 0, -3)
+	f.Add("mac", 0, workload.MaxThreads+1)
+	f.Add("lud\x00phase", 2, 1)
+	f.Fuzz(func(t *testing.T, name string, scale int, threads int) {
+		wl, err := workload.New(name, workload.Scale(scale), threads)
+		if err == nil && wl == nil {
+			t.Fatalf("New(%q, %d, %d) returned neither workload nor error", name, scale, threads)
+		}
+		if err != nil && wl != nil {
+			t.Fatalf("New(%q, %d, %d) returned both a workload and error %v", name, scale, threads, err)
+		}
+		if err == nil {
+			// Whatever New accepts must self-report a stable name and be
+			// constructible again with the same answer.
+			if wl.Name() == "" {
+				t.Fatalf("New(%q, %d, %d): empty workload name", name, scale, threads)
+			}
+			if _, err2 := workload.New(name, workload.Scale(scale), threads); err2 != nil {
+				t.Fatalf("New(%q, %d, %d) succeeded then failed: %v", name, scale, threads, err2)
+			}
+		}
+	})
+}

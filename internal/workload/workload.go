@@ -276,8 +276,23 @@ func checkClose(what string, got, want float64) error {
 	return nil
 }
 
-// New constructs a workload by thesis name.
+// MaxThreads bounds the thread count a workload accepts: the simulated
+// machine has 16 cores, and per-thread trace construction is linear in
+// threads, so an absurd count is a caller bug rather than a bigger machine.
+const MaxThreads = 1024
+
+// New constructs a workload by thesis name. All three arguments are
+// validated here — an unknown name, out-of-range scale or non-positive
+// thread count is an error, never a panic — so callers assembling jobs
+// from untrusted input (the service layer, fuzzers) can rely on New as
+// the gate.
 func New(name string, scale Scale, threads int) (Workload, error) {
+	if scale < ScaleTiny || scale > ScaleMedium {
+		return nil, fmt.Errorf("workload: unknown scale %d (want tiny, small, medium)", int(scale))
+	}
+	if threads <= 0 || threads > MaxThreads {
+		return nil, fmt.Errorf("workload: thread count %d out of range [1,%d]", threads, MaxThreads)
+	}
 	switch name {
 	case "reduce":
 		return NewReduce(scale, threads, false), nil
@@ -303,6 +318,16 @@ func New(name string, scale Scale, threads int) (Workload, error) {
 		return NewLUDPhase(scale, threads), nil
 	default:
 		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+}
+
+// Registered lists every workload name New accepts: the two figure suites
+// plus the variants only individual studies use (mac_vec, lud_phase). Kept
+// in sync with New's switch by TestRegisteredConstructs.
+func Registered() []string {
+	return []string{
+		"reduce", "rand_reduce", "mac", "mac_vec", "rand_mac",
+		"sgemm", "spmv", "backprop", "pagerank", "lud", "lud_phase",
 	}
 }
 
