@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -200,11 +202,27 @@ type benchReport struct {
 	CyclesPerSec float64    `json:"cycles_per_sec"`
 }
 
+// stampBenchPath derives the output filename for a benchmark report:
+// unless the caller opted out ("-" or a path already containing the
+// ".fig51a." stamp), the suite and scale are inserted before the
+// extension — BENCH_after.json at ScaleSmall becomes
+// BENCH_after.fig51a.small.json — so reports from different suites and
+// scales can be committed side by side without overwriting each other.
+func stampBenchPath(path, suite, scaleName string) string {
+	if path == "-" || strings.Contains(path, "."+suite+".") {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + suite + "." + scaleName + ext
+}
+
 // runBenchJSON times every (benchmark, scheme) pair of the Fig 5.1a suite
 // serially (so per-run wall times are not distorted by parallelism) and
-// writes the JSON report to path ("-" for stdout).
+// writes the JSON report to path ("-" for stdout), with suite and scale
+// stamped into the filename.
 func runBenchJSON(path string, scale workload.Scale, scaleName string) error {
 	rep := benchReport{Suite: "fig5.1a", Scale: scaleName}
+	path = stampBenchPath(path, "fig51a", scaleName)
 	for _, wl := range workload.Benchmarks() {
 		for _, sch := range system.Schemes() {
 			sys, err := system.New(system.DefaultConfig(sch), wl, scale)
@@ -246,7 +264,7 @@ func runBenchJSON(path string, scale workload.Scale, scaleName string) error {
 func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate (all, table4.1, 5.1a, 5.1b, 5.2a, 5.2b, 5.3, 5.4, 5.5, 5.6, 5.7, 5.8)")
 	scaleFlag := flag.String("scale", "small", "input scale (tiny, small, medium)")
-	benchFlag := flag.String("benchjson", "", "write a machine-readable Fig 5.1a wall-clock benchmark report to this file (use - for stdout) and exit")
+	benchFlag := flag.String("benchjson", "", "write a machine-readable Fig 5.1a wall-clock benchmark report to this file, with suite+scale stamped into the name (use - for stdout), and exit")
 	flag.Parse()
 
 	scale, err := workload.ParseScale(*scaleFlag)

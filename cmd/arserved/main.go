@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,7 +42,20 @@ func main() {
 	workers := flag.Int("workers", 0, "shared simulation worker budget (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "result cache shard count (0 = 16)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux at import
+		// time; serve that mux on its own listener so profiling stays off
+		// the public API address.
+		go func() {
+			fmt.Fprintf(os.Stderr, "arserved: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "arserved: pprof:", err)
+			}
+		}()
+	}
 
 	svc := service.New(service.Options{Workers: *workers, Shards: *shards})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}

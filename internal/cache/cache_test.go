@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/mem"
+	"repro/internal/network"
 )
 
 // harness wires one L1 and one L2 bank directly (no NoC): messages route by
@@ -43,8 +44,8 @@ func newHarness(t *testing.T) *harness {
 	cfg2 := DefaultL2Config()
 	cfg2.BankSizeBytes = 4 << 10
 	cfg2.Ways = 4
-	h.l1 = NewL1(0, cfg1, l1Send, func(mem.PAddr) int { return 100 })
-	h.l2 = NewL2Bank(100, cfg2, l2Send, memPort)
+	h.l1 = NewL1(0, cfg1, l1Send, func(mem.PAddr) int { return 100 }, nil)
+	h.l2 = NewL2Bank(100, cfg2, l2Send, memPort, nil)
 	return h
 }
 
@@ -210,7 +211,7 @@ func TestMsgClassification(t *testing.T) {
 			t.Fatalf("%s must carry a block", m)
 		}
 	}
-	p := PacketFor(&Msg{Type: MsgData}, 1, 2)
+	p := PacketFor(network.NewPool(), &Msg{Type: MsgData}, 1, 2)
 	if p.Size <= 16 {
 		t.Fatal("data message packet must include block payload")
 	}
@@ -245,9 +246,9 @@ func newTwoL1(t *testing.T) *twoL1Harness {
 	cfg2 := DefaultL2Config()
 	cfg2.BankSizeBytes = 4 << 10
 	cfg2.Ways = 4
-	h.l1s[0] = NewL1(0, cfg1, send, func(mem.PAddr) int { return 100 })
-	h.l1s[1] = NewL1(1, cfg1, send, func(mem.PAddr) int { return 100 })
-	h.l2 = NewL2Bank(100, cfg2, send, memPort)
+	h.l1s[0] = NewL1(0, cfg1, send, func(mem.PAddr) int { return 100 }, nil)
+	h.l1s[1] = NewL1(1, cfg1, send, func(mem.PAddr) int { return 100 }, nil)
+	h.l2 = NewL2Bank(100, cfg2, send, memPort, nil)
 	return h
 }
 

@@ -63,15 +63,24 @@ type L1 struct {
 	lines   [][]l1Line
 	lruTick uint64
 
-	mshrs    map[mem.PAddr]*l1MSHR
-	unsent   []*l1MSHR // misses whose request the NoC refused, in FIFO order
-	send     Sender
-	homeBank func(block mem.PAddr) int
+	// mshrs holds the live miss entries. The capacity is cfg.MSHRs (8 in
+	// the evaluation machine), so a linear scan beats a map on both lookup
+	// and allocation.
+	mshrs     []*l1MSHR
+	unsent    []*l1MSHR // misses whose request the NoC refused, in FIFO order
+	mshrFree  []*l1MSHR // recycled MSHR entries (waiters arrays retained)
+	send      Sender
+	homeBank  func(block mem.PAddr) int
+	pool      *MsgPool
 
-	inQ        []*Msg
-	outbox     []outMsg
+	inQ        sim.FIFO[*Msg]
+	outbox     sim.FIFO[outMsg]
 	calls      []timedCall
 	callsSpare []timedCall
+
+	// waker invalidates the engine's cached idle hint on external input
+	// (Access from the core, Deliver from the NoC).
+	waker *sim.Waker
 
 	Stats Stats
 }
@@ -80,20 +89,24 @@ type L1 struct {
 const never = sim.Never
 
 // NewL1 builds an L1 for core id. send injects messages into the NoC;
-// homeBank maps a block to its S-NUCA L2 bank tile.
-func NewL1(id int, cfg L1Config, send Sender, homeBank func(mem.PAddr) int) *L1 {
+// homeBank maps a block to its S-NUCA L2 bank tile; pool is the machine's
+// shared coherence-message free list.
+func NewL1(id int, cfg L1Config, send Sender, homeBank func(mem.PAddr) int, pool *MsgPool) *L1 {
 	sets := cfg.SizeBytes / mem.BlockSize / cfg.Ways
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: L1 set count %d must be a positive power of two", sets))
+	}
+	if pool == nil {
+		pool = NewMsgPool()
 	}
 	l := &L1{
 		ID:       id,
 		cfg:      cfg,
 		sets:     sets,
 		lines:    make([][]l1Line, sets),
-		mshrs:    make(map[mem.PAddr]*l1MSHR),
 		send:     send,
 		homeBank: homeBank,
+		pool:     pool,
 	}
 	for i := range l.lines {
 		l.lines[i] = make([]l1Line, cfg.Ways)
@@ -115,20 +128,34 @@ func (l *L1) find(block mem.PAddr) *l1Line {
 	return nil
 }
 
+// SetWaker implements sim.WakeSetter.
+func (l *L1) SetWaker(w *sim.Waker) { l.waker = w }
+
 // MSHRsInUse reports outstanding misses.
 func (l *L1) MSHRsInUse() int { return len(l.mshrs) }
 
+// findMSHR returns the live miss entry for block, or nil.
+func (l *L1) findMSHR(block mem.PAddr) *l1MSHR {
+	for _, ms := range l.mshrs {
+		if ms.block == block {
+			return ms
+		}
+	}
+	return nil
+}
+
 // Busy reports whether any miss, queued message or pending send remains.
 func (l *L1) Busy() bool {
-	return len(l.mshrs) > 0 || len(l.inQ) > 0 || len(l.outbox) > 0 || len(l.calls) > 0
+	return len(l.mshrs) > 0 || l.inQ.Len() > 0 || l.outbox.Len() > 0 || len(l.calls) > 0
 }
 
 // Access performs a load (write=false) or store (write=true) at addr. done
 // fires when the access completes. It reports false when the access cannot
 // be accepted this cycle (MSHR pressure); the core retries.
 func (l *L1) Access(addr mem.PAddr, write bool, cycle uint64, done func(cycle uint64)) bool {
+	l.waker.Wake()
 	block := mem.BlockAlign(addr)
-	if ms, ok := l.mshrs[block]; ok {
+	if ms := l.findMSHR(block); ms != nil {
 		// Coalesce reads into any outstanding miss and writes into write
 		// misses; a write behind a read miss waits for the fill.
 		if write && !ms.write {
@@ -159,8 +186,10 @@ func (l *L1) Access(addr mem.PAddr, write bool, cycle uint64, done func(cycle ui
 	}
 	l.Stats.L1Accesses++
 	l.Stats.L1Misses++
-	ms := &l1MSHR{block: block, write: write, waiters: []func(uint64){done}}
-	l.mshrs[block] = ms
+	ms := l.getMSHR()
+	ms.block, ms.write = block, write
+	ms.waiters = append(ms.waiters, done)
+	l.mshrs = append(l.mshrs, ms)
 	l.trySendMiss(ms)
 	if !ms.sent {
 		l.unsent = append(l.unsent, ms)
@@ -168,14 +197,36 @@ func (l *L1) Access(addr mem.PAddr, write bool, cycle uint64, done func(cycle ui
 	return true
 }
 
+// getMSHR returns a recycled (or fresh) MSHR entry with retained waiters
+// capacity; releaseMSHR returns it after the fill completes.
+func (l *L1) getMSHR() *l1MSHR {
+	if n := len(l.mshrFree); n > 0 {
+		ms := l.mshrFree[n-1]
+		l.mshrFree = l.mshrFree[:n-1]
+		return ms
+	}
+	return &l1MSHR{}
+}
+
+func (l *L1) releaseMSHR(ms *l1MSHR) {
+	for i := range ms.waiters {
+		ms.waiters[i] = nil
+	}
+	ms.waiters = ms.waiters[:0]
+	ms.sent = false
+	l.mshrFree = append(l.mshrFree, ms)
+}
+
 func (l *L1) trySendMiss(ms *l1MSHR) {
 	t := MsgGetS
 	if ms.write {
 		t = MsgGetX
 	}
-	m := &Msg{Type: t, Block: ms.block, From: l.ID}
+	m := l.pool.Get(t, ms.block, l.ID)
 	if l.send(l.homeBank(ms.block), m) {
 		ms.sent = true
+	} else {
+		l.pool.Put(m)
 	}
 }
 
@@ -190,17 +241,18 @@ func (l *L1) after(at uint64, fn func(uint64)) {
 
 func (l *L1) post(dst int, m *Msg) {
 	if !l.send(dst, m) {
-		l.outbox = append(l.outbox, outMsg{dst: dst, m: m})
+		l.outbox.Push(outMsg{dst: dst, m: m})
 	}
 }
 
 // Deliver accepts a coherence message from the NoC; false refuses it
 // (bounded input queue).
 func (l *L1) Deliver(m *Msg, cycle uint64) bool {
-	if len(l.inQ) >= l.cfg.InQDepth {
+	if l.inQ.Len() >= l.cfg.InQDepth {
 		return false
 	}
-	l.inQ = append(l.inQ, m)
+	l.inQ.Push(m)
+	l.waker.Wake()
 	return true
 }
 
@@ -209,7 +261,7 @@ func (l *L1) Deliver(m *Msg, cycle uint64) bool {
 // Waiting on an outstanding (sent) miss is quiescent — the fill arrives via
 // Deliver.
 func (l *L1) NextWork(now uint64) uint64 {
-	if len(l.unsent) > 0 || len(l.outbox) > 0 || len(l.calls) > 0 || len(l.inQ) > 0 {
+	if len(l.unsent) > 0 || l.outbox.Len() > 0 || len(l.calls) > 0 || l.inQ.Len() > 0 {
 		return now
 	}
 	return never
@@ -230,12 +282,12 @@ func (l *L1) Tick(cycle uint64) {
 		l.unsent = kept
 	}
 	// Retry outbox.
-	for len(l.outbox) > 0 {
-		o := l.outbox[0]
+	for l.outbox.Len() > 0 {
+		o := l.outbox.Peek()
 		if !l.send(o.dst, o.m) {
 			break
 		}
-		l.outbox = l.outbox[1:]
+		l.outbox.Pop()
 	}
 	// Fire completions.
 	if len(l.calls) > 0 {
@@ -251,13 +303,14 @@ func (l *L1) Tick(cycle uint64) {
 		l.callsSpare = due[:0]
 	}
 	// Process messages.
-	for n := 0; n < 4 && len(l.inQ) > 0; n++ {
-		m := l.inQ[0]
-		l.inQ = l.inQ[1:]
-		l.handle(m, cycle)
+	for n := 0; n < 4 && l.inQ.Len() > 0; n++ {
+		l.handle(l.inQ.Pop(), cycle)
 	}
 }
 
+// handle consumes one delivered message; every case is synchronous, so the
+// message is released back to the pool on return (the L1's single point of
+// final consumption).
 func (l *L1) handle(m *Msg, cycle uint64) {
 	switch m.Type {
 	case MsgData:
@@ -266,33 +319,47 @@ func (l *L1) handle(m *Msg, cycle uint64) {
 		if line := l.find(m.Block); line != nil {
 			line.state = stInv
 		}
-		l.post(m.From, &Msg{Type: MsgInvAck, Block: m.Block, From: l.ID})
+		ack := l.pool.Get(MsgInvAck, m.Block, l.ID)
+		l.post(m.From, ack)
 	case MsgFetch:
 		dirty := false
 		if line := l.find(m.Block); line != nil {
 			dirty = line.state == stMod
 			line.state = stShared
 		}
-		l.post(m.From, &Msg{Type: MsgFetchResp, Block: m.Block, From: l.ID, Dirty: dirty})
+		resp := l.pool.Get(MsgFetchResp, m.Block, l.ID)
+		resp.Dirty = dirty
+		l.post(m.From, resp)
 	case MsgFetchInv:
 		dirty := false
 		if line := l.find(m.Block); line != nil {
 			dirty = line.state == stMod
 			line.state = stInv
 		}
-		l.post(m.From, &Msg{Type: MsgFetchResp, Block: m.Block, From: l.ID, Dirty: dirty})
+		resp := l.pool.Get(MsgFetchResp, m.Block, l.ID)
+		resp.Dirty = dirty
+		l.post(m.From, resp)
 	default:
 		panic(fmt.Sprintf("cache: L1 %d cannot handle %s", l.ID, m.Type))
 	}
+	l.pool.Put(m)
 }
 
 // fill installs a granted block and wakes the miss's waiters.
 func (l *L1) fill(m *Msg, cycle uint64) {
-	ms, ok := l.mshrs[m.Block]
-	if !ok {
+	ms := l.findMSHR(m.Block)
+	if ms == nil {
 		panic(fmt.Sprintf("cache: L1 %d fill for unknown block %#x", l.ID, uint64(m.Block)))
 	}
-	delete(l.mshrs, m.Block)
+	for i, cand := range l.mshrs {
+		if cand == ms {
+			last := len(l.mshrs) - 1
+			l.mshrs[i] = l.mshrs[last]
+			l.mshrs[last] = nil
+			l.mshrs = l.mshrs[:last]
+			break
+		}
+	}
 
 	// If this was an S->M upgrade the line is already resident.
 	line := l.find(m.Block)
@@ -312,6 +379,7 @@ func (l *L1) fill(m *Msg, cycle uint64) {
 	for _, w := range ms.waiters {
 		l.after(cycle+l.cfg.HitLat, w)
 	}
+	l.releaseMSHR(ms)
 }
 
 // victim selects (and if needed evicts) a way for a new block.
@@ -329,7 +397,9 @@ func (l *L1) victim(block mem.PAddr) *l1Line {
 	l.Stats.L1Evictions++
 	if v.state == stMod {
 		// Dirty writeback to the L2 home bank.
-		l.post(l.homeBank(v.tag), &Msg{Type: MsgPutM, Block: v.tag, From: l.ID, Dirty: true})
+		wb := l.pool.Get(MsgPutM, v.tag, l.ID)
+		wb.Dirty = true
+		l.post(l.homeBank(v.tag), wb)
 	}
 	v.state = stInv
 	return v

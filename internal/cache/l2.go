@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // L2Config sizes one S-NUCA L2 bank (Table 4.1: 16 MB, 16-way over 16
@@ -53,8 +54,26 @@ type txn struct {
 	needFill  bool
 	filled    bool
 	dirtyIn   bool
+	excl      bool // grant pending as exclusive (E/M)
 	queued    []*Msg
 	memTag    uint64
+}
+
+// l2EventKind discriminates the bank's timed events; a typed event record
+// replaces the historical per-transaction closure.
+type l2EventKind uint8
+
+const (
+	evGrant     l2EventKind = iota // directory latency elapsed: send MsgData, finish
+	evBackInval                    // back-inval lookup latency elapsed: ack, finish
+	evInstall                      // retry installing a fetched block
+)
+
+// l2Event is one pending timed action on a transaction.
+type l2Event struct {
+	at   uint64
+	kind l2EventKind
+	t    *txn
 }
 
 // MemPort is the bank's path to main memory (wired by the system to an MC
@@ -71,25 +90,35 @@ type L2Bank struct {
 	lines [][]l2Line
 	lruTk uint64
 
-	busy map[mem.PAddr]*txn
-	send Sender
-	mem  MemPort
+	busy    map[mem.PAddr]*txn
+	txnFree []*txn // recycled transactions (queued arrays retained)
+	send    Sender
+	mem     MemPort
+	pool    *MsgPool
 
-	inQ        []*Msg
-	outbox     []outMsg
-	calls      []timedCall
-	callsSpare []timedCall
+	inQ        sim.FIFO[*Msg]
+	outbox     sim.FIFO[outMsg]
+	calls      []l2Event
+	callsSpare []l2Event
 	memQ       []func() bool // deferred memory ops awaiting port space
+
+	// waker invalidates the engine's cached idle hint on external input
+	// (Deliver) and on work queued from memory completion callbacks
+	// (after/post/memAccess run inside those callbacks too).
+	waker *sim.Waker
 
 	Stats Stats
 }
 
 // NewL2Bank builds bank id. send posts NoC messages; memPort accesses main
-// memory.
-func NewL2Bank(id int, cfg L2Config, send Sender, memPort MemPort) *L2Bank {
+// memory; pool is the machine's shared coherence-message free list.
+func NewL2Bank(id int, cfg L2Config, send Sender, memPort MemPort, pool *MsgPool) *L2Bank {
 	sets := cfg.BankSizeBytes / mem.BlockSize / cfg.Ways
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: L2 set count %d must be a positive power of two", sets))
+	}
+	if pool == nil {
+		pool = NewMsgPool()
 	}
 	b := &L2Bank{
 		ID:    id,
@@ -99,6 +128,7 @@ func NewL2Bank(id int, cfg L2Config, send Sender, memPort MemPort) *L2Bank {
 		busy:  make(map[mem.PAddr]*txn),
 		send:  send,
 		mem:   memPort,
+		pool:  pool,
 	}
 	for i := range b.lines {
 		b.lines[i] = make([]l2Line, cfg.Ways)
@@ -108,6 +138,9 @@ func NewL2Bank(id int, cfg L2Config, send Sender, memPort MemPort) *L2Bank {
 	}
 	return b
 }
+
+// SetWaker implements sim.WakeSetter.
+func (b *L2Bank) SetWaker(w *sim.Waker) { b.waker = w }
 
 // BankOf maps a block to its home bank among nbanks (S-NUCA block
 // interleave).
@@ -131,16 +164,17 @@ func (b *L2Bank) find(block mem.PAddr) *l2Line {
 
 // Busy reports in-flight work.
 func (b *L2Bank) Busy() bool {
-	return len(b.busy) > 0 || len(b.inQ) > 0 || len(b.outbox) > 0 ||
+	return len(b.busy) > 0 || b.inQ.Len() > 0 || b.outbox.Len() > 0 ||
 		len(b.calls) > 0 || len(b.memQ) > 0
 }
 
 // Deliver accepts a NoC message; false refuses it.
 func (b *L2Bank) Deliver(m *Msg, cycle uint64) bool {
-	if len(b.inQ) >= b.cfg.InQDepth {
+	if b.inQ.Len() >= b.cfg.InQDepth {
 		return false
 	}
-	b.inQ = append(b.inQ, m)
+	b.inQ.Push(m)
+	b.waker.Wake()
 	return true
 }
 
@@ -149,7 +183,7 @@ func (b *L2Bank) Deliver(m *Msg, cycle uint64) bool {
 // messages. Transactions blocked on acks/fetches/fills advance through
 // Deliver and memory callbacks, not through Tick.
 func (b *L2Bank) NextWork(now uint64) uint64 {
-	if len(b.outbox) > 0 || len(b.memQ) > 0 || len(b.calls) > 0 || len(b.inQ) > 0 {
+	if b.outbox.Len() > 0 || len(b.memQ) > 0 || len(b.calls) > 0 || b.inQ.Len() > 0 {
 		return now
 	}
 	return never
@@ -157,12 +191,12 @@ func (b *L2Bank) NextWork(now uint64) uint64 {
 
 // Tick processes queued messages, retries sends and fires completions.
 func (b *L2Bank) Tick(cycle uint64) {
-	for len(b.outbox) > 0 {
-		o := b.outbox[0]
+	for b.outbox.Len() > 0 {
+		o := b.outbox.Peek()
 		if !b.send(o.dst, o.m) {
 			break
 		}
-		b.outbox = b.outbox[1:]
+		b.outbox.Pop()
 	}
 	if len(b.memQ) > 0 {
 		kept := b.memQ[:0]
@@ -178,38 +212,63 @@ func (b *L2Bank) Tick(cycle uint64) {
 		b.calls = b.callsSpare[:0]
 		for _, c := range due {
 			if c.at <= cycle {
-				c.fn(cycle)
+				b.fire(c, cycle)
 			} else {
 				b.calls = append(b.calls, c)
 			}
 		}
 		b.callsSpare = due[:0]
 	}
-	for n := 0; n < 4 && len(b.inQ) > 0; n++ {
-		m := b.inQ[0]
-		b.inQ = b.inQ[1:]
-		b.handle(m, cycle)
+	for n := 0; n < 4 && b.inQ.Len() > 0; n++ {
+		b.handle(b.inQ.Pop(), cycle)
 	}
 }
 
 func (b *L2Bank) post(dst int, m *Msg) {
 	m.From = b.ID
 	if !b.send(dst, m) {
-		b.outbox = append(b.outbox, outMsg{dst: dst, m: m})
+		b.outbox.Push(outMsg{dst: dst, m: m})
+		b.waker.Wake()
 	}
 }
 
-func (b *L2Bank) after(at uint64, fn func(uint64)) {
-	b.calls = append(b.calls, timedCall{at: at, fn: fn})
+func (b *L2Bank) after(at uint64, kind l2EventKind, t *txn) {
+	b.calls = append(b.calls, l2Event{at: at, kind: kind, t: t})
+	b.waker.Wake()
+}
+
+// fire executes one due event. Transaction fields are read before finish()
+// recycles the record.
+func (b *L2Bank) fire(ev l2Event, now uint64) {
+	t := ev.t
+	switch ev.kind {
+	case evGrant:
+		d := b.pool.Get(MsgData, t.block, b.ID)
+		d.Excl = t.excl
+		b.post(t.requester, d)
+		b.finish(t, now)
+	case evBackInval:
+		requester, block, memTag := t.requester, t.block, t.memTag
+		b.finish(t, now)
+		d := b.pool.Get(MsgBackInvalD, block, b.ID)
+		d.Tag = memTag
+		b.post(requester, d)
+	case evInstall:
+		b.install(t, now)
+	}
 }
 
 func (b *L2Bank) memAccess(block mem.PAddr, write bool, done func(uint64)) {
 	try := func() bool { return b.mem(block, write, done) }
 	if !try() {
 		b.memQ = append(b.memQ, try)
+		b.waker.Wake()
 	}
 }
 
+// handle consumes one delivered message and releases it back to the pool,
+// except requests that queue behind a busy transaction — those stay owned
+// by the transaction and are consumed when finish() replays them.
 func (b *L2Bank) handle(m *Msg, cycle uint64) {
 	switch m.Type {
 	case MsgGetS, MsgGetX, MsgBackInvalQ:
@@ -244,12 +303,26 @@ func (b *L2Bank) handle(m *Msg, cycle uint64) {
 	default:
 		panic(fmt.Sprintf("cache: L2 bank %d cannot handle %s", b.ID, m.Type))
 	}
+	b.pool.Put(m)
 }
 
-// start opens a directory transaction for a request message.
+// getTxn returns a recycled (or fresh) transaction with retained queued
+// capacity.
+func (b *L2Bank) getTxn() *txn {
+	if n := len(b.txnFree); n > 0 {
+		t := b.txnFree[n-1]
+		b.txnFree = b.txnFree[:n-1]
+		return t
+	}
+	return &txn{}
+}
+
+// start opens a directory transaction for a request message. The message
+// itself is fully consumed here (the caller releases it on return).
 func (b *L2Bank) start(m *Msg, cycle uint64) {
 	b.Stats.L2Accesses++
-	t := &txn{block: m.Block, requester: m.From}
+	t := b.getTxn()
+	t.block, t.requester = m.Block, m.From
 	switch m.Type {
 	case MsgGetS:
 		t.kind = txGetS
@@ -276,10 +349,7 @@ func (b *L2Bank) start(m *Msg, cycle uint64) {
 			} else if line != nil {
 				line.valid = false
 			}
-			b.after(cycle+b.cfg.HitLat, func(now uint64) {
-				b.finish(t, now)
-				b.post(t.requester, &Msg{Type: MsgBackInvalD, Block: t.block, Tag: t.memTag})
-			})
+			b.after(cycle+b.cfg.HitLat, evBackInval, t)
 			return
 		}
 		b.Stats.BackInvalHit++
@@ -298,7 +368,7 @@ func (b *L2Bank) start(m *Msg, cycle uint64) {
 		if line.owner >= 0 && line.owner != t.requester {
 			t.waitFetch = true
 			b.Stats.Fetches++
-			b.post(line.owner, &Msg{Type: MsgFetch, Block: t.block})
+			b.post(line.owner, b.pool.Get(MsgFetch, t.block, b.ID))
 			// The owner downgrades to S and becomes a plain sharer.
 			line.sharers |= 1 << uint(line.owner)
 			line.owner = -1
@@ -323,7 +393,7 @@ func (b *L2Bank) collectExclusive(t *txn, line *l2Line, keep int) {
 		}
 		t.waitAcks++
 		b.Stats.Invals++
-		b.post(c, &Msg{Type: MsgInval, Block: t.block})
+		b.post(c, b.pool.Get(MsgInval, t.block, b.ID))
 	}
 	line.sharers &= 1 << uint(max(keep, 0))
 	if keep < 0 {
@@ -332,7 +402,7 @@ func (b *L2Bank) collectExclusive(t *txn, line *l2Line, keep int) {
 	if line.owner >= 0 && line.owner != keep {
 		t.waitFetch = true
 		b.Stats.Fetches++
-		b.post(line.owner, &Msg{Type: MsgFetchInv, Block: t.block})
+		b.post(line.owner, b.pool.Get(MsgFetchInv, t.block, b.ID))
 		line.owner = -1
 	}
 }
@@ -373,8 +443,7 @@ func (b *L2Bank) advance(t *txn, cycle uint64) {
 			b.Stats.MemWrites++
 			b.memAccess(t.block, true, func(uint64) {})
 		}
-		b.finish(t, cycle)
-		b.post(t.requester, &Msg{Type: MsgBackInvalD, Block: t.block, Tag: t.memTag})
+		b.fire(l2Event{kind: evBackInval, t: t}, cycle)
 	}
 }
 
@@ -390,7 +459,7 @@ func (b *L2Bank) fill(t *txn, cycle uint64) {
 func (b *L2Bank) install(t *txn, now uint64) {
 	line := b.installVictim(t.block)
 	if line == nil {
-		b.after(now+1, func(n uint64) { b.install(t, n) })
+		b.after(now+1, evInstall, t)
 		return
 	}
 	line.tag = t.block
@@ -427,12 +496,12 @@ func (b *L2Bank) installVictim(block mem.PAddr) *l2Line {
 	for c := 0; c < 64; c++ {
 		if v.sharers&(1<<uint(c)) != 0 {
 			b.Stats.Invals++
-			b.post(c, &Msg{Type: MsgInval, Block: v.tag})
+			b.post(c, b.pool.Get(MsgInval, v.tag, b.ID))
 		}
 	}
 	if v.owner >= 0 {
 		b.Stats.Invals++
-		b.post(v.owner, &Msg{Type: MsgFetchInv, Block: v.tag})
+		b.post(v.owner, b.pool.Get(MsgFetchInv, v.tag, b.ID))
 	}
 	if v.dirty || v.owner >= 0 {
 		b.Stats.MemWrites++
@@ -455,10 +524,8 @@ func (b *L2Bank) grantS(t *txn, line *l2Line, cycle uint64) {
 	} else {
 		line.sharers |= 1 << uint(t.requester)
 	}
-	b.after(cycle+b.cfg.HitLat, func(now uint64) {
-		b.post(t.requester, &Msg{Type: MsgData, Block: t.block, Excl: excl})
-		b.finish(t, now)
-	})
+	t.excl = excl
+	b.after(cycle+b.cfg.HitLat, evGrant, t)
 }
 
 // grantX completes a write: requester becomes the sole owner.
@@ -467,18 +534,20 @@ func (b *L2Bank) grantX(t *txn, line *l2Line, cycle uint64) {
 	line.lru = b.lruTk
 	line.sharers = 0
 	line.owner = t.requester
-	b.after(cycle+b.cfg.HitLat, func(now uint64) {
-		b.post(t.requester, &Msg{Type: MsgData, Block: t.block, Excl: true})
-		b.finish(t, now)
-	})
+	t.excl = true
+	b.after(cycle+b.cfg.HitLat, evGrant, t)
 }
 
-// finish closes the transaction and replays requests that queued behind it.
+// finish closes the transaction, replays requests that queued behind it,
+// and recycles the transaction record.
 func (b *L2Bank) finish(t *txn, cycle uint64) {
 	delete(b.busy, t.block)
-	for _, q := range t.queued {
+	for i, q := range t.queued {
+		t.queued[i] = nil
 		b.handle(q, cycle)
 	}
+	*t = txn{queued: t.queued[:0]}
+	b.txnFree = append(b.txnFree, t)
 }
 
 // Busy2 exposes in-flight transaction blocks (debug tooling).

@@ -77,6 +77,51 @@ type Msg struct {
 	Tag   uint64
 	Excl  bool // MsgData: exclusive (E) grant
 	Dirty bool // MsgFetchResp/MsgPutM: block was modified
+
+	// poolFree marks a message sitting in a MsgPool free list (double
+	// release guard); zero for messages built outside any pool.
+	poolFree bool
+}
+
+// MsgPool is a free list for coherence messages, shared by every NoC
+// component of one machine (caches, message interfaces, MC ports, tile
+// hubs). Ownership follows the same contract as network.Pool: a Sender call
+// returning true transfers the message to the receiver, which releases it
+// at its single point of final consumption (the cache handle() commit, the
+// tile hub's terminal demux cases). A Sender returning false leaves the
+// message with the caller, which retries. The simulator is single-threaded
+// within one machine, so no locking.
+type MsgPool struct {
+	free []*Msg
+}
+
+// NewMsgPool returns an empty message pool.
+func NewMsgPool() *MsgPool { return &MsgPool{} }
+
+// Get returns a zeroed message with the given header fields, reusing a
+// released message when one is available.
+func (pl *MsgPool) Get(t MsgType, block mem.PAddr, from int) *Msg {
+	var m *Msg
+	if n := len(pl.free); n > 0 {
+		m = pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*m = Msg{}
+	} else {
+		m = &Msg{}
+	}
+	m.Type, m.Block, m.From = t, block, from
+	return m
+}
+
+// Put releases a message back to the free list; releasing one that is
+// already free panics (lifecycle bug).
+func (pl *MsgPool) Put(m *Msg) {
+	if m.poolFree {
+		panic(fmt.Sprintf("cache: double release of message %s block %#x", m.Type, uint64(m.Block)))
+	}
+	m.poolFree = true
+	pl.free = append(pl.free, m)
 }
 
 // Sender injects coherence messages into the NoC; the system package wires
@@ -84,13 +129,13 @@ type Msg struct {
 type Sender func(dstTile int, m *Msg) bool
 
 // PacketFor wraps m into a NoC packet from srcTile to dstTile with the
-// correct traffic class and wire size.
-func PacketFor(m *Msg, srcTile, dstTile int) *network.Packet {
+// correct traffic class and wire size, acquired from the fabric's pool.
+func PacketFor(pool *network.Pool, m *Msg, srcTile, dstTile int) *network.Packet {
 	kind := network.HostMsg
 	if m.Type.isResponse() {
 		kind = network.HostMsgResp
 	}
-	p := network.NewPacket(0, kind, srcTile, dstTile)
+	p := pool.Get(kind, srcTile, dstTile)
 	if m.Type.carriesData() {
 		p.Size = network.HeaderBytes + mem.BlockSize
 	}

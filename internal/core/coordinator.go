@@ -116,7 +116,8 @@ type Coordinator struct {
 	geom     mem.HMCGeometry
 	ports    []Port
 	store    *mem.Store
-	queues   [][]*network.Packet
+	pool     *network.Pool // packet free list of the memory-network fabric
+	queues   []sim.FIFO[*network.Packet]
 	queueCap int
 
 	flows       map[mem.PAddr]*coordFlow
@@ -127,25 +128,38 @@ type Coordinator struct {
 	// (PolicyEnergyAware); nil falls back to the address policy.
 	dist func(port, cube int) int
 
+	// waker invalidates the engine's cached idle hint on external input
+	// (Enqueue* from the MIs, controller response callbacks).
+	waker *sim.Waker
+
 	Stats CoordStats
 }
 
-// NewCoordinator builds the runtime over the given ports.
-func NewCoordinator(policy PortPolicy, geom mem.HMCGeometry, ports []Port, store *mem.Store, queueCap int) *Coordinator {
+// NewCoordinator builds the runtime over the given ports. pool is the
+// packet free list of the fabric the ports inject into (nil allocates a
+// private pool, for tests).
+func NewCoordinator(policy PortPolicy, geom mem.HMCGeometry, ports []Port, store *mem.Store, pool *network.Pool, queueCap int) *Coordinator {
 	if queueCap <= 0 {
 		queueCap = 32
+	}
+	if pool == nil {
+		pool = network.NewPool()
 	}
 	return &Coordinator{
 		policy:      policy,
 		geom:        geom,
 		ports:       ports,
 		store:       store,
-		queues:      make([][]*network.Packet, len(ports)),
+		pool:        pool,
+		queues:      make([]sim.FIFO[*network.Packet], len(ports)),
 		queueCap:    queueCap,
 		flows:       make(map[mem.PAddr]*coordFlow),
 		pendingAcks: make(map[uint64]*coordFlow),
 	}
 }
+
+// SetWaker implements sim.WakeSetter.
+func (c *Coordinator) SetWaker(w *sim.Waker) { c.waker = w }
 
 // portFor applies the scheme's port selection policy.
 func (c *Coordinator) portFor(cmd UpdateCmd) int {
@@ -223,7 +237,7 @@ func (c *Coordinator) EnqueueUpdate(cmd UpdateCmd, cycle uint64) bool {
 		// cube, independent of the tree policy.
 		_, port = c.activeStoreRoute(cmd)
 	}
-	if len(c.queues[port]) >= c.queueCap {
+	if c.queues[port].Len() >= c.queueCap {
 		c.Stats.EnqueueRejects++
 		return false
 	}
@@ -240,7 +254,7 @@ func (c *Coordinator) EnqueueUpdate(cmd UpdateCmd, cycle uint64) bool {
 			panic(fmt.Sprintf("core: update for target %#x after its gather", uint64(cmd.Target)))
 		}
 		f.trees[port] = true
-		p = network.NewPacket(0, network.UpdateReq, c.ports[port].Node(), c.ports[port].EntryNode())
+		p = c.pool.Get(network.UpdateReq, c.ports[port].Node(), c.ports[port].EntryNode())
 		p.Flow = network.FlowKey{Flow: uint64(cmd.Target), Tree: uint8(port)}
 		p.Op = cmd.Op
 		p.Src1, p.Src2, p.Target = cmd.Src1, cmd.Src2, cmd.Target
@@ -251,7 +265,8 @@ func (c *Coordinator) EnqueueUpdate(cmd UpdateCmd, cycle uint64) bool {
 		c.Stats.ActiveStores++
 	}
 	p.InjectCycle = cycle
-	c.queues[port] = append(c.queues[port], p)
+	c.queues[port].Push(p)
+	c.waker.Wake()
 	return true
 }
 
@@ -270,7 +285,7 @@ func (c *Coordinator) activeStoreRoute(cmd UpdateCmd) (dstCube, port int) {
 // non-nil for flow final write-backs.
 func (c *Coordinator) activeStorePacket(cmd UpdateCmd, f *coordFlow) *network.Packet {
 	dstCube, port := c.activeStoreRoute(cmd)
-	p := network.NewPacket(0, network.ActiveStoreReq, c.ports[port].Node(), c.nodeOfCube(port, dstCube))
+	p := c.pool.Get(network.ActiveStoreReq, c.ports[port].Node(), c.nodeOfCube(port, dstCube))
 	p.Op = cmd.Op
 	p.Src1 = cmd.Src1
 	p.Target = cmd.Target
@@ -305,20 +320,24 @@ func (c *Coordinator) EnqueueGather(cmd GatherCmd, cycle uint64) bool {
 	return true
 }
 
+// EnqueueGather wakes the coordinator only through releaseGather (the
+// gather barrier itself queues nothing until the last thread arrives).
+
 // releaseGather fires the gather wave: one GatherReq down each live tree,
 // queued behind that port's pending updates (FIFO order is the correctness
 // argument for tree teardown — see DESIGN.md).
 func (c *Coordinator) releaseGather(f *coordFlow, cycle uint64) {
 	f.gatherSent = true
+	c.waker.Wake()
 	for port, live := range f.trees {
 		if !live {
 			continue
 		}
-		p := network.NewPacket(0, network.GatherReq, c.ports[port].Node(), c.ports[port].EntryNode())
+		p := c.pool.Get(network.GatherReq, c.ports[port].Node(), c.ports[port].EntryNode())
 		p.Flow = network.FlowKey{Flow: uint64(f.target), Tree: uint8(port)}
 		p.Op = f.op
 		p.InjectCycle = cycle
-		c.queues[port] = append(c.queues[port], p)
+		c.queues[port].Push(p)
 		f.pendingTree++
 	}
 	if f.pendingTree == 0 {
@@ -353,7 +372,8 @@ func (c *Coordinator) finalize(f *coordFlow, cycle uint64) {
 	p := c.activeStorePacket(cmd, f)
 	p.InjectCycle = cycle
 	_, port := c.activeStoreRoute(cmd)
-	c.queues[port] = append(c.queues[port], p)
+	c.queues[port].Push(p)
+	c.waker.Wake()
 }
 
 // OnActiveAck completes an active store; for flow write-backs it releases
@@ -379,7 +399,7 @@ func (c *Coordinator) OnActiveAck(p *network.Packet, cycle uint64) {
 // callbacks.
 func (c *Coordinator) NextWork(now uint64) uint64 {
 	for port := range c.queues {
-		if len(c.queues[port]) > 0 {
+		if c.queues[port].Len() > 0 {
 			return now
 		}
 	}
@@ -389,13 +409,12 @@ func (c *Coordinator) NextWork(now uint64) uint64 {
 // Tick drains the per-port command queues into the network.
 func (c *Coordinator) Tick(cycle uint64) {
 	for port := range c.queues {
-		for n := 0; n < 4 && len(c.queues[port]) > 0; n++ {
-			p := c.queues[port][0]
-			if !c.ports[port].Inject(p) {
+		for n := 0; n < 4 && c.queues[port].Len() > 0; n++ {
+			if !c.ports[port].Inject(c.queues[port].Peek()) {
 				c.Stats.PortStalls++
 				break
 			}
-			c.queues[port] = c.queues[port][1:]
+			c.queues[port].Pop()
 		}
 	}
 }
@@ -405,8 +424,8 @@ func (c *Coordinator) Busy() bool {
 	if len(c.flows) > 0 || len(c.pendingAcks) > 0 {
 		return true
 	}
-	for _, q := range c.queues {
-		if len(q) > 0 {
+	for port := range c.queues {
+		if c.queues[port].Len() > 0 {
 			return true
 		}
 	}

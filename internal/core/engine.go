@@ -29,6 +29,15 @@ type Cube interface {
 	NextHopToCube(cube int) int
 }
 
+// TagReader is an optional Cube extension: a tag-routed local operand read
+// whose completion arrives through OperandResp(tag, value, cycle) instead
+// of a per-access callback. The hmc cube implements it so the engine's
+// local-fetch hot path allocates nothing; plain Cube implementations (test
+// fakes) fall back to VaultAccess.
+type TagReader interface {
+	VaultReadTag(pa mem.PAddr, tag uint64) bool
+}
+
 // EngineConfig sizes one Active-Routing Engine.
 type EngineConfig struct {
 	MaxFlows    int    // Active Flow Table capacity
@@ -77,33 +86,51 @@ type EngineStats struct {
 type Engine struct {
 	CubeID int
 	Node   int // network node id of the host cube
-	cfg    EngineConfig
-	cube   Cube
+	cfg       EngineConfig
+	cube      Cube
+	tagReader TagReader     // non-nil when cube supports tag-routed reads
+	pool      *network.Pool // packet free list shared with the host fabric
 
 	Flows *FlowTable
 
-	inQ       []*network.Packet
-	outQ      [3][]*network.Packet // per-class forwarding buffers (see emit)
+	inQ       sim.FIFO[*network.Packet]
+	outQ      [3]sim.FIFO[*network.Packet] // per-class forwarding buffers (see emit)
 	byTag     map[uint64]*OperandEntry
-	sendQ     []*OperandEntry // operand requests not yet issued
-	readyQ    []*OperandEntry // operands complete, waiting for the ALU
+	sendQ     []*OperandEntry         // operand requests not yet issued
+	readyQ    sim.FIFO[*OperandEntry] // operands complete, waiting for the ALU
+	oeFree    []*OperandEntry         // recycled operand entries
 	nextTag   uint64
 	bypassOff bool // ablation: disable the single-operand bypass
+
+	// clockMask enables mask arithmetic for the (common) power-of-two
+	// ClockDiv; valid only when clockPow2.
+	clockMask uint64
+	clockPow2 bool
 
 	Stats     EngineStats
 	Breakdown stats.LatencyBreakdown
 }
 
-// NewEngine builds an ARE for the given cube.
-func NewEngine(cubeID, node int, cfg EngineConfig, cube Cube) *Engine {
+// NewEngine builds an ARE for the given cube. pool is the packet free list
+// of the fabric the cube injects into (nil allocates a private pool, for
+// tests).
+func NewEngine(cubeID, node int, cfg EngineConfig, cube Cube, pool *network.Pool) *Engine {
+	if pool == nil {
+		pool = network.NewPool()
+	}
+	tagReader, _ := cube.(TagReader)
 	return &Engine{
 		CubeID:    cubeID,
 		Node:      node,
 		cfg:       cfg,
 		cube:      cube,
+		tagReader: tagReader,
+		pool:      pool,
 		Flows:     NewFlowTable(cfg.MaxFlows),
 		byTag:     make(map[uint64]*OperandEntry),
 		bypassOff: cfg.BypassOff,
+		clockMask: cfg.ClockDiv - 1,
+		clockPow2: cfg.ClockDiv&(cfg.ClockDiv-1) == 0,
 	}
 }
 
@@ -113,12 +140,12 @@ func (e *Engine) SetBypass(on bool) { e.bypassOff = !on }
 
 // Busy reports whether the engine still holds any in-flight state.
 func (e *Engine) Busy() bool {
-	if len(e.inQ) > 0 || len(e.byTag) > 0 || len(e.sendQ) > 0 ||
-		len(e.readyQ) > 0 || e.Flows.Size() > 0 {
+	if e.inQ.Len() > 0 || len(e.byTag) > 0 || len(e.sendQ) > 0 ||
+		e.readyQ.Len() > 0 || e.Flows.Size() > 0 {
 		return true
 	}
-	for _, q := range e.outQ {
-		if len(q) > 0 {
+	for i := range e.outQ {
+		if e.outQ[i].Len() > 0 {
 			return true
 		}
 	}
@@ -136,12 +163,13 @@ func (e *Engine) Deliver(p *network.Packet, cycle uint64) bool {
 			panic("core: gather response handling cannot stall")
 		}
 		e.Stats.DecodedPackets++
+		e.pool.Put(p) // consumed synchronously
 		return true
 	}
-	if len(e.inQ) >= e.cfg.InQDepth {
+	if e.inQ.Len() >= e.cfg.InQDepth {
 		return false
 	}
-	e.inQ = append(e.inQ, p)
+	e.inQ.Push(p)
 	return true
 }
 
@@ -150,9 +178,12 @@ func (e *Engine) Deliver(p *network.Packet, cycle uint64) bool {
 // remote operands or gather responses advances through Deliver and
 // OperandResp, not through Tick.
 func (e *Engine) NextWork(now uint64) uint64 {
-	if len(e.inQ) == 0 && len(e.sendQ) == 0 && len(e.readyQ) == 0 &&
-		len(e.outQ[0]) == 0 && len(e.outQ[1]) == 0 && len(e.outQ[2]) == 0 {
+	if e.inQ.Len() == 0 && len(e.sendQ) == 0 && e.readyQ.Len() == 0 &&
+		e.outQ[0].Len() == 0 && e.outQ[1].Len() == 0 && e.outQ[2].Len() == 0 {
 		return sim.Never
+	}
+	if e.clockPow2 {
+		return (now + e.clockMask) &^ e.clockMask
 	}
 	if rem := now % e.cfg.ClockDiv; rem != 0 {
 		return now + e.cfg.ClockDiv - rem
@@ -162,7 +193,11 @@ func (e *Engine) NextWork(now uint64) uint64 {
 
 // Tick advances the engine one simulator cycle.
 func (e *Engine) Tick(cycle uint64) {
-	if cycle%e.cfg.ClockDiv != 0 {
+	if e.clockPow2 {
+		if cycle&e.clockMask != 0 {
+			return
+		}
+	} else if cycle%e.cfg.ClockDiv != 0 {
 		return
 	}
 	e.drainOut(cycle)
@@ -191,19 +226,19 @@ func (e *Engine) emit(p *network.Packet) {
 	case p.Kind == network.OperandReq:
 		class = 1
 	}
-	e.outQ[class] = append(e.outQ[class], p)
+	e.outQ[class].Push(p)
 }
 
 // drainOut injects buffered packets into the local router, each class in
 // FIFO order.
 func (e *Engine) drainOut(cycle uint64) {
 	for class := 2; class >= 0; class-- {
-		for len(e.outQ[class]) > 0 {
-			if !e.cube.Inject(e.outQ[class][0]) {
+		for e.outQ[class].Len() > 0 {
+			if !e.cube.Inject(e.outQ[class].Peek()) {
 				e.Stats.InjectStalls++
 				break
 			}
-			e.outQ[class] = e.outQ[class][1:]
+			e.outQ[class].Pop()
 		}
 	}
 }
@@ -241,15 +276,22 @@ func (e *Engine) tryIssue(oe *OperandEntry, cycle uint64) {
 func (e *Engine) issueOne(oe *OperandEntry, addr mem.PAddr, tag uint64) bool {
 	home := e.cube.CubeOf(addr)
 	if home == e.CubeID {
-		ok := e.cube.VaultAccess(addr, false, 0, func(v float64, c uint64) {
-			e.operandArrived(tag, v, c)
-		})
+		var ok bool
+		if e.tagReader != nil {
+			// Tag-routed fast path: completion arrives via OperandResp, no
+			// per-access callback allocation.
+			ok = e.tagReader.VaultReadTag(addr, tag)
+		} else {
+			ok = e.cube.VaultAccess(addr, false, 0, func(v float64, c uint64) {
+				e.operandArrived(tag, v, c)
+			})
+		}
 		if ok {
 			e.Stats.VaultAccessesSent++
 		}
 		return ok
 	}
-	p := network.NewPacket(0, network.OperandReq, e.Node, e.cube.NodeOfCube(home))
+	p := e.pool.Get(network.OperandReq, e.Node, e.cube.NodeOfCube(home))
 	p.Addr = addr
 	p.Tag = tag
 	e.emit(p)
@@ -280,17 +322,18 @@ func (e *Engine) operandArrived(tag uint64, v float64, cycle uint64) {
 		panic("core: operand tag mismatch")
 	}
 	if oe.ready() {
-		e.readyQ = append(e.readyQ, oe)
+		e.readyQ.Push(oe)
 	}
 }
 
 // commitReady runs the ALU: up to ALURate updates fold their value into
 // their flow entry per ARE cycle (Fig 3.4(b) "compute and update result").
+// A committed operand entry is fully consumed (its tags were unmapped when
+// the operands arrived) and is recycled.
 func (e *Engine) commitReady(cycle uint64) {
 	n := e.cfg.ALURate
-	for n > 0 && len(e.readyQ) > 0 {
-		oe := e.readyQ[0]
-		e.readyQ = e.readyQ[1:]
+	for n > 0 && e.readyQ.Len() > 0 {
+		oe := e.readyQ.Pop()
 		n--
 		fe := e.Flows.Lookup(oe.Key)
 		if fe == nil {
@@ -307,6 +350,7 @@ func (e *Engine) commitReady(cycle uint64) {
 			oe.issueCycle-oe.arriveCycle,
 			cycle-oe.issueCycle,
 		)
+		e.oeFree = append(e.oeFree, oe)
 		e.maybeComplete(fe)
 	}
 }
@@ -316,8 +360,8 @@ func (e *Engine) commitReady(cycle uint64) {
 // the queue, which backpressures the router — the mechanism behind the
 // stall component of Fig 5.2 and the stall heatmap of Fig 5.3.
 func (e *Engine) decode(cycle uint64) {
-	for n := e.cfg.DecodeRate; n > 0 && len(e.inQ) > 0; n-- {
-		p := e.inQ[0]
+	for n := e.cfg.DecodeRate; n > 0 && e.inQ.Len() > 0; n-- {
+		p := e.inQ.Peek()
 		var consumed bool
 		switch p.Kind {
 		case network.UpdateReq:
@@ -330,8 +374,9 @@ func (e *Engine) decode(cycle uint64) {
 		if !consumed {
 			return
 		}
-		e.inQ = e.inQ[1:]
+		e.inQ.Pop()
 		e.Stats.DecodedPackets++
+		e.pool.Put(p) // decode commit: the packet's final consumption
 	}
 }
 
@@ -356,13 +401,13 @@ func (e *Engine) handleUpdate(p *network.Packet, cycle uint64) bool {
 
 	commit, next := e.updateRoute(p)
 	if !commit {
-		fwd := network.NewPacket(0, network.UpdateReq, e.Node, next)
+		fwd := e.pool.Get(network.UpdateReq, e.Node, next)
 		fwd.Flow, fwd.Op = p.Flow, p.Op
 		fwd.Src1, fwd.Src2, fwd.Target = p.Src1, p.Src2, p.Target
 		fwd.Count = p.Count
 		fwd.InjectCycle = p.InjectCycle
 		e.emit(fwd)
-		fe.Children[next] = true
+		fe.AddChild(next)
 		e.Stats.UpdatesForwarded++
 		return true
 	}
@@ -397,16 +442,22 @@ func (e *Engine) handleUpdate(p *network.Packet, cycle uint64) bool {
 // expandElement commits one (possibly vector-element) update: allocate the
 // buffer, register the fetches and bump the request counter (Fig 3.4(a)).
 func (e *Engine) expandElement(fe *FlowEntry, p *network.Packet, cycle uint64, need2, buffered bool) {
-	oe := &OperandEntry{
-		Key:         p.Flow,
-		Op:          p.Op,
-		Addr1:       p.Src1,
-		Addr2:       p.Src2,
-		need2:       need2,
-		buffered:    buffered,
-		injectCycle: p.InjectCycle,
-		arriveCycle: p.ArriveCycle,
+	var oe *OperandEntry
+	if n := len(e.oeFree); n > 0 {
+		oe = e.oeFree[n-1]
+		e.oeFree = e.oeFree[:n-1]
+		*oe = OperandEntry{}
+	} else {
+		oe = &OperandEntry{}
 	}
+	oe.Key = p.Flow
+	oe.Op = p.Op
+	oe.Addr1 = p.Src1
+	oe.Addr2 = p.Src2
+	oe.need2 = need2
+	oe.buffered = buffered
+	oe.injectCycle = p.InjectCycle
+	oe.arriveCycle = p.ArriveCycle
 	if buffered {
 		e.Stats.operandBufsInUse++
 		if e.Stats.operandBufsInUse > e.Stats.PeakOperandInUse {
@@ -473,14 +524,14 @@ func (e *Engine) handleGatherReq(p *network.Packet, cycle uint64) bool {
 		panic(fmt.Sprintf("core: gather for unknown flow %+v at cube %d", p.Flow, e.CubeID))
 	}
 	fe.Gflag = true
-	for child := range fe.Children {
-		g := network.NewPacket(0, network.GatherReq, e.Node, child)
+	for _, child := range fe.Children {
+		g := e.pool.Get(network.GatherReq, e.Node, child)
 		g.Flow, g.Op = p.Flow, p.Op
 		e.emit(g)
 		fe.pendingChildren++
 	}
 	// Children flags are cleared as responses arrive (Fig 3.4(c)).
-	fe.Children = make(map[int]bool)
+	fe.Children = fe.Children[:0]
 	fe.gatherReplSent = true
 	e.Stats.GatherReqs++
 	e.maybeComplete(fe)
@@ -513,7 +564,7 @@ func (e *Engine) maybeComplete(fe *FlowEntry) {
 		return
 	}
 	fe.completionQd = true
-	p := network.NewPacket(0, network.GatherResp, e.Node, fe.Parent)
+	p := e.pool.Get(network.GatherResp, e.Node, fe.Parent)
 	p.Flow = fe.Key
 	p.Op = fe.Opcode
 	p.Value = fe.Result
@@ -524,5 +575,5 @@ func (e *Engine) maybeComplete(fe *FlowEntry) {
 
 // DebugState reports internal queue depths (debug tooling).
 func (e *Engine) DebugState() (inQ int, out0, out1, out2 int, pendingTags int, sendQ int, readyQ int) {
-	return len(e.inQ), len(e.outQ[0]), len(e.outQ[1]), len(e.outQ[2]), len(e.byTag), len(e.sendQ), len(e.readyQ)
+	return e.inQ.Len(), e.outQ[0].Len(), e.outQ[1].Len(), e.outQ[2].Len(), len(e.byTag), len(e.sendQ), e.readyQ.Len()
 }

@@ -135,8 +135,8 @@ func TestFlowEntryMirrorsTable31(t *testing.T) {
 	if fe.Result != 0 || fe.ReqCount != 0 || fe.RespCnt != 0 || fe.Gflag {
 		t.Fatalf("entry not at identity: %+v", fe)
 	}
-	if fe.Children == nil {
-		t.Fatal("children flags missing")
+	if len(fe.Children) != 0 {
+		t.Fatal("children set must start empty")
 	}
 }
 
@@ -150,7 +150,7 @@ func deliver(t *testing.T, e *Engine, p *network.Packet) {
 
 func TestSingleOperandUpdateCommitsLocally(t *testing.T) {
 	mc := newMockCube(t, 3)
-	e := NewEngine(3, 3, DefaultEngineConfig(), mc)
+	e := NewEngine(3, 3, DefaultEngineConfig(), mc, nil)
 	pa := addrInCube(mc.geom, 3)
 	mc.store.WriteF64(pa, 2.5)
 
@@ -181,7 +181,7 @@ func TestSingleOperandUpdateCommitsLocally(t *testing.T) {
 
 func TestTwoOperandLocalUpdate(t *testing.T) {
 	mc := newMockCube(t, 5)
-	e := NewEngine(5, 5, DefaultEngineConfig(), mc)
+	e := NewEngine(5, 5, DefaultEngineConfig(), mc, nil)
 	a := addrInCube(mc.geom, 5)
 	b := a + 8
 	mc.store.WriteF64(a, 3)
@@ -208,7 +208,7 @@ func TestUpdateForwardsTowardOperands(t *testing.T) {
 	// Both operands at cube 9: cube 5 must forward (record a child), not
 	// commit.
 	mc := newMockCube(t, 5)
-	e := NewEngine(5, 5, DefaultEngineConfig(), mc)
+	e := NewEngine(5, 5, DefaultEngineConfig(), mc, nil)
 	flow := network.FlowKey{Flow: 300}
 	p := updatePacket(flow, isa.OpMac, 9, 9, 16, mc.geom)
 	deliver(t, e, p)
@@ -221,7 +221,7 @@ func TestUpdateForwardsTowardOperands(t *testing.T) {
 	if fe.ReqCount != 0 {
 		t.Fatal("pass-through must not count as local request")
 	}
-	if !fe.Children[9] {
+	if len(fe.Children) != 1 || fe.Children[0] != 9 {
 		t.Fatalf("child flag not recorded: %+v", fe.Children)
 	}
 	if len(mc.out) != 1 || mc.out[0].Kind != network.UpdateReq || mc.out[0].Dst != 9 {
@@ -237,7 +237,7 @@ func TestSplitPointDetection(t *testing.T) {
 	// the mock (NextHop = destination): commit here with two operand
 	// requests (Fig 3.6's cube-3 example).
 	mc := newMockCube(t, 3)
-	e := NewEngine(3, 3, DefaultEngineConfig(), mc)
+	e := NewEngine(3, 3, DefaultEngineConfig(), mc, nil)
 	flow := network.FlowKey{Flow: 400}
 	p := updatePacket(flow, isa.OpMac, 15, 12, 16, mc.geom)
 	deliver(t, e, p)
@@ -260,7 +260,7 @@ func TestSplitPointDetection(t *testing.T) {
 
 func TestOperandResponsesCompleteUpdate(t *testing.T) {
 	mc := newMockCube(t, 3)
-	e := NewEngine(3, 3, DefaultEngineConfig(), mc)
+	e := NewEngine(3, 3, DefaultEngineConfig(), mc, nil)
 	flow := network.FlowKey{Flow: 500}
 	p := updatePacket(flow, isa.OpMac, 15, 12, 16, mc.geom)
 	deliver(t, e, p)
@@ -285,7 +285,7 @@ func TestOperandResponsesCompleteUpdate(t *testing.T) {
 
 func TestGatherTeardownSingleNode(t *testing.T) {
 	mc := newMockCube(t, 3)
-	e := NewEngine(3, 3, DefaultEngineConfig(), mc)
+	e := NewEngine(3, 3, DefaultEngineConfig(), mc, nil)
 	pa := addrInCube(mc.geom, 3)
 	mc.store.WriteF64(pa, 1.5)
 	flow := network.FlowKey{Flow: 600}
@@ -324,7 +324,7 @@ func TestGatherTeardownSingleNode(t *testing.T) {
 
 func TestGatherWaitsForPendingUpdates(t *testing.T) {
 	mc := newMockCube(t, 3)
-	e := NewEngine(3, 3, DefaultEngineConfig(), mc)
+	e := NewEngine(3, 3, DefaultEngineConfig(), mc, nil)
 	pa := addrInCube(mc.geom, 3)
 	mc.store.WriteF64(pa, 1)
 	flow := network.FlowKey{Flow: 700}
@@ -349,7 +349,7 @@ func TestGatherWaitsForPendingUpdates(t *testing.T) {
 
 func TestGatherReplicatesToChildren(t *testing.T) {
 	mc := newMockCube(t, 5)
-	e := NewEngine(5, 5, DefaultEngineConfig(), mc)
+	e := NewEngine(5, 5, DefaultEngineConfig(), mc, nil)
 	flow := network.FlowKey{Flow: 800}
 	// Two pass-through updates toward different cubes create two children.
 	deliver(t, e, updatePacket(flow, isa.OpAdd, 9, -1, 16, mc.geom))
@@ -400,7 +400,7 @@ func TestOperandBufferExhaustionStalls(t *testing.T) {
 	mc := newMockCube(t, 3)
 	cfg := DefaultEngineConfig()
 	cfg.OperandBufs = 1
-	e := NewEngine(3, 3, cfg, mc)
+	e := NewEngine(3, 3, cfg, mc, nil)
 	flow := network.FlowKey{Flow: 900}
 	// Two two-operand updates: the second must stall while the first holds
 	// the only buffer (operand responses withheld).
@@ -433,7 +433,7 @@ func TestFlowTableExhaustionStalls(t *testing.T) {
 	mc := newMockCube(t, 3)
 	cfg := DefaultEngineConfig()
 	cfg.MaxFlows = 1
-	e := NewEngine(3, 3, cfg, mc)
+	e := NewEngine(3, 3, cfg, mc, nil)
 	deliver(t, e, updatePacket(network.FlowKey{Flow: 1}, isa.OpAdd, 3, -1, 16, mc.geom))
 	deliver(t, e, updatePacket(network.FlowKey{Flow: 2}, isa.OpAdd, 3, -1, 16, mc.geom))
 	tick(e, 4)
@@ -447,7 +447,7 @@ func TestFlowTableExhaustionStalls(t *testing.T) {
 
 func TestUpdateAfterGatherPanics(t *testing.T) {
 	mc := newMockCube(t, 3)
-	e := NewEngine(3, 3, DefaultEngineConfig(), mc)
+	e := NewEngine(3, 3, DefaultEngineConfig(), mc, nil)
 	flow := network.FlowKey{Flow: 1000}
 	deliver(t, e, updatePacket(flow, isa.OpAdd, 9, -1, 16, mc.geom))
 	tick(e, 2)
@@ -469,7 +469,7 @@ func TestUpdateAfterGatherPanics(t *testing.T) {
 
 func TestBypassDisabledAblation(t *testing.T) {
 	mc := newMockCube(t, 3)
-	e := NewEngine(3, 3, DefaultEngineConfig(), mc)
+	e := NewEngine(3, 3, DefaultEngineConfig(), mc, nil)
 	e.SetBypass(false)
 	pa := addrInCube(mc.geom, 3)
 	mc.store.WriteF64(pa, 1)
@@ -485,7 +485,7 @@ func TestBypassDisabledAblation(t *testing.T) {
 
 func TestVectoredUpdateExpands(t *testing.T) {
 	mc := newMockCube(t, 3)
-	e := NewEngine(3, 3, DefaultEngineConfig(), mc)
+	e := NewEngine(3, 3, DefaultEngineConfig(), mc, nil)
 	base := addrInCube(mc.geom, 3)
 	for i := 0; i < 4; i++ {
 		mc.store.WriteF64(base+mem.PAddr(i*8), float64(i+1))
@@ -518,7 +518,7 @@ func TestVectoredUpdateResumesOnBufferExhaustion(t *testing.T) {
 	mc := newMockCube(t, 3)
 	cfg := DefaultEngineConfig()
 	cfg.OperandBufs = 2
-	e := NewEngine(3, 3, cfg, mc)
+	e := NewEngine(3, 3, cfg, mc, nil)
 	base := addrInCube(mc.geom, 3)
 	flow := network.FlowKey{Flow: 1200}
 	p := updatePacket(flow, isa.OpMac, 3, 3, 16, mc.geom)

@@ -31,7 +31,11 @@ type FlowEntry struct {
 	ReqCount uint64 // updates that commit at this node
 	RespCnt  uint64 // updates committed (processed) at this node
 	Parent   int    // node id the first update arrived from
-	Children map[int]bool
+	// Children is the downstream node set in first-recorded order. A small
+	// slice replaces the historical map: child counts are bounded by the
+	// router degree, membership tests are a short linear scan, and — unlike
+	// a map range — replication order is deterministic.
+	Children []int
 	Gflag    bool
 
 	// pendingChildren counts children whose gather response is still
@@ -45,12 +49,21 @@ type FlowEntry struct {
 // as its initial result.
 func NewFlowEntry(key network.FlowKey, op isa.ALUOp, parent int) *FlowEntry {
 	return &FlowEntry{
-		Key:      key,
-		Opcode:   op,
-		Result:   op.Identity(),
-		Parent:   parent,
-		Children: make(map[int]bool),
+		Key:    key,
+		Opcode: op,
+		Result: op.Identity(),
+		Parent: parent,
 	}
+}
+
+// AddChild records a downstream edge (idempotent).
+func (fe *FlowEntry) AddChild(node int) {
+	for _, c := range fe.Children {
+		if c == node {
+			return
+		}
+	}
+	fe.Children = append(fe.Children, node)
 }
 
 // LocalDone reports whether every update that committed to this node has
@@ -68,6 +81,7 @@ func (fe *FlowEntry) Complete() bool {
 // live flows (one tree node each) in one cube's ARE.
 type FlowTable struct {
 	entries map[network.FlowKey]*FlowEntry
+	free    []*FlowEntry // recycled entries (Children arrays retained)
 	cap     int
 
 	// Peak tracks the high-water mark of concurrent flows, reported by the
@@ -103,7 +117,15 @@ func (t *FlowTable) Register(key network.FlowKey, op isa.ALUOp, parent int) *Flo
 	if _, ok := t.entries[key]; ok {
 		panic(fmt.Sprintf("core: duplicate flow registration %+v", key))
 	}
-	fe := NewFlowEntry(key, op, parent)
+	var fe *FlowEntry
+	if n := len(t.free); n > 0 {
+		fe = t.free[n-1]
+		t.free = t.free[:n-1]
+		*fe = FlowEntry{Key: key, Opcode: op, Result: op.Identity(), Parent: parent,
+			Children: fe.Children[:0]}
+	} else {
+		fe = NewFlowEntry(key, op, parent)
+	}
 	t.entries[key] = fe
 	t.Registered++
 	if len(t.entries) > t.Peak {
@@ -112,12 +134,15 @@ func (t *FlowTable) Register(key network.FlowKey, op isa.ALUOp, parent int) *Flo
 	return fe
 }
 
-// Release frees the entry for key (end of gather phase at this node).
+// Release frees the entry for key (end of gather phase at this node) and
+// recycles the record.
 func (t *FlowTable) Release(key network.FlowKey) {
-	if _, ok := t.entries[key]; !ok {
+	fe, ok := t.entries[key]
+	if !ok {
 		panic(fmt.Sprintf("core: releasing unknown flow %+v", key))
 	}
 	delete(t.entries, key)
+	t.free = append(t.free, fe)
 }
 
 // OperandEntry is one operand buffer entry, mirroring Fig 3.3(c): the flow

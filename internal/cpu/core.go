@@ -75,9 +75,20 @@ type Stats struct {
 	DoneCycle     uint64
 }
 
+// robEntry is one ROB slot. Slots live in a fixed ring allocated at core
+// construction and are recycled in FIFO order, so the steady-state core
+// allocates nothing per instruction. The completion callbacks are created
+// lazily, once per slot, and reused for the slot's lifetime — they capture
+// only the slot pointer (stable: the ring's backing array never moves), so
+// handing them to the memory system or the offload port costs no
+// allocation. A callback can never outlive its instruction: an entry is not
+// retired until done, and done fires exactly once.
 type robEntry struct {
-	inst isa.Inst
 	done bool
+
+	memDone     func(cycle uint64) // load/store completion: done = true
+	gatherWake  func(cycle uint64) // gather write-back: done = true, fence drops
+	barrierWake func()             // barrier release: done = true, fence drops
 }
 
 // Core executes one thread's instruction stream.
@@ -85,11 +96,19 @@ type Core struct {
 	ID  int
 	cfg Config
 
-	stream    isa.Stream
-	pending   *isa.Inst // dispatch-blocked instruction
-	exhausted bool
+	stream     isa.Stream
+	ptrStream  isa.PtrStream // non-nil when stream hands out pointers (no copy)
+	cur        isa.Inst      // scratch for value-based streams
+	pending    isa.Inst      // dispatch-blocked instruction (valid iff hasPending)
+	hasPending bool
+	exhausted  bool
 
-	rob []*robEntry
+	// ROB ring: fixed power-of-two capacity >= cfg.ROBSize; robHead/robTail
+	// wrap via robMask.
+	rob     []robEntry
+	robMask uint32
+	robHead uint32
+	robTail uint32
 
 	mem     MemPort
 	offload OffloadPort
@@ -102,6 +121,10 @@ type Core struct {
 	calls      []timedCall
 	callsSpare []timedCall // recycled backing array for the calls queue
 
+	// waker invalidates the engine's cached idle hint; completion
+	// callbacks (the core's only external inputs) wake the core.
+	waker *sim.Waker
+
 	// Idle-skip bookkeeping: the last cycle NextWork or Tick observed and
 	// the stall counter idle-skipped cycles must be credited to, so the
 	// stall statistics stay bit-identical to the lockstep kernel.
@@ -112,10 +135,15 @@ type Core struct {
 	IPC   *stats.IPCSeries
 }
 
+// timedCall is a pending fixed-latency completion (a compute retiring): at
+// cycle `at`, entry e is marked done. Storing the target entry instead of a
+// closure keeps the dispatch hot path allocation-free.
 type timedCall struct {
 	at uint64
-	fn func()
+	e  *robEntry
 }
+
+func (c *Core) robLen() int { return int(c.robTail - c.robHead) }
 
 // skipReason records which per-cycle stall counter an idle-skipped stretch
 // belongs to, so skipping Ticks leaves the counters bit-identical to the
@@ -132,22 +160,33 @@ const (
 // nil when the workload never synchronizes.
 func NewCore(id int, cfg Config, stream isa.Stream, memPort MemPort, offload OffloadPort,
 	store *mem.Store, as *mem.AddrSpace, barrier *Barrier) *Core {
+	robCap := 1
+	for robCap < cfg.ROBSize {
+		robCap <<= 1
+	}
+	ptrStream, _ := stream.(isa.PtrStream)
 	return &Core{
-		ID:      id,
-		cfg:     cfg,
-		stream:  stream,
-		mem:     memPort,
-		offload: offload,
-		store:   store,
-		as:      as,
-		barrier: barrier,
-		IPC:     stats.NewIPCSeries(1 << 14),
+		ID:        id,
+		cfg:       cfg,
+		stream:    stream,
+		ptrStream: ptrStream,
+		rob:       make([]robEntry, robCap),
+		robMask:   uint32(robCap - 1),
+		mem:       memPort,
+		offload:   offload,
+		store:     store,
+		as:        as,
+		barrier:   barrier,
+		IPC:       stats.NewIPCSeries(1 << 14),
 	}
 }
 
+// SetWaker implements sim.WakeSetter.
+func (c *Core) SetWaker(w *sim.Waker) { c.waker = w }
+
 // Finished reports whether the thread has fully retired.
 func (c *Core) Finished() bool {
-	return c.exhausted && c.pending == nil && len(c.rob) == 0
+	return c.exhausted && !c.hasPending && c.robLen() == 0
 }
 
 // NextWork implements sim.Idler. The core must tick whenever it can retire,
@@ -166,7 +205,7 @@ func (c *Core) NextWork(now uint64) uint64 {
 		c.skipReason = skipNone
 		return sim.Never
 	}
-	if len(c.rob) > 0 && c.rob[0].done {
+	if c.robLen() > 0 && c.rob[c.robHead&c.robMask].done {
 		return now // retirement can progress
 	}
 	if c.fenced {
@@ -174,12 +213,12 @@ func (c *Core) NextWork(now uint64) uint64 {
 		c.Stats.FenceCycles++
 		return sim.Never
 	}
-	if len(c.rob) >= c.cfg.ROBSize {
+	if c.robLen() >= c.cfg.ROBSize {
 		c.skipReason = skipROBFull
 		c.Stats.ROBFullCycles++
 		return sim.Never
 	}
-	if c.exhausted && c.pending == nil {
+	if c.exhausted && !c.hasPending {
 		// Stream drained, ROB waiting on in-flight memory: nothing to do.
 		c.skipReason = skipNone
 		return sim.Never
@@ -213,7 +252,7 @@ func (c *Core) Tick(cycle uint64) {
 		c.calls = c.callsSpare[:0]
 		for _, t := range due {
 			if t.at <= cycle {
-				t.fn()
+				t.e.done = true
 			} else {
 				c.calls = append(c.calls, t)
 			}
@@ -230,8 +269,8 @@ func (c *Core) Tick(cycle uint64) {
 // retire commits completed instructions in order.
 func (c *Core) retire(cycle uint64) {
 	n := 0
-	for n < c.cfg.CommitWidth && len(c.rob) > 0 && c.rob[0].done {
-		c.rob = c.rob[1:]
+	for n < c.cfg.CommitWidth && c.robLen() > 0 && c.rob[c.robHead&c.robMask].done {
+		c.robHead++
 		c.Stats.Retired++
 		n++
 	}
@@ -245,7 +284,7 @@ func (c *Core) retire(cycle uint64) {
 // backing store before any later Update of the same thread is offloaded —
 // the ordering the fire-and-forget offload semantics rely on (a store still
 // pays its full coherence timing separately).
-func (c *Core) applyEffect(in isa.Inst) {
+func (c *Core) applyEffect(in *isa.Inst) {
 	switch in.Kind {
 	case isa.KindStore:
 		c.store.WriteF64(c.as.Translate(in.Addr), in.Value)
@@ -263,7 +302,7 @@ func (c *Core) dispatch(cycle uint64) {
 			c.Stats.FenceCycles++
 			return
 		}
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.robLen() >= c.cfg.ROBSize {
 			c.Stats.ROBFullCycles++
 			return
 		}
@@ -286,35 +325,53 @@ func (c *Core) dispatch(cycle uint64) {
 	}
 }
 
-func (c *Core) nextInst() (isa.Inst, bool) {
-	if c.pending != nil {
-		in := *c.pending
-		c.pending = nil
-		return in, true
+// nextInst returns a pointer to the next instruction to dispatch. The
+// pointee lives either in the core (pending/cur scratch) or inside a
+// PtrStream's storage; it is valid until the next nextInst call, which is
+// long enough for the dispatch loop that consumes it immediately.
+func (c *Core) nextInst() (*isa.Inst, bool) {
+	if c.hasPending {
+		c.hasPending = false
+		return &c.pending, true
 	}
 	if c.exhausted {
-		return isa.Inst{}, false
+		return nil, false
+	}
+	if c.ptrStream != nil {
+		in, ok := c.ptrStream.NextPtr()
+		if !ok {
+			c.exhausted = true
+			return nil, false
+		}
+		return in, true
 	}
 	in, ok := c.stream.Next()
 	if !ok {
 		c.exhausted = true
-		return isa.Inst{}, false
+		return nil, false
 	}
-	return in, true
+	c.cur = in
+	return &c.cur, true
 }
 
-func (c *Core) stash(in isa.Inst) {
-	if c.pending != nil {
+func (c *Core) stash(in *isa.Inst) {
+	if c.hasPending {
 		panic("cpu: dispatch stash overwrite")
 	}
-	cp := in
-	c.pending = &cp
+	c.pending = *in
+	c.hasPending = true
 }
 
 // issue places one instruction in the ROB and starts its execution. It
 // reports false when a downstream structure refused the instruction.
-func (c *Core) issue(in isa.Inst, cycle uint64) bool {
-	e := &robEntry{inst: in}
+//
+// The prospective ROB slot is the ring's tail; its fields are initialized
+// before any downstream call and the slot is committed (tail advanced) only
+// on success. A refused instruction registers no callback anywhere, so the
+// uncommitted slot simply gets reinitialized on the next attempt.
+func (c *Core) issue(in *isa.Inst, cycle uint64) bool {
+	e := &c.rob[c.robTail&c.robMask]
+	e.done = false
 	switch in.Kind {
 	case isa.KindCompute:
 		var lat uint64
@@ -326,12 +383,18 @@ func (c *Core) issue(in isa.Inst, cycle uint64) bool {
 		default:
 			lat = c.cfg.FPMulLat
 		}
-		c.calls = append(c.calls, timedCall{at: cycle + lat, fn: func() { e.done = true }})
+		c.calls = append(c.calls, timedCall{at: cycle + lat, e: e})
 		c.Stats.Computes++
 	case isa.KindLoad, isa.KindStore, isa.KindAtomicAdd:
 		pa := c.as.Translate(in.Addr)
 		write := in.Kind != isa.KindLoad
-		if !c.mem.Access(pa, write, cycle, func(uint64) { e.done = true }) {
+		if e.memDone == nil {
+			e.memDone = func(uint64) {
+				e.done = true
+				c.waker.Wake()
+			}
+		}
+		if !c.mem.Access(pa, write, cycle, e.memDone) {
 			c.Stats.MemStalls++
 			return false
 		}
@@ -362,14 +425,18 @@ func (c *Core) issue(in isa.Inst, cycle uint64) bool {
 		e.done = true // fire-and-forget (§3.3: offload overlaps processing)
 		c.Stats.Updates++
 	case isa.KindGather:
+		if e.gatherWake == nil {
+			e.gatherWake = func(uint64) {
+				e.done = true
+				c.fenced = false
+				c.waker.Wake()
+			}
+		}
 		cmd := core.GatherCmd{
 			ThreadID: c.ID,
 			Target:   c.as.Translate(in.Target),
 			Threads:  in.Threads,
-			Wake: func(uint64) {
-				e.done = true
-				c.fenced = false
-			},
+			Wake:     e.gatherWake,
 		}
 		if !c.offload.Gather(cmd, cycle) {
 			c.Stats.OffloadStalls++
@@ -383,16 +450,20 @@ func (c *Core) issue(in isa.Inst, cycle uint64) bool {
 		if c.barrier == nil {
 			panic(fmt.Sprintf("cpu: core %d hit a barrier without one configured", c.ID))
 		}
+		if e.barrierWake == nil {
+			e.barrierWake = func() {
+				e.done = true
+				c.fenced = false
+				c.waker.Wake()
+			}
+		}
 		c.fenced = true
 		c.Stats.Barriers++
-		c.barrier.Arrive(func() {
-			e.done = true
-			c.fenced = false
-		})
+		c.barrier.Arrive(e.barrierWake)
 	default:
 		panic(fmt.Sprintf("cpu: unknown instruction kind %s", in.Kind))
 	}
-	c.rob = append(c.rob, e)
+	c.robTail++
 	return true
 }
 

@@ -37,15 +37,21 @@ func DefaultVaultTiming() Timing {
 	return Timing{RCD: 14, RAS: 34, RP: 14, CL: 14, BL: 2, RR: 1, CyclesPerTick: 2}
 }
 
-// Request is one memory access presented to a bank set.
+// Request is one memory access presented to a bank set. Completion is
+// reported through exactly one of two channels: OnDone (a per-request
+// callback) or, when OnDone is nil, the bank set's Done hook with the
+// request's Token — the allocation-free path used by the HMC vaults, whose
+// per-access state lives in a caller-owned table keyed by token.
 type Request struct {
 	Addr  mem.PAddr
 	Write bool
 	Bank  int    // flat bank index within the bank set
 	Row   uint64 // row within the bank
 	// OnDone is invoked exactly once, at the simulator cycle when the data
-	// transfer completes.
+	// transfer completes (nil when Token dispatch is used instead).
 	OnDone func(cycle uint64)
+	// Token identifies the access to the bank set's Done hook.
+	Token uint64
 
 	arrival uint64
 	doneAt  uint64
@@ -79,7 +85,21 @@ type BankSet struct {
 	inflight  []*Request
 	maxQueue  int
 	busFreeAt uint64
-	Stats     Stats
+	// earliestDone is the exact minimum doneAt over inflight (sim.Never
+	// when empty), so the per-tick completion scan and the idle hint are
+	// O(1) while every transfer is still on the bus. banksBlockedUntil
+	// caches the earliest cycle any queued request's bank frees up after a
+	// scheduler pass found every candidate bank busy; until then (and
+	// absent new arrivals) re-scanning the queue would pick nothing.
+	earliestDone      uint64
+	banksBlockedUntil uint64
+	reqFree           []*Request // recycled request records (Enqueue copies into one)
+
+	// Done receives completions for requests with a nil OnDone (set once at
+	// construction by token-dispatching callers).
+	Done func(token uint64, cycle uint64)
+
+	Stats Stats
 }
 
 // NewBankSet creates a bank set with n banks and the given queue depth.
@@ -91,15 +111,18 @@ func NewBankSet(n int, timing Timing, maxQueue int) *BankSet {
 		maxQueue = 32
 	}
 	return &BankSet{
-		timing:   timing,
-		banks:    make([]bankState, n),
-		maxQueue: maxQueue,
+		timing:       timing,
+		banks:        make([]bankState, n),
+		maxQueue:     maxQueue,
+		earliestDone: sim.Never,
 	}
 }
 
-// Enqueue presents a request; it reports false when the queue is full (the
-// caller must retry, modeling controller backpressure).
-func (b *BankSet) Enqueue(r *Request, cycle uint64) bool {
+// Enqueue presents a request by value; it reports false when the queue is
+// full (the caller must retry, modeling controller backpressure). The bank
+// set copies the request into an internally recycled record, so a steady
+// stream of accesses allocates nothing.
+func (b *BankSet) Enqueue(r Request, cycle uint64) bool {
 	if len(b.queue) >= b.maxQueue {
 		b.Stats.QueueFullRej++
 		return false
@@ -107,8 +130,17 @@ func (b *BankSet) Enqueue(r *Request, cycle uint64) bool {
 	if r.Bank < 0 || r.Bank >= len(b.banks) {
 		panic("dram: request bank out of range")
 	}
-	r.arrival = cycle
-	b.queue = append(b.queue, r)
+	var rec *Request
+	if n := len(b.reqFree); n > 0 {
+		rec = b.reqFree[n-1]
+		b.reqFree = b.reqFree[:n-1]
+	} else {
+		rec = new(Request)
+	}
+	*rec = r
+	rec.arrival = cycle
+	b.queue = append(b.queue, rec)
+	b.banksBlockedUntil = 0 // new candidate: the scheduler must re-scan
 	return true
 }
 
@@ -126,16 +158,10 @@ func (b *BankSet) NextWork(now uint64) uint64 {
 	if len(b.inflight) == 0 {
 		return sim.Never
 	}
-	next := b.inflight[0].doneAt
-	for _, r := range b.inflight[1:] {
-		if r.doneAt < next {
-			next = r.doneAt
-		}
-	}
-	if next <= now {
+	if b.earliestDone <= now {
 		return now
 	}
-	return next
+	return b.earliestDone
 }
 
 // QueueFree reports remaining queue slots.
@@ -144,29 +170,50 @@ func (b *BankSet) QueueFree() int { return b.maxQueue - len(b.queue) }
 // Tick advances the bank set one simulator cycle: completes finished
 // transfers and issues at most one new command (FR-FCFS).
 func (b *BankSet) Tick(cycle uint64) {
-	// Complete transfers.
-	for i := 0; i < len(b.inflight); {
-		r := b.inflight[i]
-		if r.doneAt <= cycle {
-			b.inflight[i] = b.inflight[len(b.inflight)-1]
-			b.inflight = b.inflight[:len(b.inflight)-1]
-			if r.OnDone != nil {
-				r.OnDone(cycle)
+	// Complete transfers; skip the scan entirely while the earliest
+	// completion is still in the future.
+	if b.earliestDone <= cycle {
+		for i := 0; i < len(b.inflight); {
+			r := b.inflight[i]
+			if r.doneAt <= cycle {
+				b.inflight[i] = b.inflight[len(b.inflight)-1]
+				b.inflight[len(b.inflight)-1] = nil
+				b.inflight = b.inflight[:len(b.inflight)-1]
+				if r.OnDone != nil {
+					r.OnDone(cycle)
+					r.OnDone = nil
+				} else {
+					b.Done(r.Token, cycle)
+				}
+				b.reqFree = append(b.reqFree, r)
+				continue
 			}
-			continue
+			i++
 		}
-		i++
+		b.earliestDone = sim.Never
+		for _, r := range b.inflight {
+			if r.doneAt < b.earliestDone {
+				b.earliestDone = r.doneAt
+			}
+		}
 	}
 	if len(b.queue) == 0 {
 		return
 	}
 	b.Stats.BusyCycles++
+	if b.banksBlockedUntil > cycle {
+		return // every candidate bank still busy; nothing to re-scan
+	}
 	// FR-FCFS: oldest row hit whose bank is free; otherwise oldest request
 	// whose bank is free.
 	pick := -1
+	minFree := ^uint64(0)
 	for i, r := range b.queue {
 		bank := &b.banks[r.Bank]
 		if bank.freeAt > cycle {
+			if bank.freeAt < minFree {
+				minFree = bank.freeAt
+			}
 			continue
 		}
 		if bank.hasOpenRow && bank.openRow == r.Row {
@@ -178,6 +225,7 @@ func (b *BankSet) Tick(cycle uint64) {
 		}
 	}
 	if pick < 0 {
+		b.banksBlockedUntil = minFree
 		return
 	}
 	r := b.queue[pick]
@@ -235,6 +283,9 @@ func (b *BankSet) issue(r *Request, cycle uint64) {
 	} else {
 		b.Stats.Reads++
 	}
+	if done < b.earliestDone {
+		b.earliestDone = done
+	}
 	b.inflight = append(b.inflight, r)
 }
 
@@ -244,7 +295,14 @@ type Controller struct {
 	Channel int
 	Geom    mem.DRAMGeometry
 	Banks   *BankSet
+
+	// waker invalidates the engine's cached idle hint when a new access
+	// arrives (the controller's only external input).
+	waker *sim.Waker
 }
+
+// SetWaker implements sim.WakeSetter.
+func (c *Controller) SetWaker(w *sim.Waker) { c.waker = w }
 
 // NewController builds a channel controller with the given geometry.
 func NewController(channel int, geom mem.DRAMGeometry, timing Timing, queue int) *Controller {
@@ -257,8 +315,9 @@ func NewController(channel int, geom mem.DRAMGeometry, timing Timing, queue int)
 
 // Access enqueues a block access for pa; it reports false on backpressure.
 func (c *Controller) Access(pa mem.PAddr, write bool, cycle uint64, done func(uint64)) bool {
+	c.waker.Wake()
 	flat := c.Geom.RankOf(pa)*c.Geom.BanksPerRank + c.Geom.BankOf(pa)
-	return c.Banks.Enqueue(&Request{
+	return c.Banks.Enqueue(Request{
 		Addr:   pa,
 		Write:  write,
 		Bank:   flat,

@@ -22,7 +22,7 @@ func run(t *testing.T, b *BankSet, n int, budget uint64) []uint64 {
 
 func enq(t *testing.T, b *BankSet, bank int, row uint64, cycle uint64, done *[]uint64) {
 	t.Helper()
-	ok := b.Enqueue(&Request{
+	ok := b.Enqueue(Request{
 		Bank: bank, Row: row,
 		OnDone: func(c uint64) { *done = append(*done, c) },
 	}, cycle)
@@ -123,8 +123,8 @@ func TestFRFCFSPrefersRowHit(t *testing.T) {
 	}
 	// Queue a conflict (older) and then a row hit (younger).
 	order := []uint64{}
-	b.Enqueue(&Request{Bank: 0, Row: 9, OnDone: func(uint64) { order = append(order, 9) }}, cyc)
-	b.Enqueue(&Request{Bank: 0, Row: 7, OnDone: func(uint64) { order = append(order, 7) }}, cyc)
+	b.Enqueue(Request{Bank: 0, Row: 9, OnDone: func(uint64) { order = append(order, 9) }}, cyc)
+	b.Enqueue(Request{Bank: 0, Row: 7, OnDone: func(uint64) { order = append(order, 7) }}, cyc)
 	for ; len(order) < 2; cyc++ {
 		b.Tick(cyc)
 	}
@@ -135,7 +135,7 @@ func TestFRFCFSPrefersRowHit(t *testing.T) {
 
 func TestQueueBackpressure(t *testing.T) {
 	b := NewBankSet(1, DefaultDDRTiming(), 2)
-	r := func() *Request { return &Request{Bank: 0, Row: 1, OnDone: func(uint64) {}} }
+	r := func() Request { return Request{Bank: 0, Row: 1, OnDone: func(uint64) {}} }
 	if !b.Enqueue(r(), 0) || !b.Enqueue(r(), 0) {
 		t.Fatal("first two enqueues must succeed")
 	}
@@ -168,7 +168,7 @@ func TestControllerAddressMapping(t *testing.T) {
 func TestWritesCounted(t *testing.T) {
 	b := NewBankSet(1, DefaultDDRTiming(), 8)
 	var d []uint64
-	b.Enqueue(&Request{Bank: 0, Row: 0, Write: true, OnDone: func(c uint64) { d = append(d, c) }}, 0)
+	b.Enqueue(Request{Bank: 0, Row: 0, Write: true, OnDone: func(c uint64) { d = append(d, c) }}, 0)
 	for cyc := uint64(0); len(d) == 0; cyc++ {
 		b.Tick(cyc)
 	}
@@ -184,12 +184,12 @@ func TestBadBankPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	b.Enqueue(&Request{Bank: 5, Row: 0}, 0)
+	b.Enqueue(Request{Bank: 5, Row: 0}, 0)
 }
 
 func TestPendingCount(t *testing.T) {
 	b := NewBankSet(1, DefaultDDRTiming(), 8)
-	b.Enqueue(&Request{Bank: 0, Row: 0, OnDone: func(uint64) {}}, 0)
+	b.Enqueue(Request{Bank: 0, Row: 0, OnDone: func(uint64) {}}, 0)
 	if b.Pending() != 1 {
 		t.Fatalf("pending = %d", b.Pending())
 	}

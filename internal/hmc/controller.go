@@ -20,10 +20,15 @@ type Controller struct {
 	geom      mem.HMCGeometry
 	fabric    *network.Fabric
 
-	queue    []*network.Packet
+	queue    sim.FIFO[*network.Packet]
 	queueCap int
 	nextTag  uint64
 	pending  map[uint64]func(cycle uint64)
+
+	// waker invalidates the engine's cached idle hint on external input
+	// (Access from the cache hierarchy; coordinator packets via Inject
+	// go straight to the fabric).
+	waker *sim.Waker
 
 	// Coordinator callbacks (nil outside Active-Routing schemes).
 	OnGatherResp func(p *network.Packet, cycle uint64)
@@ -53,6 +58,9 @@ func NewController(index, node, entryCube int, geom mem.HMCGeometry, fabric *net
 	return c
 }
 
+// SetWaker implements sim.WakeSetter.
+func (c *Controller) SetWaker(w *sim.Waker) { c.waker = w }
+
 // Node implements core.Port.
 func (c *Controller) Node() int { return c.node }
 
@@ -70,9 +78,10 @@ var _ core.Port = (*Controller)(nil)
 // response delivery. It reports false on queue backpressure. Cube ids equal
 // node ids in the memory network.
 func (c *Controller) Access(pa mem.PAddr, write bool, done func(cycle uint64)) bool {
-	if len(c.queue) >= c.queueCap {
+	if c.queue.Len() >= c.queueCap {
 		return false
 	}
+	c.waker.Wake()
 	kind := network.MemReadReq
 	if write {
 		kind = network.MemWriteReq
@@ -80,17 +89,20 @@ func (c *Controller) Access(pa mem.PAddr, write bool, done func(cycle uint64)) b
 	} else {
 		c.Reads++
 	}
-	p := network.NewPacket(0, kind, c.node, c.geom.CubeOf(pa))
+	p := c.fabric.Pool.Get(kind, c.node, c.geom.CubeOf(pa))
 	p.Addr = pa
 	c.nextTag++
 	p.Tag = uint64(c.Index)<<56 | c.nextTag
 	c.pending[p.Tag] = done
-	c.queue = append(c.queue, p)
+	c.queue.Push(p)
 	return true
 }
 
 // Deliver implements network.Endpoint for responses arriving from the
-// memory network.
+// memory network. Every case is a reply completion — the packet's single
+// point of final consumption — so the packet is released here after its
+// callback returns (callbacks must not retain it; they copy what they
+// need).
 func (c *Controller) Deliver(p *network.Packet, cycle uint64) bool {
 	switch p.Kind {
 	case network.MemReadResp, network.MemWriteAck:
@@ -100,42 +112,40 @@ func (c *Controller) Deliver(p *network.Packet, cycle uint64) bool {
 		}
 		delete(c.pending, p.Tag)
 		done(cycle)
-		return true
 	case network.GatherResp:
 		if c.OnGatherResp == nil {
 			panic(fmt.Sprintf("hmc: controller %d gather response without coordinator", c.Index))
 		}
 		c.OnGatherResp(p, cycle)
-		return true
 	case network.ActiveStoreAck:
 		if c.OnActiveAck == nil {
 			panic(fmt.Sprintf("hmc: controller %d active ack without coordinator", c.Index))
 		}
 		c.OnActiveAck(p, cycle)
-		return true
 	default:
 		panic(fmt.Sprintf("hmc: controller %d cannot handle packet kind %s", c.Index, p.Kind))
 	}
+	c.fabric.Pool.Put(p)
+	return true
 }
 
 // Tick drains the controller's request queue into the network.
 func (c *Controller) Tick(cycle uint64) {
-	for n := 0; n < 4 && len(c.queue) > 0; n++ {
-		p := c.queue[0]
-		if !c.fabric.Inject(c.node, p, cycle) {
+	for n := 0; n < 4 && c.queue.Len() > 0; n++ {
+		if !c.fabric.Inject(c.node, c.queue.Peek(), cycle) {
 			return
 		}
-		c.queue = c.queue[1:]
+		c.queue.Pop()
 	}
 }
 
 // Busy reports whether requests are queued or outstanding.
-func (c *Controller) Busy() bool { return len(c.queue) > 0 || len(c.pending) > 0 }
+func (c *Controller) Busy() bool { return c.queue.Len() > 0 || len(c.pending) > 0 }
 
 // NextWork implements sim.Idler: Tick only drains the request queue;
 // outstanding responses arrive via Deliver.
 func (c *Controller) NextWork(now uint64) uint64 {
-	if len(c.queue) > 0 {
+	if c.queue.Len() > 0 {
 		return now
 	}
 	return sim.Never

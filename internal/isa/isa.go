@@ -224,6 +224,26 @@ func (s *SliceStream) Next() (Inst, bool) {
 	return i, true
 }
 
+// PtrStream is an optional Stream extension that hands out a pointer to the
+// next instruction instead of a copy. The pointee is owned by the stream
+// and valid only until the following NextPtr/Next call; callers that need
+// the instruction longer (a dispatch stash) copy it themselves. The core
+// model uses this to avoid copying the ~80-byte Inst once per dispatched
+// instruction on its hottest path.
+type PtrStream interface {
+	NextPtr() (*Inst, bool)
+}
+
+// NextPtr implements PtrStream.
+func (s *SliceStream) NextPtr() (*Inst, bool) {
+	if s.pos >= len(s.insts) {
+		return nil, false
+	}
+	i := &s.insts[s.pos]
+	s.pos++
+	return i, true
+}
+
 // FuncStream adapts a generator function to Stream.
 type FuncStream func() (Inst, bool)
 

@@ -126,6 +126,11 @@ const (
 	ActiveAckBytes   = HeaderBytes
 )
 
+// maxPacketBytes bounds every wire size the fabric can carry (the largest
+// is a block-carrying message: header + 64-byte block). The arrival wheels
+// derive their worst-case serialization latency from it.
+const maxPacketBytes = HeaderBytes + mem.BlockSize
+
 // SizeOf returns the wire size in bytes for a packet kind.
 func SizeOf(k Kind) int {
 	switch k {
@@ -202,6 +207,10 @@ type Packet struct {
 
 	// Meta tunnels host-side payloads (coherence messages) over the NoC.
 	Meta any
+
+	// poolState tracks the free-list lifecycle (see Pool); zero means the
+	// packet was built outside any pool.
+	poolState uint8
 }
 
 // NewPacket builds a packet of kind k from src to dst with the standard

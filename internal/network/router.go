@@ -13,6 +13,10 @@ import (
 // keeps it queued and re-offers it on later cycles, which is how Active-
 // Routing Engine stalls propagate back into the network (Fig 5.2's stall
 // component).
+//
+// A successful Deliver transfers packet ownership to the endpoint, which
+// must release the packet to the fabric's Pool at its single point of final
+// consumption (see Pool and DESIGN.md "Memory discipline").
 type Endpoint interface {
 	Deliver(p *Packet, cycle uint64) bool
 }
@@ -23,7 +27,9 @@ type EndpointFunc func(p *Packet, cycle uint64) bool
 // Deliver calls f.
 func (f EndpointFunc) Deliver(p *Packet, cycle uint64) bool { return f(p, cycle) }
 
-// Config carries the fabric parameters of Table 4.1.
+// Config carries the fabric parameters of Table 4.1. Queue depths double as
+// the fixed ring-buffer capacities of the router input and injection queues
+// (rounded up to powers of two), so the steady-state fabric never allocates.
 type Config struct {
 	VCs           int    // virtual channels (request/response × 2 hop classes)
 	QueueDepth    int    // packets per (port, VC) input queue
@@ -32,12 +38,6 @@ type Config struct {
 	LinkBandwidth int    // bytes per network cycle per link
 	RouterDelay   uint64 // router pipeline latency, network cycles
 	ClockDiv      uint64 // simulator cycles per network cycle
-	// EjectPerCycle is retained for configuration compatibility but NOT
-	// enforced: ejection delivers at most one packet per (port, VC) queue
-	// per cycle and is otherwise unbounded. The seed kernel's budget was
-	// dead code and the simulated results depend on unbounded ejection;
-	// see DESIGN.md ("Known modeling simplifications").
-	EjectPerCycle int
 }
 
 // DefaultMemNetConfig returns the memory-network parameters: 1 GHz network
@@ -52,7 +52,6 @@ func DefaultMemNetConfig() Config {
 		LinkBandwidth: 32,
 		RouterDelay:   2,
 		ClockDiv:      2,
-		EjectPerCycle: 2,
 	}
 }
 
@@ -67,7 +66,6 @@ func DefaultNoCConfig() Config {
 		LinkBandwidth: 32,
 		RouterDelay:   2,
 		ClockDiv:      1,
-		EjectPerCycle: 4,
 	}
 }
 
@@ -85,30 +83,6 @@ func vcBase(k Kind) int {
 	default:
 		return 0
 	}
-}
-
-// deliveredKeys pre-interns the per-Kind delivery counter names so that the
-// ejection hot path never builds a string per packet.
-var deliveredKeys [kindCount]string
-
-func init() {
-	for k := Kind(0); k < kindCount; k++ {
-		deliveredKeys[k] = "delivered_" + k.String()
-	}
-}
-
-type packetQueue struct {
-	q []*Packet
-}
-
-func (pq *packetQueue) len() int       { return len(pq.q) }
-func (pq *packetQueue) head() *Packet  { return pq.q[0] }
-func (pq *packetQueue) push(p *Packet) { pq.q = append(pq.q, p) }
-func (pq *packetQueue) pop() *Packet {
-	p := pq.q[0]
-	copy(pq.q, pq.q[1:])
-	pq.q = pq.q[:len(pq.q)-1]
-	return p
 }
 
 type arrival struct {
@@ -133,13 +107,18 @@ type link struct {
 type router struct {
 	node     int
 	ports    int
-	in       []packetQueue // [port*VCs + vc]
-	inj      []packetQueue // [vc]
-	up       []upstream    // [port] upstream node/port, node == -1 if unused
-	credits  []int         // [port*VCs + vc] credits toward downstream input
-	linkBusy []uint64      // [port] output link busy-until (simulator cycles)
-	pending  []arrival     // in-flight packets heading to this router
-	rrPort   int           // round-robin arbitration state
+	in       []packetRing // [port*VCs + vc]
+	inj      []packetRing // [vc]
+	up       []upstream   // [port] upstream node/port, node == -1 if unused
+	credits  []int        // [port*VCs + vc] credits toward downstream input
+	linkBusy []uint64     // [port] output link busy-until (simulator cycles)
+	pending  arrivalWheel // in-flight packets heading to this router
+	rrPort   int          // round-robin arbitration state
+
+	// pendingMin is the earliest arrival cycle in pending (sim.Never when
+	// empty), so the landing phase and the idle hint are O(1) while every
+	// in-flight packet is still on the wire.
+	pendingMin uint64
 
 	// Precomputed topology views (the topology is immutable).
 	links    []link // [port]
@@ -153,6 +132,57 @@ type router struct {
 	// [0, ports*VCs), injection queues at [ports*VCs, ports*VCs+VCs).
 	// Valid only when maskable (nin <= 64); all our topologies qualify.
 	maskable bool
+
+	// Head metadata cache, maintained on every head change (push to an
+	// empty queue, pop, landing): the arbitration loops compare small
+	// integers instead of dereferencing the head packet per attempt.
+	// headOut[q] is the output port the head routes to (-1 when the queue
+	// is empty or the head ejects here); headVC[q] is its precomputed
+	// downstream VC; ejectHead has bit q set iff the head's destination is
+	// this node. wantCount[out] counts occupied queues whose head routes to
+	// out, and wantMask mirrors it as a bitmask so forward() visits only
+	// output ports some head actually wants.
+	headOut   []int8 // [nin]
+	headVC    []int8 // [nin]
+	ejectHead uint64
+	wantCount []uint16 // [ports]
+	wantMask  uint64
+}
+
+// queueAt returns input queue idx (link inputs first, then injection).
+func (r *router) queueAt(idx, vcs int) *packetRing {
+	if idx >= r.ports*vcs {
+		return &r.inj[idx-r.ports*vcs]
+	}
+	return &r.in[idx]
+}
+
+// updateHead refreshes the head metadata for queue idx.
+func (f *Fabric) updateHead(r *router, idx int) {
+	if old := r.headOut[idx]; old >= 0 {
+		r.wantCount[old]--
+		if r.wantCount[old] == 0 {
+			r.wantMask &^= 1 << uint(old)
+		}
+	}
+	q := r.queueAt(idx, f.Cfg.VCs)
+	if q.len() == 0 {
+		r.headOut[idx] = -1
+		r.ejectHead &^= 1 << uint(idx)
+		return
+	}
+	h := q.peek()
+	if h.Dst == r.node {
+		r.headOut[idx] = -1
+		r.ejectHead |= 1 << uint(idx)
+		return
+	}
+	r.ejectHead &^= 1 << uint(idx)
+	out := r.routeTo[h.Dst]
+	r.headOut[idx] = out
+	r.headVC[idx] = int8(vcBase(h.Kind) + int(r.hopClass[h.Dst]))
+	r.wantCount[out]++
+	r.wantMask |= 1 << uint(out)
 }
 
 func (r *router) markIn(idx int)   { r.occ |= 1 << uint(idx) }
@@ -164,6 +194,11 @@ type Fabric struct {
 	Topo Topology
 	Cfg  Config
 
+	// Pool is the fabric's packet free list. Components that inject into
+	// this fabric acquire their packets here; the endpoint that finally
+	// consumes a packet releases it here.
+	Pool *Pool
+
 	routers   []*router
 	endpoints []Endpoint
 	nextID    uint64
@@ -174,13 +209,36 @@ type Fabric struct {
 	inflight int
 	queued   int
 
+	// Router-level occupancy masks (valid when nodeMaskable, i.e. <= 64
+	// nodes — all our topologies): busyNodes has bit n set iff router n
+	// holds any queued packet, pendingNodes iff it has in-flight arrivals.
+	// The tick phases then visit only live routers.
+	busyNodes    uint64
+	pendingNodes uint64
+	nodeMaskable bool
+	wheelHorizon uint64 // arrival-wheel capacity in network cycles
+
+	// clockMask enables mask/shift arithmetic for the (common) power-of-two
+	// ClockDiv: cycle%ClockDiv == cycle&clockMask. clockShift is
+	// log2(ClockDiv); both are valid only when clockPow2.
+	clockMask  uint64
+	clockShift uint
+	clockPow2  bool
+
+	// waker invalidates the engine's cached idle hint; every external
+	// entry point (Inject) wakes the fabric (sim.WakeSetter).
+	waker *sim.Waker
+
 	// classMask[c] selects input-queue occupancy bits whose VC belongs to
 	// ejection class c (vc/2 == c); shared by all routers since the bit
 	// layout has stride Cfg.VCs.
 	classMask [3]uint64
 
-	// Counters for Fig 5.4 and the energy model.
+	// Counters for Fig 5.4 and the energy model. deliveredH holds the
+	// pre-registered dense handle for each kind's delivery counter so the
+	// ejection hot path bumps a slot instead of hashing a string.
 	Counters     *stats.Set
+	deliveredH   [kindCount]stats.Handle
 	HopBytes     uint64 // bytes × link traversals (energy: 5 pJ/bit/hop)
 	Delivered    uint64
 	Injected     uint64
@@ -194,24 +252,56 @@ func NewFabric(topo Topology, cfg Config) *Fabric {
 	if cfg.VCs <= 0 || cfg.QueueDepth <= 0 || cfg.LinkBandwidth <= 0 || cfg.ClockDiv == 0 {
 		panic("network: invalid fabric config")
 	}
-	f := &Fabric{Topo: topo, Cfg: cfg, Counters: stats.NewSet()}
+	f := &Fabric{Topo: topo, Cfg: cfg, Pool: NewPool(), Counters: stats.NewSet()}
+	for k := Kind(0); k < kindCount; k++ {
+		f.deliveredH[k] = f.Counters.Register("delivered_" + k.String())
+	}
 	n := topo.Nodes()
+	f.nodeMaskable = n <= 64
+	if cfg.ClockDiv&(cfg.ClockDiv-1) == 0 {
+		f.clockPow2 = true
+		f.clockMask = cfg.ClockDiv - 1
+		for d := cfg.ClockDiv; d > 1; d >>= 1 {
+			f.clockShift++
+		}
+	}
+	// Size the arrival wheels to the worst-case wire latency in network
+	// cycles: serialization of the largest packet plus link and router
+	// pipeline latency (+1 slot of slack).
+	maxSer := (maxPacketBytes + cfg.LinkBandwidth - 1) / cfg.LinkBandwidth
+	wheelSlots := maxSer + int(cfg.LinkLatency) + int(cfg.RouterDelay) + 1
+	f.wheelHorizon = uint64(wheelSlots)
 	f.routers = make([]*router, n)
 	f.endpoints = make([]Endpoint, n)
 	for i := 0; i < n; i++ {
 		ports := topo.Ports(i)
 		r := &router{
-			node:     i,
-			ports:    ports,
-			in:       make([]packetQueue, ports*cfg.VCs),
-			inj:      make([]packetQueue, cfg.VCs),
-			up:       make([]upstream, ports),
-			credits:  make([]int, ports*cfg.VCs),
-			linkBusy: make([]uint64, ports),
-			links:    make([]link, ports),
-			routeTo:  make([]int8, n),
-			hopClass: make([]int8, n),
-			maskable: ports*cfg.VCs+cfg.VCs <= 64,
+			node:       i,
+			ports:      ports,
+			in:         make([]packetRing, ports*cfg.VCs),
+			inj:        make([]packetRing, cfg.VCs),
+			up:         make([]upstream, ports),
+			credits:    make([]int, ports*cfg.VCs),
+			linkBusy:   make([]uint64, ports),
+			pending:    newArrivalWheel(wheelSlots),
+			pendingMin: sim.Never,
+			links:      make([]link, ports),
+			routeTo:    make([]int8, n),
+			hopClass:   make([]int8, n),
+			maskable:   ports*cfg.VCs+cfg.VCs <= 64,
+		}
+		for q := range r.in {
+			r.in[q] = newPacketRing(cfg.QueueDepth)
+		}
+		for q := range r.inj {
+			r.inj[q] = newPacketRing(cfg.InjDepth)
+		}
+		nin := ports*cfg.VCs + cfg.VCs
+		r.headOut = make([]int8, nin)
+		r.headVC = make([]int8, nin)
+		r.wantCount = make([]uint16, ports)
+		for q := 0; q < nin; q++ {
+			r.headOut[q] = -1
 		}
 		for p := 0; p < ports; p++ {
 			r.up[p] = upstream{node: -1}
@@ -255,6 +345,10 @@ func NewFabric(topo Topology, cfg Config) *Fabric {
 // SetEndpoint attaches the component that consumes packets at node n.
 func (f *Fabric) SetEndpoint(n int, e Endpoint) { f.endpoints[n] = e }
 
+// SetWaker implements sim.WakeSetter: Inject is the fabric's only external
+// entry point; everything else advances through its own Tick.
+func (f *Fabric) SetWaker(w *sim.Waker) { f.waker = w }
+
 // NextID returns a fresh packet id.
 func (f *Fabric) NextID() uint64 {
 	f.nextID++
@@ -286,8 +380,14 @@ func (f *Fabric) Inject(n int, p *Packet, cycle uint64) bool {
 		p.InjectCycle = cycle
 	}
 	r.inj[vc].push(p)
+	idx := r.ports*f.Cfg.VCs + vc
+	r.markIn(idx)
+	if r.inj[vc].len() == 1 {
+		f.updateHead(r, idx)
+	}
 	r.injCount++
-	r.markIn(r.ports*f.Cfg.VCs + vc)
+	f.busyNodes |= 1 << uint(n)
+	f.waker.Wake()
 	f.inflight++
 	f.queued++
 	f.Injected++
@@ -321,7 +421,7 @@ func (f *Fabric) InFlight() int { return f.inflight }
 func (f *Fabric) InFlightScan() int {
 	n := 0
 	for _, r := range f.routers {
-		n += len(r.pending)
+		n += r.pending.len()
 		for i := range r.in {
 			n += r.in[i].len()
 		}
@@ -334,7 +434,8 @@ func (f *Fabric) InFlightScan() int {
 
 // NextWork implements sim.Idler: the fabric needs its Tick only on network
 // clock edges while packets are inside it; with every packet in flight on a
-// link (none queued) the next work is the earliest arrival.
+// link (none queued) the next work is the earliest arrival, a per-router
+// counter read.
 func (f *Fabric) NextWork(now uint64) uint64 {
 	if f.inflight == 0 {
 		return sim.Never
@@ -343,10 +444,18 @@ func (f *Fabric) NextWork(now uint64) uint64 {
 		return f.alignUp(now)
 	}
 	next := sim.Never
-	for _, r := range f.routers {
-		for i := range r.pending {
-			if c := r.pending[i].cycle; c < next {
-				next = c
+	if f.nodeMaskable {
+		for m := f.pendingNodes; m != 0; {
+			node := bits.TrailingZeros64(m)
+			m &= m - 1
+			if pm := f.routers[node].pendingMin; pm < next {
+				next = pm
+			}
+		}
+	} else {
+		for _, r := range f.routers {
+			if r.pendingMin < next {
+				next = r.pendingMin
 			}
 		}
 	}
@@ -358,6 +467,9 @@ func (f *Fabric) NextWork(now uint64) uint64 {
 
 // alignUp rounds c up to the next network clock edge.
 func (f *Fabric) alignUp(c uint64) uint64 {
+	if f.clockPow2 {
+		return (c + f.clockMask) &^ f.clockMask
+	}
 	div := f.Cfg.ClockDiv
 	if rem := c % div; rem != 0 {
 		return c + div - rem
@@ -365,43 +477,115 @@ func (f *Fabric) alignUp(c uint64) uint64 {
 	return c
 }
 
+// onEdge reports whether c is a network clock edge.
+func (f *Fabric) onEdge(c uint64) bool {
+	if f.clockPow2 {
+		return c&f.clockMask == 0
+	}
+	return c%f.Cfg.ClockDiv == 0
+}
+
+// netCycle converts a (clock-edge) simulator cycle to network cycles.
+func (f *Fabric) netCycle(c uint64) uint64 {
+	if f.clockPow2 {
+		return c >> f.clockShift
+	}
+	return c / f.Cfg.ClockDiv
+}
+
 // Tick advances the whole fabric by one simulator cycle.
 func (f *Fabric) Tick(cycle uint64) {
-	if cycle%f.Cfg.ClockDiv != 0 {
+	if !f.onEdge(cycle) {
 		return
 	}
 	if f.inflight == 0 {
 		return
 	}
 	// Phase 1: land arrivals into input queues (credits guaranteed space).
-	for _, r := range f.routers {
-		if len(r.pending) == 0 {
-			continue
+	// The scan compacts the ring in place; routers whose earliest arrival
+	// is still on the wire are skipped entirely via pendingMin, and only
+	// routers with any pending arrival are visited at all.
+	if f.nodeMaskable {
+		for m := f.pendingNodes; m != 0; {
+			node := bits.TrailingZeros64(m)
+			m &= m - 1
+			f.land(f.routers[node], cycle)
 		}
-		kept := r.pending[:0]
-		for _, a := range r.pending {
-			if a.cycle <= cycle {
-				idx := a.port*f.Cfg.VCs + a.vc
-				r.in[idx].push(a.p)
-				r.inCount++
-				r.markIn(idx)
-				f.queued++
-			} else {
-				kept = append(kept, a)
-			}
+	} else {
+		for _, r := range f.routers {
+			f.land(r, cycle)
 		}
-		r.pending = kept
 	}
 	// Phase 2: ejection — deliver packets that reached their destination.
-	for _, r := range f.routers {
-		if r.inCount > 0 {
-			f.eject(r, cycle)
+	// Ejection handlers may synchronously inject new packets (marking more
+	// routers busy), but injection never adds input-queue packets, so the
+	// snapshot covers every router with ejectable state.
+	if f.nodeMaskable {
+		for m := f.busyNodes; m != 0; {
+			node := bits.TrailingZeros64(m)
+			m &= m - 1
+			if r := f.routers[node]; r.inCount > 0 {
+				f.eject(r, cycle)
+			}
+		}
+	} else {
+		for _, r := range f.routers {
+			if r.inCount > 0 {
+				f.eject(r, cycle)
+			}
 		}
 	}
-	// Phase 3: switch allocation and forwarding.
-	for _, r := range f.routers {
-		if r.inCount+r.injCount > 0 {
-			f.forward(r, cycle)
+	// Phase 3: switch allocation and forwarding (forwarding moves packets
+	// between routers' pending lists only; the snapshot is complete).
+	if f.nodeMaskable {
+		for m := f.busyNodes; m != 0; {
+			node := bits.TrailingZeros64(m)
+			m &= m - 1
+			if r := f.routers[node]; r.inCount+r.injCount > 0 {
+				f.forward(r, cycle)
+			}
+		}
+	} else {
+		for _, r := range f.routers {
+			if r.inCount+r.injCount > 0 {
+				f.forward(r, cycle)
+			}
+		}
+	}
+}
+
+// land moves arrivals whose wire traversal has completed into their input
+// queues by draining the due wheel buckets in time order.
+func (f *Fabric) land(r *router, cycle uint64) {
+	if r.pendingMin > cycle {
+		return
+	}
+	nowNet := f.netCycle(cycle)
+	for t := f.netCycle(r.pendingMin); t <= nowNet; t++ {
+		b := r.pending.take(t)
+		for i := range b {
+			a := &b[i]
+			idx := a.port*f.Cfg.VCs + a.vc
+			r.in[idx].push(a.p)
+			if r.in[idx].len() == 1 {
+				f.updateHead(r, idx)
+			}
+			r.inCount++
+			r.markIn(idx)
+			f.queued++
+		}
+		r.pending.putBack(t, b)
+	}
+	f.busyNodes |= 1 << uint(r.node)
+	if r.pending.len() == 0 {
+		r.pendingMin = sim.Never
+		f.pendingNodes &^= 1 << uint(r.node)
+		return
+	}
+	for t := nowNet + 1; ; t++ {
+		if len(r.pending.buckets[t&r.pending.mask]) > 0 {
+			r.pendingMin = t * f.Cfg.ClockDiv
+			return
 		}
 	}
 }
@@ -410,16 +594,19 @@ func (f *Fabric) Tick(cycle uint64) {
 // first (responses, then operand requests, then plain requests) so the
 // drain order matches the deadlock-freedom argument. Each queue gets one
 // delivery attempt per cycle; endpoint refusals backpressure the network.
-// Ejection bandwidth is otherwise unbounded — Cfg.EjectPerCycle is not
-// enforced, a modeling simplification the simulated results depend on (see
-// DESIGN.md). Only occupied (port, VC) queues are visited; the visit order
-// (class descending, then port then VC ascending) matches the plain scan.
+// Ejection bandwidth is otherwise unbounded — a modeling simplification the
+// simulated results depend on (see DESIGN.md). Only occupied (port, VC)
+// queues are visited; the visit order (class descending, then port then VC
+// ascending) matches the plain scan.
 func (f *Fabric) eject(r *router, cycle uint64) {
 	ep := f.endpoints[r.node]
 	for pass := 0; pass < 3; pass++ {
 		class := 2 - pass // 2=response, 1=operand, 0=request
 		if r.maskable {
-			m := r.occ & f.classMask[class] // inj bits excluded by idx range
+			// Only queues whose cached head actually ejects here are
+			// candidates; the plain scan's other visits were guaranteed
+			// no-ops (head destined elsewhere).
+			m := r.occ & f.classMask[class] & r.ejectHead
 			for m != 0 {
 				idx := bits.TrailingZeros64(m)
 				m &= m - 1
@@ -443,17 +630,23 @@ func (f *Fabric) eject(r *router, cycle uint64) {
 
 // ejectQueue delivers at most one packet from input queue idx (each queue
 // gets one ejection attempt per class pass, exactly like the plain scan);
-// it reports whether a packet was popped.
+// it reports whether a packet was popped. A successful Deliver is the
+// ejection commit: ownership passes to the endpoint, which releases the
+// packet to f.Pool at its final consumption point.
 func (f *Fabric) ejectQueue(r *router, ep Endpoint, idx int, cycle uint64) bool {
 	q := &r.in[idx]
-	if q.len() == 0 || q.head().Dst != r.node {
+	if q.len() == 0 || q.peek().Dst != r.node {
 		return false
 	}
-	p := q.head()
+	p := q.peek()
 	if ep == nil {
 		panic(fmt.Sprintf("network: packet %s for node %d with no endpoint", p.Kind, r.node))
 	}
 	p.ArriveCycle = cycle
+	// A successful Deliver transfers ownership — synchronous consumers
+	// release the packet before returning — so everything the fabric still
+	// needs must be read first.
+	kind := p.Kind
 	if !ep.Deliver(p, cycle) {
 		f.ejectStalled++
 		return false
@@ -464,10 +657,14 @@ func (f *Fabric) ejectQueue(r *router, ep Endpoint, idx int, cycle uint64) bool 
 	f.inflight--
 	if q.len() == 0 {
 		r.unmarkIn(idx)
+		if r.inCount+r.injCount == 0 {
+			f.busyNodes &^= 1 << uint(r.node)
+		}
 	}
+	f.updateHead(r, idx)
 	f.returnCredit(r, idx/f.Cfg.VCs, idx%f.Cfg.VCs)
 	f.Delivered++
-	f.Counters.Inc(deliveredKeys[p.Kind])
+	f.Counters.IncH(f.deliveredH[kind])
 	return true
 }
 
@@ -478,6 +675,12 @@ func (f *Fabric) ejectQueue(r *router, ep Endpoint, idx int, cycle uint64) bool 
 func (f *Fabric) forward(r *router, cycle uint64) {
 	nin := r.ports*f.Cfg.VCs + f.Cfg.VCs // link inputs + injection queues
 	for out := 0; out < r.ports; out++ {
+		// Skip output ports no head currently wants. The mask is re-read
+		// every iteration because a pop can promote a new head wanting a
+		// later port this same cycle.
+		if r.wantMask>>uint(out)&1 == 0 {
+			continue
+		}
 		if r.linkBusy[out] > cycle {
 			continue
 		}
@@ -488,6 +691,8 @@ func (f *Fabric) forward(r *router, cycle uint64) {
 		if r.maskable {
 			// Visit occupied queues in (rrPort + k) % nin order: the bits
 			// at and above rrPort first, then the wrapped-around low bits.
+			// The cached headOut filters ineligible queues with one int8
+			// compare before any packet dereference.
 			high := r.occ & (^uint64(0) << uint(r.rrPort))
 			low := r.occ &^ (^uint64(0) << uint(r.rrPort))
 			done := false
@@ -495,6 +700,14 @@ func (f *Fabric) forward(r *router, cycle uint64) {
 				for m != 0 {
 					idx := bits.TrailingZeros64(m)
 					m &= m - 1
+					if int(r.headOut[idx]) != out {
+						continue
+					}
+					// Cached head VC: refuse on missing credits without
+					// touching the packet at all.
+					if r.credits[out*f.Cfg.VCs+int(r.headVC[idx])] <= 0 {
+						continue
+					}
 					if f.tryForward(r, out, idx, l, cycle, nin) {
 						done = true
 						break
@@ -516,19 +729,17 @@ func (f *Fabric) forward(r *router, cycle uint64) {
 }
 
 // tryForward attempts to transmit the head of input queue idx through
-// output port out; it reports whether a packet was sent.
+// output port out; it reports whether a packet was sent. On the maskable
+// path the caller has already matched the cached headOut, so the plain
+// checks below only run for the non-maskable fallback (and stay correct
+// either way).
 func (f *Fabric) tryForward(r *router, out, idx int, l link, cycle uint64, nin int) bool {
-	var q *packetQueue
+	q := r.queueAt(idx, f.Cfg.VCs)
 	injected := idx >= r.ports*f.Cfg.VCs
-	if injected {
-		q = &r.inj[idx-r.ports*f.Cfg.VCs]
-	} else {
-		q = &r.in[idx]
-	}
 	if q.len() == 0 {
 		return false
 	}
-	p := q.head()
+	p := q.peek()
 	if p.Dst == r.node {
 		return false // ejection handles it
 	}
@@ -544,11 +755,15 @@ func (f *Fabric) tryForward(r *router, out, idx int, l link, cycle uint64, nin i
 	if q.len() == 0 {
 		r.unmarkIn(idx)
 	}
+	f.updateHead(r, idx)
 	if injected {
 		r.injCount--
 	} else {
 		r.inCount--
 		f.returnCredit(r, idx/f.Cfg.VCs, idx%f.Cfg.VCs)
+	}
+	if r.inCount+r.injCount == 0 {
+		f.busyNodes &^= 1 << uint(r.node)
 	}
 	f.queued--
 	r.credits[out*f.Cfg.VCs+vc]--
@@ -558,9 +773,15 @@ func (f *Fabric) tryForward(r *router, out, idx int, l link, cycle uint64, nin i
 	arrive := cycle + (ser+f.Cfg.LinkLatency+f.Cfg.RouterDelay)*f.Cfg.ClockDiv
 	p.Hops++
 	f.HopBytes += uint64(p.Size)
-	f.routers[l.peer].pending = append(f.routers[l.peer].pending, arrival{
-		p: p, port: l.peerPort, vc: vc, cycle: arrive,
-	})
+	peer := f.routers[l.peer]
+	if ser+f.Cfg.LinkLatency+f.Cfg.RouterDelay >= f.wheelHorizon {
+		panic("network: arrival beyond wheel horizon")
+	}
+	peer.pending.push(f.netCycle(arrive), arrival{p: p, port: l.peerPort, vc: vc, cycle: arrive})
+	if arrive < peer.pendingMin {
+		peer.pendingMin = arrive
+	}
+	f.pendingNodes |= 1 << uint(l.peer)
 	r.rrPort = (idx + 1) % nin
 	return true
 }
@@ -585,19 +806,19 @@ func (f *Fabric) DebugQueues() string {
 			for vc := 0; vc < f.Cfg.VCs; vc++ {
 				q := &r.in[port*f.Cfg.VCs+vc]
 				if q.len() > 0 {
-					h := q.head()
+					h := q.peek()
 					out += fmt.Sprintf("node %d in[p%d vc%d] len=%d head=%s dst=%d\n", r.node, port, vc, q.len(), h.Kind, h.Dst)
 				}
 			}
 		}
 		for vc := 0; vc < f.Cfg.VCs; vc++ {
 			if r.inj[vc].len() > 0 {
-				h := r.inj[vc].head()
+				h := r.inj[vc].peek()
 				out += fmt.Sprintf("node %d inj[vc%d] len=%d head=%s dst=%d\n", r.node, vc, r.inj[vc].len(), h.Kind, h.Dst)
 			}
 		}
-		if len(r.pending) > 0 {
-			out += fmt.Sprintf("node %d pending=%d\n", r.node, len(r.pending))
+		if r.pending.len() > 0 {
+			out += fmt.Sprintf("node %d pending=%d\n", r.node, r.pending.len())
 		}
 	}
 	return out

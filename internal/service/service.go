@@ -16,6 +16,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -182,6 +183,18 @@ type Stats struct {
 	SimsStarted    uint64  `json:"sims_started"`
 	SimsCompleted  uint64  `json:"sims_completed"`
 	FailedRequests uint64  `json:"failed_requests"`
+
+	// Allocation/GC gauges (runtime.MemStats snapshots) so operators can
+	// watch the simulator's memory discipline in production: with the
+	// pooled packet/message lifecycle the per-simulation allocation rate
+	// should stay near-constant as traffic grows.
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64  `json:"heap_sys_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	MallocsTotal    uint64  `json:"mallocs_total"`
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalMS  float64 `json:"gc_pause_total_ms"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction"`
 }
 
 // Stats snapshots the server counters.
@@ -203,5 +216,14 @@ func (s *Server) Stats() Stats {
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(total)
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st.HeapAllocBytes = ms.HeapAlloc
+	st.HeapSysBytes = ms.HeapSys
+	st.TotalAllocBytes = ms.TotalAlloc
+	st.MallocsTotal = ms.Mallocs
+	st.NumGC = ms.NumGC
+	st.GCPauseTotalMS = float64(ms.PauseTotalNs) / 1e6
+	st.GCCPUFraction = ms.GCCPUFraction
 	return st
 }

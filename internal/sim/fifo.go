@@ -1,0 +1,59 @@
+package sim
+
+// FIFO is a slice-backed queue drained by head index instead of re-slicing,
+// so the backing array's capacity is reused forever: after warm-up, a
+// steady-state push/pop workload never calls growslice. Popped slots are
+// zeroed so the queue never pins dead references.
+//
+// It exists for the simulator's many small component queues (input queues,
+// outboxes, command queues) whose historical `q = append(q, x)` /
+// `q = q[1:]` pattern lost the freed capacity on the left and re-grew the
+// slice perpetually.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len reports the queued element count.
+func (q *FIFO[T]) Len() int { return len(q.buf) - q.head }
+
+// Empty reports whether no elements are queued.
+func (q *FIFO[T]) Empty() bool { return q.head == len(q.buf) }
+
+// Push appends v.
+func (q *FIFO[T]) Push(v T) {
+	// Reclaim the drained prefix before growing past capacity: slide the
+	// live elements down instead of allocating a bigger array.
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		var zero T
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = zero
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+// Peek returns the oldest element; it panics on an empty queue.
+func (q *FIFO[T]) Peek() T { return q.buf[q.head] }
+
+// At returns the i-th oldest element (0 = head).
+func (q *FIFO[T]) At(i int) T { return q.buf[q.head+i] }
+
+// PtrAt returns a pointer to the i-th oldest element for in-place updates.
+func (q *FIFO[T]) PtrAt(i int) *T { return &q.buf[q.head+i] }
+
+// Pop removes and returns the oldest element; it panics on an empty queue.
+func (q *FIFO[T]) Pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}

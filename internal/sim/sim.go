@@ -17,7 +17,10 @@
 // idle/wake protocol contract).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Ticker is a hardware component that advances by one clock cycle per call.
 type Ticker interface {
@@ -52,16 +55,70 @@ type Idler interface {
 	// now itself when the component has immediate work, a later cycle when
 	// its next work is a purely internal timed event, or Never when it is
 	// quiescent until external input (a delivered packet, a callback)
-	// arrives. NextWork is re-evaluated every engine step, so Never is a
-	// per-cycle claim, not a permanent one.
+	// arrives. For plain idlers NextWork is re-evaluated every engine
+	// step, so Never is a per-cycle claim, not a permanent one; wake-aware
+	// components (WakeSetter) instead have the result cached until their
+	// Waker fires or the reported cycle arrives.
 	NextWork(now uint64) uint64
+}
+
+// Waker is the engine-side handle a wake-aware component uses to invalidate
+// its cached idle hint. Wake is cheap (one store) and safe to call
+// redundantly or on a nil receiver.
+type Waker struct {
+	e   *Engine
+	idx int
+}
+
+// Wake marks the component's cached quiescence stale so the engine re-polls
+// its NextWork on the next step. Components call it from every entry point
+// through which the outside world hands them new work (a Deliver, an
+// Access, a completion callback).
+func (w *Waker) Wake() {
+	if w != nil {
+		w.e.wakeAt[w.idx] = 0
+		w.e.active[w.idx>>6] |= 1 << uint(w.idx&63)
+	}
+}
+
+// WakeSetter is the opt-in contract for engine-side idle-hint caching. A
+// component implementing it promises that between two of its Ticks, the
+// value it returned from NextWork can only become earlier as a result of an
+// event that calls the provided Waker — so the engine may cache a future
+// NextWork result and skip re-polling until that cycle arrives or Wake is
+// called. Time-only idlers (samplers) satisfy the contract trivially and
+// may ignore the waker.
+type WakeSetter interface {
+	SetWaker(w *Waker)
+}
+
+// slot pairs a ticker with its idle hint so the per-cycle scheduling loop
+// walks one contiguous slice (idler is nil when the ticker does not
+// implement Idler).
+type slot struct {
+	t         Ticker
+	i         Idler
+	cacheable bool
 }
 
 // Engine owns the global clock and the ordered set of tickers.
 type Engine struct {
-	cycle   uint64
-	tickers []Ticker
-	idlers  []Idler // idlers[i] is non-nil iff tickers[i] implements Idler
+	cycle uint64
+	slots []slot
+	// wakeAt[i] caches slot i's last future NextWork result (wake-aware
+	// components only): while cycle < wakeAt[i] the engine skips the poll.
+	// It lives in its own dense array so the per-cycle scan touches eight
+	// bytes per component instead of a whole slot.
+	wakeAt []uint64
+	// active is a bitmask over slots: bit i set means slot i must be
+	// polled/ticked this cycle. Cached-quiescent components clear their bit
+	// and are re-activated either by Waker.Wake or by the minWake sweep
+	// when their cached cycle arrives. Iterating set bits ascending
+	// preserves registration (tick) order exactly.
+	active []uint64
+	// minWake is the earliest cached wakeAt among inactive slots; when the
+	// clock reaches it the engine sweeps wakeAt to re-activate due slots.
+	minWake uint64
 	names   []string
 
 	// SkippedTicks counts component Ticks suppressed by idle hints and
@@ -81,17 +138,27 @@ func (e *Engine) Register(name string, t Ticker) {
 	if t == nil {
 		panic("sim: Register called with nil ticker")
 	}
-	e.tickers = append(e.tickers, t)
 	idler, _ := t.(Idler)
-	e.idlers = append(e.idlers, idler)
+	e.slots = append(e.slots, slot{t: t, i: idler})
+	e.wakeAt = append(e.wakeAt, 0)
 	e.names = append(e.names, name)
+	i := len(e.slots) - 1
+	for len(e.active) <= i>>6 {
+		e.active = append(e.active, 0)
+	}
+	e.active[i>>6] |= 1 << uint(i&63)
+	e.minWake = 0
+	if ws, ok := t.(WakeSetter); ok && idler != nil {
+		e.slots[i].cacheable = true
+		ws.SetWaker(&Waker{e: e, idx: i})
+	}
 }
 
 // Cycle reports the current cycle (the number of completed steps).
 func (e *Engine) Cycle() uint64 { return e.cycle }
 
 // Components reports how many tickers are registered.
-func (e *Engine) Components() int { return len(e.tickers) }
+func (e *Engine) Components() int { return len(e.slots) }
 
 // step advances the whole machine by one cycle, skipping components that
 // report no work. It returns the earliest cycle at which any skipped
@@ -101,20 +168,63 @@ func (e *Engine) Components() int { return len(e.tickers) }
 // returned cycle directly.
 func (e *Engine) step() uint64 {
 	c := e.cycle
-	next := Never
-	ran := false
-	for i, t := range e.tickers {
-		if h := e.idlers[i]; h != nil {
-			if w := h.NextWork(c); w > c {
-				if w < next {
-					next = w
-				}
-				e.SkippedTicks++
+	if c >= e.minWake {
+		// A cached wake is due (or the mask is stale): re-activate every
+		// slot whose cached cycle has arrived and recompute the horizon.
+		min := Never
+		for i, wa := range e.wakeAt {
+			if e.active[i>>6]&(1<<uint(i&63)) != 0 {
 				continue
 			}
+			if wa <= c {
+				e.active[i>>6] |= 1 << uint(i&63)
+			} else if wa < min {
+				min = wa
+			}
 		}
-		t.Tick(c)
-		ran = true
+		e.minWake = min
+	}
+	next := e.minWake
+	ran := false
+	for w := range e.active {
+		// The word is re-read every iteration so a component woken by an
+		// earlier tick in the same cycle is still visited at its own slot
+		// position — exactly like the historical whole-slice scan. done
+		// masks every position at or below the last visited bit, so wakes
+		// pointing backward wait for the next cycle (also like the scan).
+		var done uint64
+		for {
+			m := e.active[w] &^ done
+			if m == 0 {
+				break
+			}
+			b := m & (-m)
+			i := w<<6 + bits.TrailingZeros64(m)
+			done |= b<<1 - 1
+			s := &e.slots[i]
+			if s.i != nil {
+				if wk := s.i.NextWork(c); wk > c {
+					if wk < next {
+						next = wk
+					}
+					if s.cacheable && wk > c+1 {
+						// Park the slot: no polls until wk or a Wake. A
+						// one-cycle wait is cheaper to re-poll than to
+						// park (parking would trigger a re-activation
+						// sweep on the very next step).
+						e.wakeAt[i] = wk
+						e.active[w] &^= b
+						if wk < e.minWake {
+							e.minWake = wk
+						}
+					}
+					e.SkippedTicks++
+					continue
+				}
+			}
+			s.t.Tick(c)
+			ran = true
+		}
 	}
 	e.cycle++
 	if ran {

@@ -9,37 +9,66 @@ import (
 	"strings"
 )
 
+// Handle is a dense index into a Set, returned by Register. Components on
+// hot paths register their counter names once at construction and bump the
+// slot by handle — a bounds-checked slice increment with no hashing — while
+// the string-keyed view is rebuilt only at export time (Names/Get/Merge/
+// String).
+type Handle int
+
 // Set is a named collection of integer counters. The zero value is not
 // usable; construct with NewSet.
 type Set struct {
-	counters map[string]uint64
-	order    []string
+	vals  []uint64
+	index map[string]Handle
+	order []string
 }
 
 // NewSet returns an empty counter set.
-func NewSet() *Set { return &Set{counters: make(map[string]uint64)} }
+func NewSet() *Set { return &Set{index: make(map[string]Handle)} }
 
-// Add increments the named counter by v, creating it on first use.
-func (s *Set) Add(name string, v uint64) {
-	if _, ok := s.counters[name]; !ok {
+// Register returns the dense handle for name, allocating the slot on first
+// use. Registering the same name twice returns the same handle, so
+// components may pre-register unconditionally.
+func (s *Set) Register(name string) Handle {
+	h, ok := s.index[name]
+	if !ok {
+		h = Handle(len(s.vals))
+		s.vals = append(s.vals, 0)
+		s.index[name] = h
 		s.order = append(s.order, name)
 	}
-	s.counters[name] += v
+	return h
 }
+
+// AddH increments the counter behind a registered handle by v — the hot-path
+// fast path: no map lookup, no string handling.
+func (s *Set) AddH(h Handle, v uint64) { s.vals[h] += v }
+
+// IncH increments the counter behind a registered handle by one.
+func (s *Set) IncH(h Handle) { s.vals[h]++ }
+
+// Add increments the named counter by v, creating it on first use.
+func (s *Set) Add(name string, v uint64) { s.vals[s.Register(name)] += v }
 
 // Inc increments the named counter by one.
 func (s *Set) Inc(name string) { s.Add(name, 1) }
 
 // Get returns the counter's value (zero if never touched).
-func (s *Set) Get(name string) uint64 { return s.counters[name] }
+func (s *Set) Get(name string) uint64 {
+	if h, ok := s.index[name]; ok {
+		return s.vals[h]
+	}
+	return 0
+}
 
-// Names returns counter names in first-use order.
+// Names returns counter names in first-use (registration) order.
 func (s *Set) Names() []string { return append([]string(nil), s.order...) }
 
 // Merge adds every counter of other into s.
 func (s *Set) Merge(other *Set) {
-	for _, n := range other.order {
-		s.Add(n, other.counters[n])
+	for i, n := range other.order {
+		s.Add(n, other.vals[i])
 	}
 }
 
@@ -49,7 +78,7 @@ func (s *Set) String() string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
-		fmt.Fprintf(&b, "%-32s %12d\n", n, s.counters[n])
+		fmt.Fprintf(&b, "%-32s %12d\n", n, s.vals[s.index[n]])
 	}
 	return b.String()
 }

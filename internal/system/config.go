@@ -188,12 +188,22 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// cfgHashVersion salts Config.Hash. Bump it whenever the configuration
+// schema changes shape in a way the %#v rendering might not capture, so
+// results cached under the old schema (service result cache, sweep keys)
+// can never collide with new ones. v2: the dead network EjectPerCycle knob
+// was removed — otherwise-equal configs must not share a hash with their
+// v1 ancestors that carried it.
+const cfgHashVersion = "cfg/v2|"
+
 // Hash returns a stable 64-bit digest of the full configuration, used to
 // key sweep results: two runs share a hash iff every configuration field
-// (including nested component configs) is identical. The config structs are
-// all plain value types, so the %#v rendering is deterministic.
+// (including nested component configs) is identical and the schema version
+// matches. The config structs are all plain value types, so the %#v
+// rendering is deterministic.
 func (c *Config) Hash() string {
 	h := fnv.New64a()
+	h.Write([]byte(cfgHashVersion))
 	fmt.Fprintf(h, "%#v", *c)
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -57,3 +57,34 @@ func TestConfigHashStability(t *testing.T) {
 		t.Fatalf("hash %q is not 16 hex digits", a.Hash())
 	}
 }
+
+// v1ConfigHashes records Config.Hash() of DefaultConfig(scheme) as computed
+// by the schema that still carried the dead network EjectPerCycle knob
+// (captured immediately before its removal). Old cached results are keyed
+// by these strings; the current schema must never reproduce them for the
+// same logical configuration, or a stale cache entry could satisfy a new
+// request.
+var v1ConfigHashes = map[Scheme]string{
+	SchemeDRAM:           "0ae7404317fc96ba",
+	SchemeHMC:            "99a22cc2eddc34cb",
+	SchemeART:            "0681a0f291a911a0",
+	SchemeARFtid:         "ad1617d4bc073071",
+	SchemeARFaddr:        "901165aa0cbb964e",
+	SchemeARFtidAdaptive: "ffa61a612b89852f",
+	SchemeARFea:          "588505d91deeca34",
+}
+
+// TestConfigHashDistinctFromV1 pins the schema-versioning contract: after
+// the EjectPerCycle removal (cfg/v2), otherwise-equal default configs hash
+// differently from their v1 ancestors.
+func TestConfigHashDistinctFromV1(t *testing.T) {
+	for _, s := range AllSchemes() {
+		cfg := DefaultConfig(s)
+		got := cfg.Hash()
+		if old, ok := v1ConfigHashes[s]; !ok {
+			t.Fatalf("missing v1 hash for %s", s)
+		} else if got == old {
+			t.Errorf("%s: v2 hash %s collides with the v1 schema hash", s, got)
+		}
+	}
+}

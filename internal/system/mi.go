@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // MessageInterface is the per-core MI of Fig 3.1 (§3.1.2): it accepts
@@ -16,13 +17,23 @@ type MessageInterface struct {
 	tile  int
 	send  cache.Sender
 	coord *core.Coordinator
+	pool  *cache.MsgPool
 
-	queue     []*miEntry
+	queue     sim.FIFO[*miEntry]
+	free      []*miEntry // recycled queue entries
 	cap       int
 	window    int
 	nextTag   uint64
 	byTag     map[uint64]*miEntry
 	unqueried int // updates whose coherence query has not been sent yet
+	// scanFrom is the queue offset of the first unqueried update: queries
+	// are issued strictly front to back, so every earlier entry is already
+	// queried (or a gather) and the per-tick window scan starts here.
+	scanFrom int
+
+	// waker invalidates the engine's cached idle hint on external input
+	// (Update/Gather from the core, OnBackInvalDone from the directory).
+	waker *sim.Waker
 
 	// Stats.
 	QueriesSent  uint64
@@ -32,81 +43,99 @@ type MessageInterface struct {
 }
 
 type miEntry struct {
-	upd     core.UpdateCmd
-	gather  *core.GatherCmd
-	queried bool
-	cleared bool
-	tag     uint64
+	upd      core.UpdateCmd
+	gather   core.GatherCmd
+	isGather bool
+	queried  bool
+	cleared  bool
+	tag      uint64
 }
 
-// NewMessageInterface builds the MI for the core at tile.
-func NewMessageInterface(tile int, send cache.Sender, coord *core.Coordinator, capacity, window int) *MessageInterface {
+// NewMessageInterface builds the MI for the core at tile. pool is the
+// machine's shared coherence-message free list.
+func NewMessageInterface(tile int, send cache.Sender, coord *core.Coordinator, pool *cache.MsgPool, capacity, window int) *MessageInterface {
 	if capacity <= 0 {
 		capacity = 16
 	}
 	if window <= 0 {
 		window = 8
 	}
+	if pool == nil {
+		pool = cache.NewMsgPool()
+	}
 	return &MessageInterface{
 		tile:   tile,
 		send:   send,
 		coord:  coord,
+		pool:   pool,
 		cap:    capacity,
 		window: window,
 		byTag:  make(map[uint64]*miEntry),
 	}
 }
 
+// getEntry returns a recycled (or fresh) queue entry.
+func (mi *MessageInterface) getEntry() *miEntry {
+	if n := len(mi.free); n > 0 {
+		e := mi.free[n-1]
+		mi.free = mi.free[:n-1]
+		*e = miEntry{}
+		return e
+	}
+	return &miEntry{}
+}
+
 var _ cpu.OffloadPort = (*MessageInterface)(nil)
+
+// SetWaker implements sim.WakeSetter.
+func (mi *MessageInterface) SetWaker(w *sim.Waker) { mi.waker = w }
 
 // Update implements cpu.OffloadPort; false stalls the core (offload
 // backpressure).
 func (mi *MessageInterface) Update(cmd core.UpdateCmd, cycle uint64) bool {
-	if len(mi.queue) >= mi.cap {
+	if mi.queue.Len() >= mi.cap {
 		mi.QueueFullRej++
 		return false
 	}
-	mi.queue = append(mi.queue, &miEntry{upd: cmd})
+	e := mi.getEntry()
+	e.upd = cmd
+	mi.queue.Push(e)
 	mi.unqueried++
+	mi.waker.Wake()
 	return true
 }
 
 // Gather implements cpu.OffloadPort.
 func (mi *MessageInterface) Gather(cmd core.GatherCmd, cycle uint64) bool {
-	if len(mi.queue) >= mi.cap {
+	if mi.queue.Len() >= mi.cap {
 		mi.QueueFullRej++
 		return false
 	}
-	g := cmd
-	mi.queue = append(mi.queue, &miEntry{gather: &g})
+	e := mi.getEntry()
+	e.gather = cmd
+	e.isGather = true
+	mi.queue.Push(e)
+	mi.waker.Wake()
 	return true
 }
 
 // Busy reports queued offloads.
-func (mi *MessageInterface) Busy() bool { return len(mi.queue) > 0 }
+func (mi *MessageInterface) Busy() bool { return mi.queue.Len() > 0 }
 
 // NextWork implements sim.Idler. The MI is quiescent when its queue is
 // empty, and also while every update in the query window has been queried
 // and the head is still waiting for its back-invalidation ack (which
 // arrives via OnBackInvalDone).
 func (mi *MessageInterface) NextWork(now uint64) uint64 {
-	if len(mi.queue) == 0 {
+	if mi.queue.Len() == 0 {
 		return never
 	}
-	head := mi.queue[0]
-	if head.gather != nil || head.cleared {
+	head := mi.queue.Peek()
+	if head.isGather || head.cleared {
 		return now
 	}
-	if mi.unqueried > 0 {
-		window := mi.window
-		if window > len(mi.queue) {
-			window = len(mi.queue)
-		}
-		for _, e := range mi.queue[:window] {
-			if e.gather == nil && !e.queried {
-				return now
-			}
-		}
+	if mi.unqueried > 0 && mi.scanFrom < mi.window {
+		return now // an unqueried update sits inside the query window
 	}
 	return never
 }
@@ -123,34 +152,39 @@ func queryAddr(cmd core.UpdateCmd) mem.PAddr {
 // Tick issues coherence queries (up to the window) and drains cleared
 // commands to the coordinator in FIFO order.
 func (mi *MessageInterface) Tick(cycle uint64) {
-	// Issue queries for the leading window of un-queried updates.
-	seen := 0
-	for _, e := range mi.queue {
-		if seen >= mi.window {
-			break
-		}
-		seen++
-		if e.gather != nil || e.queried {
+	// Issue queries for the leading window of un-queried updates, starting
+	// at the cursor (everything before it is already queried).
+	limit := mi.window
+	if limit > mi.queue.Len() {
+		limit = mi.queue.Len()
+	}
+	for i := mi.scanFrom; i < limit; i++ {
+		e := mi.queue.At(i)
+		if e.isGather || e.queried {
+			mi.scanFrom = i + 1
 			continue
 		}
 		block := mem.BlockAlign(queryAddr(e.upd))
 		mi.nextTag++
 		tag := uint64(mi.tile)<<40 | mi.nextTag
-		m := &cache.Msg{Type: cache.MsgBackInvalQ, Block: block, From: mi.tile, Tag: tag}
+		m := mi.pool.Get(cache.MsgBackInvalQ, block, mi.tile)
+		m.Tag = tag
 		if !mi.send(cache.BankOf(block, 16), m) {
+			mi.pool.Put(m)
 			break
 		}
 		e.queried = true
 		e.tag = tag
 		mi.byTag[tag] = e
 		mi.unqueried--
+		mi.scanFrom = i + 1
 		mi.QueriesSent++
 	}
-	// Forward cleared heads.
-	for len(mi.queue) > 0 {
-		e := mi.queue[0]
-		if e.gather != nil {
-			if !mi.coord.EnqueueGather(*e.gather, cycle) {
+	// Forward cleared heads, recycling forwarded entries.
+	for mi.queue.Len() > 0 {
+		e := mi.queue.Peek()
+		if e.isGather {
+			if !mi.coord.EnqueueGather(e.gather, cycle) {
 				return
 			}
 			mi.GathersSent++
@@ -163,7 +197,11 @@ func (mi *MessageInterface) Tick(cycle uint64) {
 			}
 			mi.UpdatesSent++
 		}
-		mi.queue = mi.queue[1:]
+		mi.queue.Pop()
+		if mi.scanFrom > 0 {
+			mi.scanFrom--
+		}
+		mi.free = append(mi.free, e)
 	}
 }
 
@@ -172,5 +210,6 @@ func (mi *MessageInterface) OnBackInvalDone(tag uint64) {
 	if e, ok := mi.byTag[tag]; ok {
 		e.cleared = true
 		delete(mi.byTag, tag)
+		mi.waker.Wake()
 	}
 }

@@ -74,6 +74,10 @@ type System struct {
 	cubes     []*hmc.Cube
 	coord     *core.Coordinator
 
+	// msgPool is the machine-wide coherence-message free list; NoC packet
+	// wrappers come from noc.Pool (see DESIGN.md "Memory discipline").
+	msgPool *cache.MsgPool
+
 	nextMemTag uint64
 
 	// IPC sampling.
@@ -98,15 +102,27 @@ type tileHub struct {
 	pendingMem map[uint64]func(cycle uint64)
 }
 
-// Deliver implements network.Endpoint for the NoC.
+// Deliver implements network.Endpoint for the NoC. An accepted packet has
+// served its purpose as a message wrapper and is released here (the NoC
+// packet's single point of final consumption); the payload message travels
+// on under the Msg ownership contract.
 func (h *tileHub) Deliver(p *network.Packet, cycle uint64) bool {
 	m, ok := p.Meta.(*cache.Msg)
 	if !ok {
 		panic(fmt.Sprintf("system: NoC packet without coherence payload at tile %d", h.tile))
 	}
-	return h.deliverMsg(m, cycle)
+	if !h.deliverMsg(m, cycle) {
+		return false
+	}
+	p.Meta = nil
+	h.sys.noc.Pool.Put(p)
+	return true
 }
 
+// deliverMsg demultiplexes a coherence message. Acceptance (true) transfers
+// message ownership: the L1/L2 release it after their handle() commit,
+// while the hub's own terminal cases (back-inval done, memory traffic)
+// consume the message synchronously and release it here.
 func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
 	s := h.sys
 	switch m.Type {
@@ -117,11 +133,16 @@ func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
 		return s.l1s[h.tile].Deliver(m, cycle)
 	case cache.MsgBackInvalD:
 		s.mis[h.tile].OnBackInvalDone(m.Tag)
+		s.msgPool.Put(m)
 		return true
 	case cache.MsgMemRead, cache.MsgMemWrite:
 		for _, mc := range s.mcs {
 			if mc.tile == h.tile {
-				return mc.deliver(m, cycle)
+				if !mc.deliver(m, cycle) {
+					return false
+				}
+				s.msgPool.Put(m)
+				return true
 			}
 		}
 		panic(fmt.Sprintf("system: memory message at non-MC tile %d", h.tile))
@@ -132,6 +153,7 @@ func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
 		}
 		delete(h.pendingMem, m.Tag)
 		done(cycle)
+		s.msgPool.Put(m)
 		return true
 	default:
 		panic(fmt.Sprintf("system: unroutable message %s at tile %d", m.Type, h.tile))
@@ -148,7 +170,12 @@ type mcPort struct {
 	access  func(pa mem.PAddr, write bool, done func(uint64)) bool
 	outbox  []mcOut
 	outHead int
+	waker   *sim.Waker
 }
+
+// SetWaker implements sim.WakeSetter: the only external input is a refused
+// response send queued from a memory completion callback.
+func (mc *mcPort) SetWaker(w *sim.Waker) { mc.waker = w }
 
 type mcOut struct {
 	dst int
@@ -161,9 +188,11 @@ func (mc *mcPort) deliver(m *cache.Msg, cycle uint64) bool {
 	write := m.Type == cache.MsgMemWrite
 	from, tag, block := m.From, m.Tag, m.Block
 	return mc.access(m.Block, write, func(cyc uint64) {
-		resp := &cache.Msg{Type: cache.MsgMemResp, Block: block, From: mc.tile, Tag: tag}
+		resp := mc.sys.msgPool.Get(cache.MsgMemResp, block, mc.tile)
+		resp.Tag = tag
 		if !mc.sys.sendFrom(mc.tile, from, resp) {
 			mc.outbox = append(mc.outbox, mcOut{from, resp})
+			mc.waker.Wake()
 		}
 	})
 }
@@ -202,7 +231,7 @@ func New(cfg Config, wlName string, scale workload.Scale) (*System, error) {
 
 // NewWith builds a machine around an existing workload value.
 func NewWith(cfg Config, wl workload.Workload) (*System, error) {
-	s := &System{cfg: cfg, wl: wl}
+	s := &System{cfg: cfg, wl: wl, msgPool: cache.NewMsgPool()}
 	s.env = workload.NewEnv(cfg.Threads, cfg.Seed)
 	wl.Init(s.env)
 	s.engine = sim.NewEngine()
@@ -247,7 +276,7 @@ func NewWith(cfg Config, wl workload.Workload) (*System, error) {
 			ports[i] = s.hmcCtrls[i]
 		}
 		if cfg.Scheme.Active() {
-			s.coord = core.NewCoordinator(cfg.Scheme.Policy(), cfg.HMCGeom, ports, s.env.Store, cfg.CoordQueue)
+			s.coord = core.NewCoordinator(cfg.Scheme.Policy(), cfg.HMCGeom, ports, s.env.Store, s.memnet.Pool, cfg.CoordQueue)
 			memTopo := topo
 			s.coord.SetDistanceFn(func(port, cube int) int {
 				entry := ctrlCubes[port]
@@ -294,29 +323,32 @@ func NewWith(cfg Config, wl workload.Workload) (*System, error) {
 			}
 			s.nextMemTag++
 			tag := uint64(tile)<<40 | s.nextMemTag
-			m := &cache.Msg{Type: cache.MsgMemRead, Block: block, From: tile, Tag: tag}
+			kind := cache.MsgMemRead
 			if write {
-				m.Type = cache.MsgMemWrite
+				kind = cache.MsgMemWrite
 			}
+			m := s.msgPool.Get(kind, block, tile)
+			m.Tag = tag
 			if !s.sendFrom(tile, mcTiles[idx], m) {
+				s.msgPool.Put(m)
 				return false
 			}
 			s.hubs[tile].pendingMem[tag] = done
 			return true
 		}
-		s.l2s[t] = cache.NewL2Bank(t, cfg.L2, s.senderFor(t), memPort)
+		s.l2s[t] = cache.NewL2Bank(t, cfg.L2, s.senderFor(t), memPort, s.msgPool)
 	}
 	s.l1s = make([]*cache.L1, tiles)
 	for t := 0; t < tiles; t++ {
 		s.l1s[t] = cache.NewL1(t, cfg.L1, s.senderFor(t),
-			func(block mem.PAddr) int { return cache.BankOf(block, tiles) })
+			func(block mem.PAddr) int { return cache.BankOf(block, tiles) }, s.msgPool)
 	}
 
 	// --- Message interfaces (Active-Routing schemes only).
 	s.mis = make([]*MessageInterface, tiles)
 	if cfg.Scheme.Active() {
 		for t := 0; t < tiles; t++ {
-			s.mis[t] = NewMessageInterface(t, s.senderFor(t), s.coord, cfg.MIQueue, cfg.MIWindow)
+			s.mis[t] = NewMessageInterface(t, s.senderFor(t), s.coord, s.msgPool, cfg.MIQueue, cfg.MIWindow)
 		}
 	}
 
@@ -349,8 +381,15 @@ func (s *System) sendFrom(src, dst int, m *cache.Msg) bool {
 	if src == dst {
 		return s.hubs[dst].deliverMsg(m, s.engine.Cycle())
 	}
-	p := cache.PacketFor(m, src, dst)
-	return s.noc.Inject(src, p, s.engine.Cycle())
+	p := cache.PacketFor(s.noc.Pool, m, src, dst)
+	if !s.noc.Inject(src, p, s.engine.Cycle()) {
+		// The wrapper never entered the fabric; the caller keeps the
+		// message and retries, so only the packet returns to the pool.
+		p.Meta = nil
+		s.noc.Pool.Put(p)
+		return false
+	}
+	return true
 }
 
 // register wires every component into the tick order. Components are
@@ -419,8 +458,15 @@ type ipcSampler struct{ s *System }
 
 func (p ipcSampler) Tick(cycle uint64) { p.s.sampleIPC(cycle) }
 
+// SetWaker implements sim.WakeSetter trivially: the sampler's idle hint is
+// a pure function of time, so its cached wake needs no invalidation.
+func (p ipcSampler) SetWaker(*sim.Waker) {}
+
 func (p ipcSampler) NextWork(now uint64) uint64 {
 	iv := p.s.cfg.IPCSampleCycles
+	if iv&(iv-1) == 0 { // power of two: avoid the hardware divide
+		return (now + iv - 1) &^ (iv - 1)
+	}
 	if rem := now % iv; rem != 0 {
 		return now + iv - rem
 	}

@@ -177,66 +177,83 @@ func (t *Trace) Insts() []isa.Inst { return t.insts }
 // Stream wraps the trace as an isa.Stream.
 func (t *Trace) Stream() isa.Stream { return isa.NewSliceStream(t.insts) }
 
+// push appends one instruction, growing the backing array by strict
+// doubling. The runtime's growth factor decays toward 1.25x for large
+// slices, which re-copies a multi-hundred-MB trace several times over;
+// doubling bounds total copy work at one trace length.
+func (t *Trace) push(in isa.Inst) {
+	if len(t.insts) == cap(t.insts) {
+		newCap := 2 * cap(t.insts)
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		nb := make([]isa.Inst, len(t.insts), newCap)
+		copy(nb, t.insts)
+		t.insts = nb
+	}
+	t.insts = append(t.insts, in)
+}
+
 // Ld emits a load from va.
 func (t *Trace) Ld(va mem.VAddr) {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindLoad, Addr: va})
+	t.push(isa.Inst{Kind: isa.KindLoad, Addr: va})
 }
 
 // St emits a store of v to va; v is written functionally at commit.
 func (t *Trace) St(va mem.VAddr, v float64) {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindStore, Addr: va, Value: v})
+	t.push(isa.Inst{Kind: isa.KindStore, Addr: va, Value: v})
 }
 
 // AtomicAdd emits an atomic float add of v at va.
 func (t *Trace) AtomicAdd(va mem.VAddr, v float64) {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindAtomicAdd, Addr: va, Value: v})
+	t.push(isa.Inst{Kind: isa.KindAtomicAdd, Addr: va, Value: v})
 }
 
 // Int emits integer/address arithmetic.
 func (t *Trace) Int() {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindCompute, Class: isa.ClassInt})
+	t.push(isa.Inst{Kind: isa.KindCompute, Class: isa.ClassInt})
 }
 
 // FP emits a floating-point add-class operation.
 func (t *Trace) FP() {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindCompute, Class: isa.ClassFP})
+	t.push(isa.Inst{Kind: isa.KindCompute, Class: isa.ClassFP})
 }
 
 // FPMul emits a floating-point multiply-class operation.
 func (t *Trace) FPMul() {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindCompute, Class: isa.ClassFPMul})
+	t.push(isa.Inst{Kind: isa.KindCompute, Class: isa.ClassFPMul})
 }
 
 // Update emits Update(src1, src2, target, op); src2 may be 0.
 func (t *Trace) Update(src1, src2, target mem.VAddr, op isa.ALUOp) {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindUpdate, Src1: src1, Src2: src2, Target: target, Op: op})
+	t.push(isa.Inst{Kind: isa.KindUpdate, Src1: src1, Src2: src2, Target: target, Op: op})
 }
 
 // UpdateVec emits a vectored update covering count consecutive element
 // pairs starting at (src1, src2). The elements must share a cache block
 // run on one cube (guaranteed for stripe-aligned arrays and count*8 <= 64).
 func (t *Trace) UpdateVec(src1, src2, target mem.VAddr, op isa.ALUOp, count int) {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindUpdate, Src1: src1, Src2: src2, Target: target, Op: op, Count: count})
+	t.push(isa.Inst{Kind: isa.KindUpdate, Src1: src1, Src2: src2, Target: target, Op: op, Count: count})
 }
 
 // UpdateMov emits Update(&src, nil, &target, mov).
 func (t *Trace) UpdateMov(src, target mem.VAddr) {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindUpdate, Src1: src, Target: target, Op: isa.OpMov})
+	t.push(isa.Inst{Kind: isa.KindUpdate, Src1: src, Target: target, Op: isa.OpMov})
 }
 
 // UpdateConst emits Update(imm, nil, &target, const_assign).
 func (t *Trace) UpdateConst(imm float64, target mem.VAddr) {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindUpdate, Target: target, Op: isa.OpConstAssign, Imm: imm})
+	t.push(isa.Inst{Kind: isa.KindUpdate, Target: target, Op: isa.OpConstAssign, Imm: imm})
 }
 
 // Gather emits Gather(target, numThreads).
 func (t *Trace) Gather(target mem.VAddr, threads int) {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindGather, Target: target, Threads: threads})
+	t.push(isa.Inst{Kind: isa.KindGather, Target: target, Threads: threads})
 }
 
 // Barrier emits a thread barrier.
 func (t *Trace) Barrier() {
-	t.insts = append(t.insts, isa.Inst{Kind: isa.KindBarrier})
+	t.push(isa.Inst{Kind: isa.KindBarrier})
 }
 
 // Len reports the number of emitted instructions.
