@@ -19,6 +19,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,15 +30,28 @@ import (
 )
 
 type runner struct {
-	scale workload.Scale
-	out   io.Writer
-	bench *experiments.Suite // benchmark suite cache
-	micro *experiments.Suite // microbenchmark suite cache
+	scale   workload.Scale
+	out     io.Writer
+	shards  int
+	workers int
+	bench   *experiments.Suite // benchmark suite cache
+	micro   *experiments.Suite // microbenchmark suite cache
+}
+
+// configure applies the kernel flags to every suite run (results are
+// bit-identical for any value; this only selects the execution strategy).
+func (r *runner) configure() experiments.Configure {
+	if r.shards == 0 {
+		return nil
+	}
+	return func(cfg *system.Config) {
+		cfg.Shards, cfg.Workers = r.shards, r.workers
+	}
 }
 
 func (r *runner) benchSuite() (*experiments.Suite, error) {
 	if r.bench == nil {
-		s, err := experiments.RunSuite(r.scale, workload.Benchmarks(), system.Schemes(), nil)
+		s, err := experiments.RunSuite(r.scale, workload.Benchmarks(), system.Schemes(), r.configure())
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +62,7 @@ func (r *runner) benchSuite() (*experiments.Suite, error) {
 
 func (r *runner) microSuite() (*experiments.Suite, error) {
 	if r.micro == nil {
-		s, err := experiments.RunSuite(r.scale, workload.Microbenchmarks(), system.Schemes(), nil)
+		s, err := experiments.RunSuite(r.scale, workload.Microbenchmarks(), system.Schemes(), r.configure())
 		if err != nil {
 			return nil, err
 		}
@@ -192,10 +207,16 @@ type benchRun struct {
 }
 
 // benchReport is the machine-readable simulator-speed snapshot committed as
-// BENCH_*.json, tracking the perf trajectory across PRs.
+// BENCH_*.json, tracking the perf trajectory across PRs. Shards/Workers
+// record the simulation kernel the report was measured with (0 =
+// sequential); HostCPUs records the measuring host's schedulable threads,
+// without which a sharded wall-clock number cannot be interpreted.
 type benchReport struct {
 	Suite        string     `json:"suite"`
 	Scale        string     `json:"scale"`
+	Shards       int        `json:"shards,omitempty"`
+	Workers      int        `json:"workers,omitempty"`
+	HostCPUs     int        `json:"host_cpus"`
 	Runs         []benchRun `json:"runs"`
 	TotalWallNS  int64      `json:"total_wall_ns"`
 	TotalCycles  uint64     `json:"total_cycles"`
@@ -220,12 +241,14 @@ func stampBenchPath(path, suite, scaleName string) string {
 // serially (so per-run wall times are not distorted by parallelism) and
 // writes the JSON report to path ("-" for stdout), with suite and scale
 // stamped into the filename.
-func runBenchJSON(path string, scale workload.Scale, scaleName string) error {
-	rep := benchReport{Suite: "fig5.1a", Scale: scaleName}
+func runBenchJSON(path string, scale workload.Scale, scaleName string, shards, workers int) error {
+	rep := benchReport{Suite: "fig5.1a", Scale: scaleName, Shards: shards, Workers: workers, HostCPUs: runtime.GOMAXPROCS(0)}
 	path = stampBenchPath(path, "fig51a", scaleName)
 	for _, wl := range workload.Benchmarks() {
 		for _, sch := range system.Schemes() {
-			sys, err := system.New(system.DefaultConfig(sch), wl, scale)
+			cfg := system.DefaultConfig(sch)
+			cfg.Shards, cfg.Workers = shards, workers
+			sys, err := system.New(cfg, wl, scale)
 			if err != nil {
 				return err
 			}
@@ -265,6 +288,10 @@ func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate (all, table4.1, 5.1a, 5.1b, 5.2a, 5.2b, 5.3, 5.4, 5.5, 5.6, 5.7, 5.8)")
 	scaleFlag := flag.String("scale", "small", "input scale (tiny, small, medium)")
 	benchFlag := flag.String("benchjson", "", "write a machine-readable Fig 5.1a wall-clock benchmark report to this file, with suite+scale stamped into the name (use - for stdout), and exit")
+	shardsFlag := flag.Int("shards", 0, "sharded simulation kernel: tile/cube groups per side (0 = sequential kernel; results are bit-identical)")
+	workersFlag := flag.Int("workers", 0, "sharded kernel worker threads per simulation (0 = shards)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (profile shard-scaling bottlenecks directly from the harness)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	scale, err := workload.ParseScale(*scaleFlag)
@@ -272,14 +299,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arbench:", err)
 		os.Exit(2)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "arbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "arbench:", err)
+			}
+		}()
+	}
 	if *benchFlag != "" {
-		if err := runBenchJSON(*benchFlag, scale, scale.String()); err != nil {
+		if err := runBenchJSON(*benchFlag, scale, scale.String(), *shardsFlag, *workersFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "arbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	r := &runner{scale: scale, out: os.Stdout}
+	r := &runner{scale: scale, out: os.Stdout, shards: *shardsFlag, workers: *workersFlag}
 	figs := []string{*figFlag}
 	if *figFlag == "all" {
 		figs = []string{"table4.1", "5.1a", "5.1b", "5.2a", "5.2b", "5.3", "5.4", "5.5", "5.6", "5.7", "5.8"}

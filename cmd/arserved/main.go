@@ -43,6 +43,7 @@ func main() {
 	shards := flag.Int("shards", 0, "result cache shard count (0 = 16)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+	simShards := flag.Int("simshards", 0, "run jobs without a pinned kernel on the sharded simulation kernel with this shard count (0 = sequential); a sharded job holds its worker count in the shared budget")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -57,7 +58,7 @@ func main() {
 		}()
 	}
 
-	svc := service.New(service.Options{Workers: *workers, Shards: *shards})
+	svc := service.New(service.Options{Workers: *workers, Shards: *shards, SimShards: *simShards})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

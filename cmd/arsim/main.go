@@ -28,6 +28,8 @@ func main() {
 	schemeFlag := flag.String("scheme", "ARF-tid", "machine configuration (DRAM, HMC, ART, ARF-tid, ARF-addr, ARF-tid-adaptive)")
 	wlFlag := flag.String("workload", "mac", "workload (backprop, lud, pagerank, sgemm, spmv, reduce, rand_reduce, mac, rand_mac, lud_phase)")
 	scaleFlag := flag.String("scale", "small", "input scale (tiny, small, medium)")
+	shardsFlag := flag.Int("shards", 0, "sharded simulation kernel: tile/cube groups per side (0 = sequential kernel; results are bit-identical)")
+	workersFlag := flag.Int("workers", 0, "sharded kernel worker threads (0 = shards)")
 	flag.Parse()
 
 	scheme, err := parseScheme(*schemeFlag)
@@ -41,7 +43,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := activerouting.Run(scheme, *wlFlag, scale)
+	cfg := activerouting.DefaultConfig(scheme)
+	cfg.Shards, cfg.Workers = *shardsFlag, *workersFlag
+	sys, err := activerouting.NewSystem(cfg, *wlFlag, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arsim:", err)
+		os.Exit(1)
+	}
+	res, err := sys.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arsim:", err)
 		os.Exit(1)

@@ -20,6 +20,7 @@ type Controller struct {
 	geom      mem.HMCGeometry
 	fabric    *network.Fabric
 
+	pool     *network.Pool // the node's domain packet free list
 	queue    sim.FIFO[*network.Packet]
 	queueCap int
 	nextTag  uint64
@@ -52,6 +53,7 @@ func NewController(index, node, entryCube int, geom mem.HMCGeometry, fabric *net
 		geom:      geom,
 		fabric:    fabric,
 		queueCap:  queueCap,
+		pool:      fabric.PoolAt(node),
 		pending:   make(map[uint64]func(uint64)),
 	}
 	fabric.SetEndpoint(node, c)
@@ -89,7 +91,7 @@ func (c *Controller) Access(pa mem.PAddr, write bool, done func(cycle uint64)) b
 	} else {
 		c.Reads++
 	}
-	p := c.fabric.Pool.Get(kind, c.node, c.geom.CubeOf(pa))
+	p := c.pool.Get(kind, c.node, c.geom.CubeOf(pa))
 	p.Addr = pa
 	c.nextTag++
 	p.Tag = uint64(c.Index)<<56 | c.nextTag
@@ -125,7 +127,7 @@ func (c *Controller) Deliver(p *network.Packet, cycle uint64) bool {
 	default:
 		panic(fmt.Sprintf("hmc: controller %d cannot handle packet kind %s", c.Index, p.Kind))
 	}
-	c.fabric.Pool.Put(p)
+	c.pool.Put(p)
 	return true
 }
 

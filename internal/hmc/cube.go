@@ -80,6 +80,7 @@ type Cube struct {
 	ID     int
 	cfg    CubeConfig
 	fabric *network.Fabric
+	pool   *network.Pool // the cube node's domain packet free list
 	store  *mem.Store
 	vaults []*dram.BankSet
 	are    *core.Engine
@@ -110,7 +111,7 @@ type Cube struct {
 // NewCube builds cube id attached to the fabric. The ARE is attached later
 // (AttachARE) for Active-Routing schemes.
 func NewCube(id int, cfg CubeConfig, fabric *network.Fabric, store *mem.Store) *Cube {
-	c := &Cube{ID: id, cfg: cfg, fabric: fabric, store: store}
+	c := &Cube{ID: id, cfg: cfg, fabric: fabric, pool: fabric.PoolAt(id), store: store}
 	c.vaults = make([]*dram.BankSet, cfg.Geom.VaultsPerCube)
 	done := c.vaultDone // one completion hook shared by every vault
 	for v := range c.vaults {
@@ -127,7 +128,7 @@ func (c *Cube) SetWaker(w *sim.Waker) { c.waker = w }
 // AttachARE places an Active-Routing Engine on the cube's logic layer,
 // sharing the fabric's packet pool.
 func (c *Cube) AttachARE(cfg core.EngineConfig) *core.Engine {
-	c.are = core.NewEngine(c.ID, c.ID, cfg, c, c.fabric.Pool)
+	c.are = core.NewEngine(c.ID, c.ID, cfg, c, c.pool)
 	return c.are
 }
 
@@ -188,7 +189,7 @@ func (c *Cube) Deliver(p *network.Packet, cycle uint64) bool {
 			panic(fmt.Sprintf("hmc: operand response at cube %d without an ARE", c.ID))
 		}
 		c.are.OperandResp(p.Tag, p.Value, cycle)
-		c.fabric.Pool.Put(p)
+		c.pool.Put(p)
 		return true
 	case network.ActiveStoreReq:
 		return c.stageActiveStore(p, cycle)
@@ -220,7 +221,7 @@ func (c *Cube) stageMemAccess(p *network.Packet, cycle uint64) bool {
 	}
 	ok := c.stage(cycle, cubeOp{kind: kind, addr: p.Addr, src: p.Src, tag: p.Tag})
 	if ok {
-		c.fabric.Pool.Put(p)
+		c.pool.Put(p)
 	}
 	return ok
 }
@@ -228,7 +229,7 @@ func (c *Cube) stageMemAccess(p *network.Packet, cycle uint64) bool {
 func (c *Cube) stageOperandRead(p *network.Packet, cycle uint64) bool {
 	ok := c.stage(cycle, cubeOp{kind: opOperandRead, addr: p.Addr, src: p.Src, tag: p.Tag})
 	if ok {
-		c.fabric.Pool.Put(p)
+		c.pool.Put(p)
 	}
 	return ok
 }
@@ -254,7 +255,7 @@ func (c *Cube) stageActiveStore(p *network.Packet, cycle uint64) bool {
 			target: p.Target, value: p.Value, tag: p.Tag, origin: origin})
 	}
 	if ok {
-		c.fabric.Pool.Put(p)
+		c.pool.Put(p)
 	}
 	return ok
 }
@@ -301,17 +302,17 @@ func (c *Cube) vaultDone(token uint64, cycle uint64) {
 	switch op.kind {
 	case opMemRead:
 		c.Stats.MemReads++
-		resp := c.fabric.Pool.Get(network.MemReadResp, c.ID, op.src)
+		resp := c.pool.Get(network.MemReadResp, c.ID, op.src)
 		resp.Addr, resp.Tag = op.addr, op.tag
 		c.outbox.Push(resp)
 	case opMemWrite:
 		c.Stats.MemWrites++
-		ack := c.fabric.Pool.Get(network.MemWriteAck, c.ID, op.src)
+		ack := c.pool.Get(network.MemWriteAck, c.ID, op.src)
 		ack.Addr, ack.Tag = op.addr, op.tag
 		c.outbox.Push(ack)
 	case opOperandRead:
 		c.Stats.OperandServes++
-		resp := c.fabric.Pool.Get(network.OperandResp, c.ID, op.src)
+		resp := c.pool.Get(network.OperandResp, c.ID, op.src)
 		resp.Addr, resp.Tag, resp.Value = op.addr, op.tag, c.store.ReadF64(op.addr&^7)
 		c.outbox.Push(resp)
 	case opMovRead:
@@ -324,13 +325,13 @@ func (c *Cube) vaultDone(token uint64, cycle uint64) {
 				target: op.target, value: v, tag: op.tag, origin: op.origin})
 			return
 		}
-		fwd := c.fabric.Pool.Get(network.ActiveStoreReq, c.ID, c.cfg.Geom.CubeOf(op.target))
+		fwd := c.pool.Get(network.ActiveStoreReq, c.ID, c.cfg.Geom.CubeOf(op.target))
 		fwd.Target, fwd.Value, fwd.Tag, fwd.Origin = op.target, v, op.tag, op.origin
 		c.outbox.Push(fwd)
 	case opStoreWrite:
 		c.store.WriteF64(op.target, op.value)
 		c.Stats.ActiveStores++
-		ack := c.fabric.Pool.Get(network.ActiveStoreAck, c.ID, op.origin)
+		ack := c.pool.Get(network.ActiveStoreAck, c.ID, op.origin)
 		ack.Tag = op.tag
 		c.outbox.Push(ack)
 	case opAREOperand:

@@ -70,14 +70,21 @@ type Options struct {
 	Workers int
 	// Shards sets the cache shard count; 0 means 16.
 	Shards int
+	// SimShards, when positive, runs jobs that did not pin a kernel on the
+	// sharded simulation kernel with this shard count. Results are
+	// bit-identical either way (the config hash ignores the kernel choice),
+	// and each such job accounts for its worker count against the shared
+	// budget.
+	SimShards int
 }
 
 // Server is the embeddable service core: cache + scheduler + statistics.
 // cmd/arserved wraps it in an HTTP daemon; tests drive it directly.
 type Server struct {
-	budget *sweep.Budget
-	cache  *resultCache
-	start  time.Time
+	budget    *sweep.Budget
+	cache     *resultCache
+	start     time.Time
+	simShards int
 
 	mu       sync.Mutex
 	hits     uint64
@@ -90,9 +97,10 @@ type Server struct {
 // New builds a server.
 func New(opts Options) *Server {
 	return &Server{
-		budget: sweep.NewBudget(opts.Workers),
-		cache:  newResultCache(opts.Shards),
-		start:  time.Now(),
+		budget:    sweep.NewBudget(opts.Workers),
+		cache:     newResultCache(opts.Shards),
+		start:     time.Now(),
+		simShards: opts.SimShards,
 	}
 }
 
@@ -118,6 +126,11 @@ func (s *Server) Run(ctx context.Context, job Job) (*system.Results, bool, error
 // runNormalized is Run past the request gate; job must already be
 // normalized (the HTTP handler normalizes once and calls this directly).
 func (s *Server) runNormalized(ctx context.Context, job Job) (*system.Results, bool, error) {
+	if s.simShards > 0 && job.Config.Shards == 0 {
+		cfg := *job.Config // never mutate the caller's config
+		cfg.Shards = s.simShards
+		job.Config = &cfg
+	}
 	res, hit, err := s.cache.do(ctx, job.Key(), func() (*system.Results, error) {
 		return s.simulate(ctx, job)
 	})
@@ -133,14 +146,28 @@ func (s *Server) runNormalized(ctx context.Context, job Job) (*system.Results, b
 	return res, hit, err
 }
 
-// simulate runs one normalized job under the shared budget. Once a slot is
+// jobWeight reports how many budget slots a job's simulation consumes: one
+// for the sequential kernel, the worker-pool size for the sharded kernel —
+// a 4-shard job accounts for 4 hardware threads.
+func jobWeight(cfg *system.Config) int {
+	if cfg == nil || cfg.Shards <= 0 {
+		return 1
+	}
+	if cfg.Workers > 0 && cfg.Workers < cfg.Shards {
+		return cfg.Workers
+	}
+	return cfg.Shards
+}
+
+// simulate runs one normalized job under the shared budget. Once slots are
 // held the run goes to completion — the simulator has no mid-run preemption
 // points — so cancellation only short-circuits the queue wait.
 func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error) {
-	if err := s.budget.Acquire(ctx); err != nil {
+	held, err := s.budget.AcquireN(ctx, jobWeight(job.Config))
+	if err != nil {
 		return nil, err
 	}
-	defer s.budget.Release()
+	defer s.budget.ReleaseN(held)
 	s.mu.Lock()
 	s.started++
 	s.mu.Unlock()

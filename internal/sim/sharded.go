@@ -1,0 +1,540 @@
+// Sharded simulation kernel: the machine is partitioned into shard tick
+// domains that advance through a fixed per-cycle schedule of parallel waves
+// separated by barriers, with serial sections between waves for work whose
+// sequential order is part of the machine definition (drains into shared
+// queues, staged cross-shard commits).
+//
+// The conductor guarantees bit-identical results to the lockstep Engine by
+// construction (DESIGN.md "Sharded kernel"):
+//
+//   - Within a shard, components tick in registration order — the exact
+//     projection of the sequential tick order onto the shard.
+//   - Across shards within one wave, components may only touch shard-local
+//     state or append to staging buffers committed later; every cross-shard
+//     interaction with same-cycle visibility in the sequential kernel runs
+//     in a serial section at its sequential position.
+//   - The idle protocol (Idler/WakeSetter/Waker) is per-shard, preserving
+//     the Engine's semantics slot by slot, and the conductor advances the
+//     clock past globally quiescent stretches in one step exactly like the
+//     Engine. A wave is skipped outright — no barrier paid — while every
+//     shard's cached segment horizon for it is in the future.
+//
+// Wake discipline: during a parallel wave a component may only Wake
+// components of its own shard; serial sections (which run with every worker
+// parked at a barrier) may wake any shard. The engine-side wake state is
+// per-shard, so this discipline keeps the kernel free of data races, and
+// the race detector verifies it in the sharded test suite.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+)
+
+// Shard is one tick domain: an ordered slice of the machine's components,
+// partitioned into wave segments. Registration mirrors Engine.Register;
+// NextSegment closes the current segment so subsequent registrations run in
+// the next wave. All methods except the conductor-driven runSegment are
+// wiring-time only.
+type Shard struct {
+	name  string
+	slots []slot
+	wakeTable
+	names []string
+	// segStart[w] is the first slot of segment w; len == waves+1 once
+	// sealed. segHorizon[w] is the earliest cycle segment w can have real
+	// work (jump decisions); segNext in the wakeTable is the earliest cycle
+	// it must be re-polled (wave skipping) — the two differ for plain
+	// (non-wake-aware) idlers, whose idle claims hold for one cycle only.
+	segStart   []int
+	segHorizon []uint64
+	// minWake is the earliest cached wakeAt among parked slots; sweptAt
+	// guards the once-per-cycle re-activation sweep.
+	minWake uint64
+	sweptAt uint64
+	// ranAt is cycle+1 of the last cycle any slot ticked (read by the
+	// conductor after the wave barrier for the jump decision).
+	ranAt uint64
+
+	// SkippedTicks counts suppressed component ticks (diagnostics).
+	SkippedTicks uint64
+}
+
+// Register appends a component to the shard's tick order (the sharded
+// equivalent of Engine.Register). Idlers that do not implement WakeSetter
+// must have time-pure NextWork implementations or be re-armed from a serial
+// section; their idle claims are trusted for one cycle only.
+func (sh *Shard) Register(name string, t Ticker) {
+	if t == nil {
+		panic("sim: Register called with nil ticker")
+	}
+	idler, _ := t.(Idler)
+	sh.slots = append(sh.slots, slot{t: t, i: idler})
+	sh.wakeAt = append(sh.wakeAt, 0)
+	sh.names = append(sh.names, name)
+	i := len(sh.slots) - 1
+	for len(sh.active) <= i>>6 {
+		sh.active = append(sh.active, 0)
+	}
+	sh.active[i>>6] |= 1 << uint(i&63)
+	sh.segOf = append(sh.segOf, int32(len(sh.segStart)-1))
+	sh.minWake = 0
+	if ws, ok := t.(WakeSetter); ok && idler != nil {
+		sh.slots[i].cacheable = true
+		ws.SetWaker(&Waker{t: &sh.wakeTable, idx: i})
+	}
+}
+
+// NextSegment closes the current wave segment: components registered after
+// the call tick in the next wave.
+func (sh *Shard) NextSegment() {
+	sh.segStart = append(sh.segStart, len(sh.slots))
+}
+
+// Components reports how many tickers the shard holds.
+func (sh *Shard) Components() int { return len(sh.slots) }
+
+// sweep re-activates every parked slot whose cached wake cycle has arrived
+// and recomputes the park horizon. It runs at most once per cycle, at the
+// shard's first executed segment.
+func (sh *Shard) sweep(c uint64) {
+	min := Never
+	for i, wa := range sh.wakeAt {
+		if sh.active[i>>6]&(1<<uint(i&63)) != 0 {
+			continue
+		}
+		if wa <= c {
+			sh.active[i>>6] |= 1 << uint(i&63)
+			if s := sh.segOf[i]; sh.segNext[s] > c {
+				sh.segNext[s] = c
+			}
+		} else if wa < min {
+			min = wa
+		}
+	}
+	sh.minWake = min
+}
+
+// runSegment advances segment seg by one cycle, skipping components that
+// report no work, and refreshes the segment's re-poll (segNext) and work
+// (segHorizon) hints. It must only run on the shard's owning worker, or on
+// the conductor for serial shards.
+func (sh *Shard) runSegment(seg int, c uint64) {
+	if c >= sh.minWake && sh.sweptAt != c+1 {
+		sh.sweptAt = c + 1
+		sh.sweep(c)
+	}
+	lo, hi := sh.segStart[seg], sh.segStart[seg+1]
+	// hot: earliest cycle the segment must be re-polled. horizon: earliest
+	// cycle it can have real work. Parked slots contribute their cached
+	// wake to both — folded only when the segment is going quiet (the
+	// common hot-segment call skips that O(slots) pass entirely); plain
+	// idlers keep the segment hot every cycle but push the horizon out, so
+	// wave polling stays exact while whole-machine jumps remain possible.
+	hot, horizon := Never, Never
+	loWord, hiWord := lo>>6, (hi-1)>>6
+	for w := loWord; w <= hiWord; w++ {
+		rangeMask := ^uint64(0)
+		if w == loWord {
+			rangeMask &= ^uint64(0) << uint(lo&63)
+		}
+		if w == hiWord && hi&63 != 0 {
+			rangeMask &= (1 << uint(hi&63)) - 1
+		}
+		// The word is re-read every iteration so a component woken by an
+		// earlier tick in the same cycle is still visited at its own slot
+		// position; done masks positions at or below the last visited bit,
+		// so backward wakes wait for the next cycle (Engine.step semantics).
+		var done uint64
+		for {
+			m := sh.active[w] & rangeMask &^ done
+			if m == 0 {
+				break
+			}
+			b := m & (-m)
+			i := w<<6 + bits.TrailingZeros64(m)
+			done |= b<<1 - 1
+			s := &sh.slots[i]
+			if s.i != nil {
+				if wk := s.i.NextWork(c); wk > c {
+					if wk < horizon {
+						horizon = wk
+					}
+					if s.cacheable {
+						if wk > c+1 {
+							sh.wakeAt[i] = wk
+							sh.active[w] &^= b
+							if wk < sh.minWake {
+								sh.minWake = wk
+							}
+						}
+						if wk < hot {
+							hot = wk
+						}
+					} else if c+1 < hot {
+						// Plain idler: the claim holds for this cycle only;
+						// re-poll next cycle.
+						hot = c + 1
+					}
+					sh.SkippedTicks++
+					continue
+				}
+			}
+			s.t.Tick(c)
+			sh.ranAt = c + 1
+			hot, horizon = c+1, c+1
+		}
+	}
+	if hot > c+1 {
+		// Going quiet: fold the parked slots' cached wakes so the segment
+		// re-arms at the right cycle.
+		for i := lo; i < hi; i++ {
+			if sh.active[i>>6]&(1<<uint(i&63)) == 0 {
+				if wa := sh.wakeAt[i]; wa < hot {
+					hot = wa
+					if wa < horizon {
+						horizon = wa
+					}
+				}
+			}
+		}
+	}
+	sh.segNext[seg] = hot
+	sh.segHorizon[seg] = horizon
+}
+
+// Sharded is the parallel conductor: it owns the clock, a worker pool, the
+// parallel shards and the serial sections, and advances the whole machine
+// through the per-cycle wave schedule.
+type Sharded struct {
+	cycle   uint64
+	workers int
+	par     []*Shard
+	serial  []*Shard // serial[w] runs after wave w (nil when unused)
+	waves   int
+	sealed  bool
+
+	// nw is the effective pool size (conductor included); par shard i runs
+	// on worker i % nw.
+	nw      int
+	started bool
+
+	// Wave hand-off: the conductor publishes (curWave, cycle) then bumps
+	// gen; workers run their shards and bump doneCnt. Cumulative counts
+	// avoid reset races. stop asks workers to exit (published via gen) and
+	// exited acknowledges.
+	gen     atomic.Uint64
+	doneCnt atomic.Uint64
+	exited  atomic.Uint64
+	expect  uint64
+	curWave int
+	stop    atomic.Bool
+
+	// JumpedCycles counts clock advances beyond one cycle per step
+	// (diagnostics; SkippedTicks lives on the shards).
+	JumpedCycles uint64
+}
+
+// NewSharded returns a conductor that will run parallel waves on up to
+// workers OS threads (the calling goroutine counts as one). workers < 1 is
+// clamped to 1.
+func NewSharded(workers int) *Sharded {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Sharded{workers: workers}
+}
+
+// AddShard appends a parallel tick domain. Wiring-time only.
+func (s *Sharded) AddShard(name string) *Shard {
+	if s.sealed {
+		panic("sim: AddShard after Seal")
+	}
+	sh := &Shard{name: name, segStart: []int{0}}
+	s.par = append(s.par, sh)
+	return sh
+}
+
+// SerialShard returns the serial section that runs after parallel wave w
+// (creating it on first use). Its components tick on the conductor
+// goroutine, between the wave-w barrier and wave w+1, in registration
+// order — the place for work whose cross-shard order is part of the
+// machine definition.
+func (s *Sharded) SerialShard(w int) *Shard {
+	if s.sealed {
+		panic("sim: SerialShard after Seal")
+	}
+	for len(s.serial) <= w {
+		s.serial = append(s.serial, nil)
+	}
+	if s.serial[w] == nil {
+		s.serial[w] = &Shard{name: fmt.Sprintf("serial%d", w), segStart: []int{0}}
+	}
+	return s.serial[w]
+}
+
+// Seal freezes the wiring: every shard's segment list is padded to the
+// common wave count and the per-segment horizons are initialized.
+func (s *Sharded) Seal() {
+	if s.sealed {
+		panic("sim: Seal called twice")
+	}
+	s.sealed = true
+	for _, sh := range s.par {
+		// The open segment (slots after the last NextSegment) counts.
+		if n := len(sh.segStart); n > s.waves {
+			s.waves = n
+		}
+	}
+	if len(s.serial) > s.waves {
+		s.waves = len(s.serial)
+	}
+	for len(s.serial) < s.waves {
+		s.serial = append(s.serial, nil)
+	}
+	seal := func(sh *Shard, waves int) {
+		for len(sh.segStart)-1 < waves {
+			sh.segStart = append(sh.segStart, len(sh.slots))
+		}
+		sh.segNext = make([]uint64, waves)
+		sh.segHorizon = make([]uint64, waves)
+	}
+	for _, sh := range s.par {
+		seal(sh, s.waves)
+	}
+	for _, sh := range s.serial {
+		if sh != nil {
+			seal(sh, 1)
+		}
+	}
+	s.nw = s.workers
+	if s.nw > len(s.par) {
+		s.nw = len(s.par)
+	}
+	// More spinning workers than OS-schedulable threads is pure overhead
+	// (results are identical for every pool size by construction): clamp to
+	// GOMAXPROCS. On a single-CPU host the conductor runs every shard
+	// inline, with no goroutines and no atomics on the cycle path.
+	if p := runtime.GOMAXPROCS(0); s.nw > p {
+		s.nw = p
+	}
+	if s.nw < 1 {
+		s.nw = 1
+	}
+}
+
+// Cycle reports the current cycle.
+func (s *Sharded) Cycle() uint64 { return s.cycle }
+
+// Waves reports the sealed wave count (tests).
+func (s *Sharded) Waves() int { return s.waves }
+
+// Workers reports the effective worker-pool size, conductor included.
+func (s *Sharded) Workers() int { return s.nw }
+
+// Components reports the total registered tickers across all shards.
+func (s *Sharded) Components() int {
+	n := 0
+	for _, sh := range s.par {
+		n += len(sh.slots)
+	}
+	for _, sh := range s.serial {
+		if sh != nil {
+			n += len(sh.slots)
+		}
+	}
+	return n
+}
+
+// SkippedTicks sums the per-shard suppressed-tick counters (diagnostics).
+func (s *Sharded) SkippedTicks() uint64 {
+	n := uint64(0)
+	for _, sh := range s.par {
+		n += sh.SkippedTicks
+	}
+	for _, sh := range s.serial {
+		if sh != nil {
+			n += sh.SkippedTicks
+		}
+	}
+	return n
+}
+
+// startWorkers launches the pool (workers 1..nw-1; the conductor goroutine
+// is worker 0).
+func (s *Sharded) startWorkers() {
+	if s.started || s.nw <= 1 {
+		s.started = true
+		return
+	}
+	s.started = true
+	base := s.gen.Load() // captured before any wave can bump gen
+	for wk := 1; wk < s.nw; wk++ {
+		go s.workerLoop(wk, base)
+	}
+}
+
+// spinWait spins on cond with a Gosched fallback so progress is guaranteed
+// even when GOMAXPROCS is smaller than the worker count.
+func spinWait(cond func() bool) {
+	for i := 0; ; i++ {
+		if cond() {
+			return
+		}
+		if i > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (s *Sharded) workerLoop(wk int, last uint64) {
+	for {
+		spinWait(func() bool { return s.gen.Load() != last })
+		last = s.gen.Load()
+		if s.stop.Load() {
+			s.exited.Add(1)
+			return
+		}
+		s.runAssigned(wk, s.curWave, s.cycle)
+		s.doneCnt.Add(1)
+	}
+}
+
+// runAssigned runs worker wk's shards' segments for wave w at cycle c,
+// skipping shards whose segment re-poll hint is in the future.
+func (s *Sharded) runAssigned(wk, w int, c uint64) {
+	for i := wk; i < len(s.par); i += s.nw {
+		sh := s.par[i]
+		if sh.segNext[w] <= c || sh.minWake <= c {
+			sh.runSegment(w, c)
+		}
+	}
+}
+
+// runWave executes parallel wave w at cycle c with a full barrier, unless
+// no shard needs polling for it this cycle, in which case it returns
+// without synchronizing at all.
+func (s *Sharded) runWave(w int, c uint64) {
+	hasWork := false
+	for _, sh := range s.par {
+		if sh.segNext[w] <= c || sh.minWake <= c {
+			hasWork = true
+			break
+		}
+	}
+	if !hasWork {
+		return
+	}
+	if s.nw == 1 {
+		s.runAssigned(0, w, c)
+		return
+	}
+	s.curWave = w
+	s.gen.Add(1)
+	s.runAssigned(0, w, c)
+	s.expect += uint64(s.nw - 1)
+	spinWait(func() bool { return s.doneCnt.Load() == s.expect })
+}
+
+// step advances the whole machine one cycle and reports the earliest cycle
+// at which any component has future work; the return value exceeds the
+// post-increment clock only when nothing ticked at all (Engine.step
+// contract), in which case the clock may jump.
+func (s *Sharded) step() uint64 {
+	c := s.cycle
+	for w := 0; w < s.waves; w++ {
+		s.runWave(w, c)
+		if ser := s.serial[w]; ser != nil && (ser.segNext[0] <= c || ser.minWake <= c) {
+			ser.runSegment(0, c)
+		}
+	}
+	s.cycle++
+	ran := false
+	next := Never
+	for _, sh := range s.par {
+		ran, next = foldShard(sh, c, ran, next)
+	}
+	for _, sh := range s.serial {
+		if sh != nil {
+			ran, next = foldShard(sh, c, ran, next)
+		}
+	}
+	if ran {
+		return s.cycle
+	}
+	return next
+}
+
+// foldShard accumulates a shard's ran flag and work horizon into the
+// conductor's jump decision.
+func foldShard(sh *Shard, c uint64, ran bool, next uint64) (bool, uint64) {
+	if sh.ranAt == c+1 {
+		ran = true
+	}
+	if sh.minWake < next {
+		next = sh.minWake
+	}
+	for _, h := range sh.segHorizon {
+		if h < next {
+			next = h
+		}
+	}
+	return ran, next
+}
+
+// Step advances the machine by exactly one cycle.
+func (s *Sharded) Step() { s.step() }
+
+// RunUntil steps the machine until done() reports true or maxCycles
+// elapse, jumping fully quiescent stretches exactly like Engine.RunUntil.
+// Workers are started on first use and parked on return.
+func (s *Sharded) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
+	if !s.sealed {
+		panic("sim: RunUntil before Seal")
+	}
+	s.startWorkers()
+	defer s.park()
+	start := s.cycle
+	for !done() {
+		if s.cycle-start >= maxCycles {
+			return s.cycle - start, fmt.Errorf("sim: no completion after %d cycles (deadlock or undersized budget)", maxCycles)
+		}
+		wake := s.step()
+		if wake > s.cycle {
+			// Nothing ticked and nothing will until wake: fast-forward
+			// (Engine.RunUntil semantics, including budget saturation).
+			limit := start + maxCycles
+			if limit < start {
+				limit = Never
+			}
+			if wake >= limit {
+				if limit > s.cycle {
+					s.JumpedCycles += limit - s.cycle
+					s.cycle = limit
+				}
+				return s.cycle - start, fmt.Errorf("sim: no completion after %d cycles (deadlock or undersized budget)", maxCycles)
+			}
+			s.JumpedCycles += wake - s.cycle
+			s.cycle = wake
+		}
+	}
+	return s.cycle - start, nil
+}
+
+// park stops the worker pool and waits for every worker to acknowledge, so
+// no goroutine is left touching shard state; a later RunUntil restarts the
+// pool.
+func (s *Sharded) park() {
+	if s.nw <= 1 || !s.started {
+		s.started = false
+		return
+	}
+	target := s.exited.Load() + uint64(s.nw-1)
+	s.stop.Store(true)
+	s.gen.Add(1)
+	spinWait(func() bool { return s.exited.Load() == target })
+	s.stop.Store(false)
+	s.started = false
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+)
+
+// pinger is a test component: every interval cycles it increments its
+// counter and, optionally, sends a unit of work to a peer mailbox with a
+// fixed delivery latency (staged through the harness below when the peer
+// lives in another shard). It is wake-aware.
+type pinger struct {
+	interval uint64
+	until    uint64
+	count    uint64
+	inbox    []uint64 // delivery cycles, drained on tick
+	recv     uint64
+	waker    *Waker
+	out      func(cycle uint64) // nil: no sends
+}
+
+func (p *pinger) SetWaker(w *Waker) { p.waker = w }
+
+func (p *pinger) deliver(at uint64) {
+	p.inbox = append(p.inbox, at)
+	p.waker.Wake()
+}
+
+func (p *pinger) NextWork(now uint64) uint64 {
+	next := Never
+	if now < p.until {
+		if r := now % p.interval; r == 0 {
+			return now
+		} else if now+p.interval-r < next {
+			next = now + p.interval - r
+		}
+	}
+	for _, at := range p.inbox {
+		if at <= now {
+			return now
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+
+func (p *pinger) Tick(cycle uint64) {
+	if cycle < p.until && cycle%p.interval == 0 {
+		p.count++
+		if p.out != nil {
+			p.out(cycle)
+		}
+	}
+	kept := p.inbox[:0]
+	for _, at := range p.inbox {
+		if at <= cycle {
+			p.recv++
+		} else {
+			kept = append(kept, at)
+		}
+	}
+	p.inbox = kept
+}
+
+// mailStage is a cross-shard staging buffer: sends append during parallel
+// waves (each sender owns its own slice entry), and the serial commit
+// delivers them in deterministic sender order.
+type mailStage struct {
+	perSender [][]uint64 // delivery cycles staged by each sender
+	dest      []*pinger  // destination per sender
+}
+
+func (ms *mailStage) Tick(cycle uint64) {
+	for i, list := range ms.perSender {
+		for _, at := range list {
+			ms.dest[i].deliver(at)
+		}
+		ms.perSender[i] = ms.perSender[i][:0]
+	}
+}
+
+func (ms *mailStage) NextWork(now uint64) uint64 {
+	for _, list := range ms.perSender {
+		if len(list) > 0 {
+			return now
+		}
+	}
+	return Never
+}
+
+// buildMachine wires n pingers (pinger i sends to pinger (i+1)%n with
+// latency 3) plus the staging commit, onto either the lockstep engine or a
+// sharded conductor with the given shard and worker counts. It returns the
+// pingers and a runner.
+func buildMachine(n, shards, workers int, until uint64) ([]*pinger, func(max uint64) uint64) {
+	ps := make([]*pinger, n)
+	ms := &mailStage{perSender: make([][]uint64, n), dest: make([]*pinger, n)}
+	for i := range ps {
+		ps[i] = &pinger{interval: uint64(2 + i%3), until: until}
+	}
+	for i := range ps {
+		i := i
+		ms.dest[i] = ps[(i+1)%n]
+		ps[i].out = func(cycle uint64) {
+			ms.perSender[i] = append(ms.perSender[i], cycle+3)
+		}
+	}
+	if shards == 0 {
+		e := NewEngine()
+		for i, p := range ps {
+			e.Register("p", p)
+			_ = i
+		}
+		e.Register("commit", ms)
+		return ps, func(max uint64) uint64 {
+			cycles, _ := e.RunUntil(func() bool {
+				for _, p := range ps {
+					if len(p.inbox) > 0 || p.NextWork(e.Cycle()) != Never {
+						return false
+					}
+				}
+				return ms.NextWork(e.Cycle()) == Never
+			}, max)
+			return cycles
+		}
+	}
+	c := NewSharded(workers)
+	shs := make([]*Shard, shards)
+	for g := range shs {
+		shs[g] = c.AddShard("g")
+	}
+	for i, p := range ps {
+		shs[i%shards].Register("p", p)
+	}
+	c.SerialShard(0).Register("commit", ms)
+	c.Seal()
+	return ps, func(max uint64) uint64 {
+		cycles, _ := c.RunUntil(func() bool {
+			for _, p := range ps {
+				if len(p.inbox) > 0 || p.NextWork(c.Cycle()) != Never {
+					return false
+				}
+			}
+			return ms.NextWork(c.Cycle()) == Never
+		}, max)
+		return cycles
+	}
+}
+
+// TestShardedMatchesEngine checks that the sharded conductor produces the
+// exact per-component state and final cycle of the lockstep engine across
+// shard and worker counts (including workers > GOMAXPROCS).
+func TestShardedMatchesEngine(t *testing.T) {
+	const n = 13
+	const until = 200
+	ref, runRef := buildMachine(n, 0, 0, until)
+	refCycles := runRef(100000)
+	for _, shards := range []int{1, 2, 4, 13} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, run := buildMachine(n, shards, workers, until)
+			cycles := run(100000)
+			if cycles != refCycles {
+				t.Fatalf("shards=%d workers=%d: cycles=%d want %d", shards, workers, cycles, refCycles)
+			}
+			for i := range ref {
+				if got[i].count != ref[i].count || got[i].recv != ref[i].recv {
+					t.Fatalf("shards=%d workers=%d pinger %d: count/recv = %d/%d, want %d/%d",
+						shards, workers, i, got[i].count, got[i].recv, ref[i].count, ref[i].recv)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedJumpsIdleStretches checks that a machine with sparse timed
+// work advances the clock in jumps rather than cycle-by-cycle.
+func TestShardedJumpsIdleStretches(t *testing.T) {
+	c := NewSharded(2)
+	a := c.AddShard("a")
+	p := &pinger{interval: 1000, until: 5000}
+	a.Register("p", p)
+	c.Seal()
+	cycles, err := c.RunUntil(func() bool { return p.count == 5 }, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 || p.count != 5 {
+		t.Fatalf("cycles=%d count=%d", cycles, p.count)
+	}
+	if c.JumpedCycles < 3000 {
+		t.Fatalf("JumpedCycles = %d, want most of the idle stretch skipped", c.JumpedCycles)
+	}
+}
+
+// TestShardedTimeoutParity checks the deadlock timeout contract matches the
+// engine's.
+func TestShardedTimeoutParity(t *testing.T) {
+	c := NewSharded(1)
+	a := c.AddShard("a")
+	a.Register("idle", TickFunc(func(uint64) {}))
+	c.Seal()
+	_, err := c.RunUntil(func() bool { return false }, 100)
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	e := NewEngine()
+	e.Register("idle", TickFunc(func(uint64) {}))
+	_, eerr := e.RunUntil(func() bool { return false }, 100)
+	if eerr == nil || err.Error() != eerr.Error() {
+		t.Fatalf("timeout error mismatch: sharded %q engine %q", err, eerr)
+	}
+}
+
+// TestShardedWaveSkipping checks that a multi-wave machine with one hot
+// segment does not pay for the idle waves (no ticks are attempted there).
+func TestShardedWaveSkipping(t *testing.T) {
+	c := NewSharded(2)
+	a := c.AddShard("a")
+	b := c.AddShard("b")
+	hot := &pinger{interval: 1, until: 100}
+	a.Register("hot", hot)
+	a.NextSegment()
+	b.NextSegment()
+	cold := &pinger{interval: 1, until: 0} // never has work
+	b.Register("cold", cold)
+	c.Seal()
+	if c.Waves() != 2 {
+		t.Fatalf("waves = %d", c.Waves())
+	}
+	if _, err := c.RunUntil(func() bool { return hot.count == 100 }, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if cold.count != 0 {
+		t.Fatalf("cold ticked %d times", cold.count)
+	}
+}

@@ -62,22 +62,50 @@ type Idler interface {
 	NextWork(now uint64) uint64
 }
 
-// Waker is the engine-side handle a wake-aware component uses to invalidate
-// its cached idle hint. Wake is cheap (one store) and safe to call
-// redundantly or on a nil receiver.
+// wakeTable is the wake-state shared between the Waker handle and its
+// owning scheduler (the lockstep Engine or one Shard of the sharded
+// kernel): the cached-idle array, the active bitmask, and — for shards —
+// the per-segment work horizon a wake must also reset.
+type wakeTable struct {
+	// wakeAt[i] caches slot i's last future NextWork result (wake-aware
+	// components only): while cycle < wakeAt[i] the scheduler skips the
+	// poll. It lives in its own dense array so the per-cycle scan touches
+	// eight bytes per component instead of a whole slot.
+	wakeAt []uint64
+	// active is a bitmask over slots: bit i set means slot i must be
+	// polled/ticked this cycle. Cached-quiescent components clear their bit
+	// and are re-activated either by Waker.Wake or by the minWake sweep
+	// when their cached cycle arrives. Iterating set bits ascending
+	// preserves registration (tick) order exactly.
+	active []uint64
+	// segOf/segNext (sharded kernel only, nil on the Engine): segOf[i] is
+	// the wave segment slot i belongs to, segNext[s] the earliest cycle at
+	// which segment s can have work — the conductor skips a whole wave (and
+	// its barrier) while every shard's segment horizon is in the future.
+	segOf   []int32
+	segNext []uint64
+}
+
+// Waker is the scheduler-side handle a wake-aware component uses to
+// invalidate its cached idle hint. Wake is cheap (a few stores) and safe to
+// call redundantly or on a nil receiver.
 type Waker struct {
-	e   *Engine
+	t   *wakeTable
 	idx int
 }
 
-// Wake marks the component's cached quiescence stale so the engine re-polls
-// its NextWork on the next step. Components call it from every entry point
-// through which the outside world hands them new work (a Deliver, an
-// Access, a completion callback).
+// Wake marks the component's cached quiescence stale so the scheduler
+// re-polls its NextWork on the next step. Components call it from every
+// entry point through which the outside world hands them new work (a
+// Deliver, an Access, a completion callback).
 func (w *Waker) Wake() {
 	if w != nil {
-		w.e.wakeAt[w.idx] = 0
-		w.e.active[w.idx>>6] |= 1 << uint(w.idx&63)
+		t := w.t
+		t.wakeAt[w.idx] = 0
+		t.active[w.idx>>6] |= 1 << uint(w.idx&63)
+		if t.segOf != nil {
+			t.segNext[t.segOf[w.idx]] = 0
+		}
 	}
 }
 
@@ -105,17 +133,9 @@ type slot struct {
 type Engine struct {
 	cycle uint64
 	slots []slot
-	// wakeAt[i] caches slot i's last future NextWork result (wake-aware
-	// components only): while cycle < wakeAt[i] the engine skips the poll.
-	// It lives in its own dense array so the per-cycle scan touches eight
-	// bytes per component instead of a whole slot.
-	wakeAt []uint64
-	// active is a bitmask over slots: bit i set means slot i must be
-	// polled/ticked this cycle. Cached-quiescent components clear their bit
-	// and are re-activated either by Waker.Wake or by the minWake sweep
-	// when their cached cycle arrives. Iterating set bits ascending
-	// preserves registration (tick) order exactly.
-	active []uint64
+	// wakeTable holds the wakeAt cache and active bitmask shared with the
+	// Waker handles this engine hands out (segOf/segNext stay nil).
+	wakeTable
 	// minWake is the earliest cached wakeAt among inactive slots; when the
 	// clock reaches it the engine sweeps wakeAt to re-activate due slots.
 	minWake uint64
@@ -150,7 +170,7 @@ func (e *Engine) Register(name string, t Ticker) {
 	e.minWake = 0
 	if ws, ok := t.(WakeSetter); ok && idler != nil {
 		e.slots[i].cacheable = true
-		ws.SetWaker(&Waker{e: e, idx: i})
+		ws.SetWaker(&Waker{t: &e.wakeTable, idx: i})
 	}
 }
 

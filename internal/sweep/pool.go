@@ -15,6 +15,8 @@ import (
 // how many acquirers are blocked waiting, which the service layer surfaces
 // as in-flight/queue-depth statistics.
 type Budget struct {
+	// multi serializes AcquireN calls (see AcquireN's deadlock note).
+	multi   sync.Mutex
 	sem     chan struct{}
 	inUse   atomic.Int64
 	waiting atomic.Int64
@@ -62,6 +64,40 @@ func (b *Budget) Acquire(ctx context.Context) error {
 func (b *Budget) Release() {
 	b.inUse.Add(-1)
 	<-b.sem
+}
+
+// AcquireN obtains n slots for one weighted job — a sharded simulation
+// consuming w workers holds w slots, so the daemon's total hardware-thread
+// use stays bounded by one budget regardless of kernel choice. n is
+// clamped to [1, Cap]; multi-acquires serialize against each other (a
+// mutex) so two weighted jobs can never deadlock splitting the pool. The
+// returned count is what the caller must ReleaseN.
+func (b *Budget) AcquireN(ctx context.Context, n int) (int, error) {
+	if n > cap(b.sem) {
+		n = cap(b.sem)
+	}
+	if n <= 1 {
+		if err := b.Acquire(ctx); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	b.multi.Lock()
+	defer b.multi.Unlock()
+	for i := 0; i < n; i++ {
+		if err := b.Acquire(ctx); err != nil {
+			b.ReleaseN(i)
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// ReleaseN returns n slots obtained by AcquireN.
+func (b *Budget) ReleaseN(n int) {
+	for i := 0; i < n; i++ {
+		b.Release()
+	}
 }
 
 // RunJobs executes n indexed jobs on a bounded worker pool with fail-fast

@@ -74,3 +74,52 @@ func TestBudgetAcquireHonorsCancel(t *testing.T) {
 		t.Errorf("InUse = %d, want 0", got)
 	}
 }
+
+// TestBudgetAcquireN pins the weighted-job contract: AcquireN holds n
+// slots (clamped to the cap), concurrent weighted acquires never
+// deadlock, and ReleaseN restores the budget.
+func TestBudgetAcquireN(t *testing.T) {
+	b := NewBudget(4)
+	ctx := context.Background()
+	held, err := b.AcquireN(ctx, 3)
+	if err != nil || held != 3 {
+		t.Fatalf("AcquireN(3) = %d, %v", held, err)
+	}
+	if b.InUse() != 3 {
+		t.Fatalf("InUse = %d, want 3", b.InUse())
+	}
+	// An oversized request clamps to the cap rather than deadlocking.
+	done := make(chan int)
+	go func() {
+		h, err := b.AcquireN(ctx, 99)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- h
+	}()
+	b.ReleaseN(3)
+	if h := <-done; h != 4 {
+		t.Fatalf("oversized AcquireN held %d, want cap 4", h)
+	}
+	b.ReleaseN(4)
+	if b.InUse() != 0 {
+		t.Fatalf("InUse = %d after release, want 0", b.InUse())
+	}
+	// Two concurrent weighted acquires over a small budget make progress.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				h, err := b.AcquireN(ctx, 3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b.ReleaseN(h)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -150,6 +150,17 @@ type Config struct {
 	MaxCycles uint64
 	// IPCSampleCycles sets the Fig 5.8 sampling window.
 	IPCSampleCycles uint64
+
+	// Shards selects the sharded (multicore) simulation kernel: the machine
+	// is partitioned into Shards tile groups plus Shards cube groups that
+	// tick on a worker pool with bit-identical results to the sequential
+	// kernel (DESIGN.md "Sharded kernel"). 0 (the default) runs the
+	// sequential kernel. Shards and Workers never change simulated results
+	// and are excluded from Hash.
+	Shards int
+	// Workers bounds the sharded kernel's OS-thread pool; 0 defaults to
+	// Shards. Ignored when Shards is 0.
+	Workers int
 }
 
 // Validate rejects configurations the machine cannot be built or run with.
@@ -179,6 +190,8 @@ func (c *Config) Validate() error {
 		{c.MIQueue > 0 && c.MIWindow > 0, "MI queue/window must be positive"},
 		{c.MaxCycles > 0, "MaxCycles must be positive"},
 		{c.IPCSampleCycles > 0, "IPCSampleCycles must be positive"},
+		{c.Shards >= 0 && c.Shards <= 16, "Shards must be in [0, 16]"},
+		{c.Workers >= 0, "Workers must be non-negative"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {
@@ -192,19 +205,23 @@ func (c *Config) Validate() error {
 // schema changes shape in a way the %#v rendering might not capture, so
 // results cached under the old schema (service result cache, sweep keys)
 // can never collide with new ones. v2: the dead network EjectPerCycle knob
-// was removed — otherwise-equal configs must not share a hash with their
-// v1 ancestors that carried it.
-const cfgHashVersion = "cfg/v2|"
+// was removed. v3: the sharded-kernel Shards/Workers knobs were added —
+// they are zeroed before rendering because they never change simulated
+// results (pinned by the sharded determinism tests), so one cache entry
+// serves every kernel configuration of the same machine.
+const cfgHashVersion = "cfg/v3|"
 
 // Hash returns a stable 64-bit digest of the full configuration, used to
-// key sweep results: two runs share a hash iff every configuration field
-// (including nested component configs) is identical and the schema version
-// matches. The config structs are all plain value types, so the %#v
-// rendering is deterministic.
+// key sweep results: two runs share a hash iff every result-affecting
+// configuration field (including nested component configs) is identical
+// and the schema version matches. The config structs are all plain value
+// types, so the %#v rendering is deterministic.
 func (c *Config) Hash() string {
 	h := fnv.New64a()
 	h.Write([]byte(cfgHashVersion))
-	fmt.Fprintf(h, "%#v", *c)
+	canon := *c
+	canon.Shards, canon.Workers = 0, 0 // kernel choice: result-invariant
+	fmt.Fprintf(h, "%#v", canon)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

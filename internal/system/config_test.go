@@ -74,17 +74,48 @@ var v1ConfigHashes = map[Scheme]string{
 	SchemeARFea:          "588505d91deeca34",
 }
 
-// TestConfigHashDistinctFromV1 pins the schema-versioning contract: after
-// the EjectPerCycle removal (cfg/v2), otherwise-equal default configs hash
-// differently from their v1 ancestors.
-func TestConfigHashDistinctFromV1(t *testing.T) {
+// v2ConfigHashes records Config.Hash() of DefaultConfig(scheme) under the
+// cfg/v2 schema (captured immediately before the sharded-kernel
+// Shards/Workers fields were added).
+var v2ConfigHashes = map[Scheme]string{
+	SchemeDRAM:           "f79013d4ba39abed",
+	SchemeHMC:            "a1daa1997fde10d4",
+	SchemeART:            "3a9a0191849e4b77",
+	SchemeARFtid:         "e065642d161113ce",
+	SchemeARFaddr:        "41981c73c3f72cd1",
+	SchemeARFtidAdaptive: "3ea0ba2b3c81f958",
+	SchemeARFea:          "b88ab93de8b3155b",
+}
+
+// TestConfigHashDistinctFromOldSchemas pins the schema-versioning contract:
+// after each schema change, otherwise-equal default configs hash
+// differently from their ancestors, so stale cached results can never
+// satisfy a new request.
+func TestConfigHashDistinctFromOldSchemas(t *testing.T) {
 	for _, s := range AllSchemes() {
 		cfg := DefaultConfig(s)
 		got := cfg.Hash()
 		if old, ok := v1ConfigHashes[s]; !ok {
 			t.Fatalf("missing v1 hash for %s", s)
 		} else if got == old {
-			t.Errorf("%s: v2 hash %s collides with the v1 schema hash", s, got)
+			t.Errorf("%s: hash %s collides with the v1 schema hash", s, got)
 		}
+		if old, ok := v2ConfigHashes[s]; !ok {
+			t.Fatalf("missing v2 hash for %s", s)
+		} else if got == old {
+			t.Errorf("%s: hash %s collides with the v2 schema hash", s, got)
+		}
+	}
+}
+
+// TestConfigHashKernelInvariant pins the cache-key contract for the sharded
+// kernel: Shards/Workers select an execution strategy with bit-identical
+// results, so they must not fragment the result cache.
+func TestConfigHashKernelInvariant(t *testing.T) {
+	seq := DefaultConfig(SchemeARFtid)
+	sh := seq
+	sh.Shards, sh.Workers = 4, 4
+	if seq.Hash() != sh.Hash() {
+		t.Fatalf("sharded config hash %s differs from sequential %s", sh.Hash(), seq.Hash())
 	}
 }

@@ -1,0 +1,353 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Sharded-kernel wiring: the machine is partitioned into Shards tile groups
+// (core + L1 + L2 + MI + NoC router per tile; the four corner tiles add
+// their memory controller port, DDR channel or HMC controller, and the
+// controller's memory-network router) plus Shards cube groups (cube + ARE +
+// memory-network router per cube). The groups tick concurrently on a
+// sim.Sharded conductor through three waves per cycle:
+//
+//	wave 0  tile groups: cores, L1s, L2s, MI queries, NoC routers,
+//	        MC ports, DDR channels, HMC controllers
+//	serial  core effect logs (core order), MI drains (tile order),
+//	        NoC staged commit, coordinator
+//	wave 1  memory-network routers (controller nodes in their corner
+//	        tile's group, cube nodes in their cube group)
+//	serial  memory-network staged commit, staged coordinator callbacks
+//	        (controller order)
+//	wave 2  cubes
+//	serial  IPC sampler, barrier flush
+//
+// Every component ticks at the exact projection of the sequential
+// registration order onto its shard, every cross-shard interaction is
+// either staged (fabric wires, credits, coordinator callbacks, core store
+// effects, barrier arrivals) or serial (MI drains, coordinator), and the
+// commit orders reproduce the sequential interleaving — so results are
+// bit-identical to the sequential kernel (pinned by the sharded golden and
+// determinism tests, under -race).
+
+// shardPlan is the machine partition for one sharded run.
+type shardPlan struct {
+	S         int   // group count per side (tile groups and cube groups)
+	workers   int   // conductor pool size
+	tileGroup []int // [tile] -> group
+	cubeGroup []int // [cube] -> group
+	nocAssign []int // [tile] -> NoC fabric domain (== tileGroup)
+	memAssign []int // [memnet node] -> fabric domain: ctrl i -> its corner
+	// tile's group, cube c -> S + cubeGroup[c]
+}
+
+// dealGroups assigns items to groups round-robin, priority items first, so
+// the heavy components (corner tiles, controller entry cubes) spread across
+// groups before the rest fill in. Deterministic.
+func dealGroups(n, groups int, priority []int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	next := 0
+	for _, p := range priority {
+		out[p] = next % groups
+		next++
+	}
+	for i := 0; i < n; i++ {
+		if out[i] < 0 {
+			out[i] = next % groups
+			next++
+		}
+	}
+	return out
+}
+
+// computePlan builds the partition for cfg (cfg.Shards > 0).
+func computePlan(cfg Config) *shardPlan {
+	s := cfg.Shards
+	if s > cfg.Threads {
+		s = cfg.Threads
+	}
+	p := &shardPlan{S: s, workers: cfg.Workers}
+	if p.workers <= 0 {
+		p.workers = s
+	}
+	p.tileGroup = dealGroups(16, s, mcTiles[:])
+	p.nocAssign = p.tileGroup
+	if cfg.Scheme != SchemeDRAM {
+		cubes := cfg.HMCGeom.Cubes
+		p.cubeGroup = dealGroups(cubes, s, ctrlCubes[:])
+		p.memAssign = make([]int, cubes+4)
+		for c := 0; c < cubes; c++ {
+			p.memAssign[c] = s + p.cubeGroup[c]
+		}
+		for i := 0; i < 4; i++ {
+			p.memAssign[cubes+i] = p.tileGroup[mcTiles[i]]
+		}
+	}
+	return p
+}
+
+// coordCall is one staged coordinator callback from an HMC controller
+// (scalars copied out of the delivered packet, which retires normally).
+type coordCall struct {
+	isAck bool
+	flow  mem.PAddr
+	value float64
+	tag   uint64
+}
+
+// miQueryTicker adapts the MI's query half to the tile wave (drains run in
+// the serial section via miDrainHook).
+type miQueryTicker struct{ mi *MessageInterface }
+
+func (q miQueryTicker) Tick(cycle uint64) { q.mi.TickQueries(cycle) }
+
+func (q miQueryTicker) NextWork(now uint64) uint64 { return q.mi.QueryWork(now) }
+
+func (q miQueryTicker) SetWaker(w *sim.Waker) { q.mi.SetWaker(w) }
+
+// fxFlushHook applies every core's staged effects in core order (serial,
+// before anything that reads the backing store ticks).
+type fxFlushHook struct{ s *System }
+
+func (h fxFlushHook) Tick(uint64) {
+	for _, fx := range h.s.fx {
+		fx.Flush()
+	}
+}
+
+func (h fxFlushHook) NextWork(now uint64) uint64 {
+	for _, fx := range h.s.fx {
+		if fx.Pending() {
+			return now
+		}
+	}
+	return never
+}
+
+// miDrainHook forwards cleared MI heads to the coordinator in tile order —
+// the coordinator queue-fill order of the sequential kernel.
+type miDrainHook struct{ s *System }
+
+func (h miDrainHook) Tick(cycle uint64) {
+	for _, mi := range h.s.mis {
+		mi.TickDrain(cycle)
+	}
+}
+
+func (h miDrainHook) NextWork(now uint64) uint64 {
+	for _, mi := range h.s.mis {
+		if mi.DrainWork() {
+			return now
+		}
+	}
+	return never
+}
+
+// fabricCommitHook applies a fabric's staged cross-domain pushes and
+// credits at the barrier.
+type fabricCommitHook struct{ f *network.Fabric }
+
+func (h fabricCommitHook) Tick(uint64) { h.f.CommitStaged() }
+
+func (h fabricCommitHook) NextWork(now uint64) uint64 {
+	if h.f.StagedWork() {
+		return now
+	}
+	return never
+}
+
+// coordCallHook commits staged controller callbacks in controller order —
+// the order the sequential memory-network ejection pass produces.
+type coordCallHook struct{ s *System }
+
+func (h coordCallHook) Tick(cycle uint64) {
+	for i := range h.s.coordStage {
+		for _, c := range h.s.coordStage[i] {
+			if c.isAck {
+				h.s.coord.CompleteActiveAck(c.tag, cycle)
+			} else {
+				h.s.coord.FoldGatherResp(c.flow, c.value, cycle)
+			}
+		}
+		h.s.coordStage[i] = h.s.coordStage[i][:0]
+	}
+}
+
+func (h coordCallHook) NextWork(now uint64) uint64 {
+	for i := range h.s.coordStage {
+		if len(h.s.coordStage[i]) > 0 {
+			return now
+		}
+	}
+	return never
+}
+
+// registerSharded wires every component into the conductor's wave schedule,
+// mirroring register()'s sequential order as per-shard projections.
+func (s *System) registerSharded() {
+	p := s.plan
+	s.cond = sim.NewSharded(p.workers)
+	tileSh := make([]*sim.Shard, p.S)
+	cubeSh := make([]*sim.Shard, p.S)
+	for g := 0; g < p.S; g++ {
+		tileSh[g] = s.cond.AddShard(fmt.Sprintf("tiles.%d", g))
+	}
+	if s.memnet != nil {
+		for g := 0; g < p.S; g++ {
+			cubeSh[g] = s.cond.AddShard(fmt.Sprintf("cubes.%d", g))
+		}
+	}
+
+	// Core effect logs: global side effects stage per core and commit in
+	// core order at the serial point.
+	s.fx = make([]*cpu.EffectLog, len(s.cores))
+	for i, c := range s.cores {
+		s.fx[i] = cpu.NewEffectLog(s.env.Store, s.barrier)
+		c.SetEffectLog(s.fx[i])
+	}
+
+	// Staged coordinator callbacks (active schemes).
+	if s.coord != nil {
+		s.coordStage = make([][]coordCall, len(s.hmcCtrls))
+		for i, ctrl := range s.hmcCtrls {
+			i := i
+			ctrl.OnGatherResp = func(pk *network.Packet, cycle uint64) {
+				s.coordStage[i] = append(s.coordStage[i],
+					coordCall{flow: mem.PAddr(pk.Flow.Flow), value: pk.Value})
+			}
+			ctrl.OnActiveAck = func(pk *network.Packet, cycle uint64) {
+				s.coordStage[i] = append(s.coordStage[i], coordCall{isAck: true, tag: pk.Tag})
+			}
+		}
+	}
+
+	inGroup := func(tile, g int) bool { return p.tileGroup[tile] == g }
+
+	// --- Wave 0: tile-side components, projected type-major per group.
+	for g := 0; g < p.S; g++ {
+		sh := tileSh[g]
+		for i, c := range s.cores {
+			if inGroup(i, g) {
+				c := c
+				sh.Register(fmt.Sprintf("core%d", i), c)
+				s.busyChecks = append(s.busyChecks, func() bool { return !c.Finished() })
+			}
+		}
+		for i, l1 := range s.l1s {
+			if inGroup(i, g) {
+				l1 := l1
+				sh.Register(fmt.Sprintf("l1.%d", i), l1)
+				s.busyChecks = append(s.busyChecks, l1.Busy)
+			}
+		}
+		for i, l2 := range s.l2s {
+			if inGroup(i, g) {
+				l2 := l2
+				sh.Register(fmt.Sprintf("l2.%d", i), l2)
+				s.busyChecks = append(s.busyChecks, l2.Busy)
+			}
+		}
+		for i, mi := range s.mis {
+			if mi != nil && inGroup(i, g) {
+				mi := mi
+				sh.Register(fmt.Sprintf("mi.%d", i), miQueryTicker{mi})
+				s.busyChecks = append(s.busyChecks, mi.Busy)
+			}
+		}
+		sh.Register(fmt.Sprintf("noc.%d", g), s.noc.Segment(g))
+		for i, mc := range s.mcs {
+			if inGroup(mc.tile, g) {
+				mc := mc
+				sh.Register(fmt.Sprintf("mc.%d", i), mc)
+				s.busyChecks = append(s.busyChecks, func() bool { return mc.queued() > 0 })
+			}
+		}
+		for i, d := range s.dramCtrls {
+			if inGroup(mcTiles[i], g) {
+				d := d
+				sh.Register(fmt.Sprintf("dram.%d", i), d)
+				s.busyChecks = append(s.busyChecks, func() bool { return d.Banks.Pending() > 0 })
+			}
+		}
+		for i, h := range s.hmcCtrls {
+			if inGroup(mcTiles[i], g) {
+				h := h
+				sh.Register(fmt.Sprintf("hmcctrl.%d", i), h)
+				s.busyChecks = append(s.busyChecks, h.Busy)
+			}
+		}
+	}
+	s.busyChecks = append(s.busyChecks, func() bool { return !s.noc.Drained() })
+
+	// --- Serial 0: effect logs, MI drains, NoC commit, coordinator.
+	ser0 := s.cond.SerialShard(0)
+	ser0.Register("fx-flush", fxFlushHook{s})
+	if s.coord != nil {
+		ser0.Register("mi-drain", miDrainHook{s})
+	}
+	ser0.Register("noc-commit", fabricCommitHook{s.noc})
+	if s.coord != nil {
+		ser0.Register("coordinator", s.coord)
+		s.busyChecks = append(s.busyChecks, s.coord.Busy)
+	}
+
+	// --- Wave 1: memory-network routers.
+	if s.memnet != nil {
+		for g := 0; g < p.S; g++ {
+			tileSh[g].NextSegment()
+			cubeSh[g].NextSegment()
+		}
+		for g := 0; g < p.S; g++ {
+			if s.memnet.DomainNodes(g) > 0 {
+				tileSh[g].Register(fmt.Sprintf("memnet.ctrl.%d", g), s.memnet.Segment(g))
+			}
+		}
+		for g := 0; g < p.S; g++ {
+			if s.memnet.DomainNodes(p.S+g) > 0 {
+				cubeSh[g].Register(fmt.Sprintf("memnet.cubes.%d", g), s.memnet.Segment(p.S+g))
+			}
+		}
+		s.busyChecks = append(s.busyChecks, func() bool { return !s.memnet.Drained() })
+
+		// --- Serial 1: memory-network commit, staged coordinator calls.
+		ser1 := s.cond.SerialShard(1)
+		ser1.Register("memnet-commit", fabricCommitHook{s.memnet})
+		if s.coord != nil {
+			ser1.Register("coord-calls", coordCallHook{s})
+		}
+
+		// --- Wave 2: cubes.
+		for g := 0; g < p.S; g++ {
+			tileSh[g].NextSegment()
+			cubeSh[g].NextSegment()
+		}
+		for g := 0; g < p.S; g++ {
+			for i, c := range s.cubes {
+				if p.cubeGroup[i] == g {
+					c := c
+					cubeSh[g].Register(fmt.Sprintf("cube%d", i), c)
+					s.busyChecks = append(s.busyChecks, c.Busy)
+				}
+			}
+		}
+	}
+
+	// --- Final serial section: sampler and barrier flush (the last slots
+	// of the sequential registration order).
+	last := 1
+	if s.memnet != nil {
+		last = 2
+	}
+	serLast := s.cond.SerialShard(last)
+	serLast.Register("ipc-sampler", ipcSampler{s})
+	serLast.Register("barrier-flush", barrierFlush{s.barrier})
+	s.cond.Seal()
+}

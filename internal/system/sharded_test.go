@@ -1,0 +1,161 @@
+package system_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// runOnce builds and runs one machine.
+func runOnce(t *testing.T, cfg system.Config, wl string) *system.Results {
+	t.Helper()
+	sys, err := system.New(cfg, wl, workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestShardedDeterminism is the sharded kernel's load-bearing invariant:
+// for every suite workload under every scheme, a sharded run (Shards ∈ {2,
+// 4}, 4 workers) produces a Results struct bit-identical to the sequential
+// kernel's — every counter, heatmap, latency breakdown, energy figure,
+// float series and cycle count. reflect.DeepEqual over the full struct
+// means even a float reassociation introduced by the parallel schedule
+// would fail the test.
+func TestShardedDeterminism(t *testing.T) {
+	for _, wl := range append(append([]string{}, workload.Benchmarks()...), workload.Microbenchmarks()...) {
+		for _, sch := range system.AllSchemes() {
+			wl, sch := wl, sch
+			t.Run(wl+"/"+sch.String(), func(t *testing.T) {
+				t.Parallel()
+				ref := runOnce(t, system.DefaultConfig(sch), wl)
+				for _, shards := range []int{2, 4} {
+					cfg := system.DefaultConfig(sch)
+					cfg.Shards, cfg.Workers = shards, 4
+					got := runOnce(t, cfg, wl)
+					if got.Cycles != ref.Cycles || got.Instructions != ref.Instructions {
+						t.Errorf("shards=%d: cycles/insts = %d/%d, want %d/%d",
+							shards, got.Cycles, got.Instructions, ref.Cycles, ref.Instructions)
+						continue
+					}
+					if !reflect.DeepEqual(got, ref) {
+						t.Errorf("shards=%d: Results not bit-identical to the sequential kernel", shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedGoldenSlice re-runs a representative workload×scheme slice of
+// the golden matrix under the sharded kernel with Shards ∈ {2, 4} and
+// GOMAXPROCS ∈ {1, 4}, asserting bit-identical cycles/instructions against
+// the sequential pins (the values in golden_test.go). GOMAXPROCS=1
+// exercises the conductor's inline single-worker path; GOMAXPROCS=4 the
+// true worker pool (on any host: Go multiplexes the threads).
+func TestShardedGoldenSlice(t *testing.T) {
+	slice := []struct {
+		workload string
+		scheme   system.Scheme
+	}{
+		{"backprop", system.SchemeDRAM},
+		{"pagerank", system.SchemeHMC},
+		{"reduce", system.SchemeART},
+		{"sgemm", system.SchemeARFtid},
+		{"spmv", system.SchemeARFaddr},
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, g := range slice {
+			ref := runOnce(t, system.DefaultConfig(g.scheme), g.workload)
+			for _, shards := range []int{2, 4} {
+				cfg := system.DefaultConfig(g.scheme)
+				cfg.Shards, cfg.Workers = shards, 4
+				got := runOnce(t, cfg, g.workload)
+				if got.Cycles != ref.Cycles || got.Instructions != ref.Instructions {
+					t.Errorf("GOMAXPROCS=%d %s/%s shards=%d: cycles/insts = %d/%d, want %d/%d",
+						procs, g.workload, g.scheme, shards, got.Cycles, got.Instructions, ref.Cycles, ref.Instructions)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRaceSmoke is the focused sharded end-to-end run CI executes
+// under -race: one active-scheme and one baseline workload at ScaleTiny
+// with the worker pool forced on.
+func TestShardedRaceSmoke(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, spec := range []struct {
+		sch system.Scheme
+		wl  string
+	}{
+		{system.SchemeARFtid, "pagerank"},
+		{system.SchemeDRAM, "mac"},
+	} {
+		ref := runOnce(t, system.DefaultConfig(spec.sch), spec.wl)
+		cfg := system.DefaultConfig(spec.sch)
+		cfg.Shards, cfg.Workers = 4, 4
+		got := runOnce(t, cfg, spec.wl)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s/%s: sharded Results not bit-identical", spec.sch, spec.wl)
+		}
+	}
+}
+
+// TestShardedNonDefaultConfig runs the sharded kernel on machines away
+// from DefaultConfig — a query window narrower than the MI queue and a
+// small coordinator queue — the scheduling shapes the default machine
+// never exercises (a narrowed MIWindow once deadlocked the sharded
+// drain/query hand-off; this is its regression test).
+func TestShardedNonDefaultConfig(t *testing.T) {
+	mutate := []func(*system.Config){
+		func(c *system.Config) { c.MIWindow = 2 },
+		func(c *system.Config) { c.MIWindow = 1; c.MIQueue = 4 },
+		func(c *system.Config) { c.CoordQueue = 2 },
+	}
+	for i, mut := range mutate {
+		for _, sch := range []system.Scheme{system.SchemeARFtid, system.SchemeART} {
+			ref := system.DefaultConfig(sch)
+			mut(&ref)
+			want := runOnce(t, ref, "mac")
+			cfg := ref
+			cfg.Shards, cfg.Workers = 4, 4
+			got := runOnce(t, cfg, "mac")
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("mutation %d %s: sharded Results not bit-identical", i, sch)
+			}
+		}
+	}
+}
+
+// TestShardedWorkloadVerify runs the sharded kernel at a non-trivial shard
+// count over every registered workload (including non-suite ones) and
+// checks workload self-verification plus equality with the sequential
+// kernel — the widest functional sweep.
+func TestShardedWorkloadVerify(t *testing.T) {
+	for _, wl := range workload.Registered() {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			t.Parallel()
+			ref := runOnce(t, system.DefaultConfig(system.SchemeARFtid), wl)
+			cfg := system.DefaultConfig(system.SchemeARFtid)
+			cfg.Shards, cfg.Workers = 3, 2 // odd shard count: unbalanced groups
+			got := runOnce(t, cfg, wl)
+			if !reflect.DeepEqual(got, ref) {
+				t.Error("sharded Results not bit-identical at shards=3")
+			}
+		})
+	}
+}

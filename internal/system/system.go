@@ -73,12 +73,24 @@ type System struct {
 	hmcCtrls  []*hmc.Controller
 	cubes     []*hmc.Cube
 	coord     *core.Coordinator
+	barrier   *cpu.Barrier
 
-	// msgPool is the machine-wide coherence-message free list; NoC packet
-	// wrappers come from noc.Pool (see DESIGN.md "Memory discipline").
-	msgPool *cache.MsgPool
+	// msgPools holds one coherence-message free list per tile; every
+	// component of a tile acquires messages from its own tile's pool and a
+	// message retires into the pool of the tile that finally consumes it.
+	// Per-tile pools keep pool access single-threaded under the sharded
+	// kernel (pool identity never affects simulated behavior).
+	msgPools []*cache.MsgPool
 
-	nextMemTag uint64
+	// memTags holds one memory-transaction tag counter per tile (tags are
+	// already tile-scoped: tile<<40 | counter).
+	memTags []uint64
+
+	// Sharded-kernel state (nil/empty under the sequential kernel).
+	cond       *sim.Sharded
+	plan       *shardPlan
+	fx         []*cpu.EffectLog
+	coordStage [][]coordCall
 
 	// IPC sampling.
 	lastRetired uint64
@@ -111,19 +123,22 @@ func (h *tileHub) Deliver(p *network.Packet, cycle uint64) bool {
 	if !ok {
 		panic(fmt.Sprintf("system: NoC packet without coherence payload at tile %d", h.tile))
 	}
-	if !h.deliverMsg(m, cycle) {
+	if !h.deliverMsg(m, cycle, true) {
 		return false
 	}
 	p.Meta = nil
-	h.sys.noc.Pool.Put(p)
+	h.sys.noc.PoolAt(h.tile).Put(p)
 	return true
 }
 
 // deliverMsg demultiplexes a coherence message. Acceptance (true) transfers
 // message ownership: the L1/L2 release it after their handle() commit,
 // while the hub's own terminal cases (back-inval done, memory traffic)
-// consume the message synchronously and release it here.
-func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
+// consume the message synchronously and release it here. viaFabric
+// distinguishes NoC ejection (which happens after every non-fabric tile
+// component's tick-order slot) from a direct same-tile send — the MI uses
+// it to reproduce the sequential drain timing of back-inval acks.
+func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64, viaFabric bool) bool {
 	s := h.sys
 	switch m.Type {
 	case cache.MsgGetS, cache.MsgGetX, cache.MsgPutM, cache.MsgInvAck,
@@ -132,8 +147,8 @@ func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
 	case cache.MsgData, cache.MsgInval, cache.MsgFetch, cache.MsgFetchInv:
 		return s.l1s[h.tile].Deliver(m, cycle)
 	case cache.MsgBackInvalD:
-		s.mis[h.tile].OnBackInvalDone(m.Tag)
-		s.msgPool.Put(m)
+		s.mis[h.tile].OnBackInvalDone(m.Tag, viaFabric, cycle)
+		s.msgPools[h.tile].Put(m)
 		return true
 	case cache.MsgMemRead, cache.MsgMemWrite:
 		for _, mc := range s.mcs {
@@ -141,7 +156,7 @@ func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
 				if !mc.deliver(m, cycle) {
 					return false
 				}
-				s.msgPool.Put(m)
+				s.msgPools[h.tile].Put(m)
 				return true
 			}
 		}
@@ -153,7 +168,7 @@ func (h *tileHub) deliverMsg(m *cache.Msg, cycle uint64) bool {
 		}
 		delete(h.pendingMem, m.Tag)
 		done(cycle)
-		s.msgPool.Put(m)
+		s.msgPools[h.tile].Put(m)
 		return true
 	default:
 		panic(fmt.Sprintf("system: unroutable message %s at tile %d", m.Type, h.tile))
@@ -188,7 +203,7 @@ func (mc *mcPort) deliver(m *cache.Msg, cycle uint64) bool {
 	write := m.Type == cache.MsgMemWrite
 	from, tag, block := m.From, m.Tag, m.Block
 	return mc.access(m.Block, write, func(cyc uint64) {
-		resp := mc.sys.msgPool.Get(cache.MsgMemResp, block, mc.tile)
+		resp := mc.sys.msgPools[mc.tile].Get(cache.MsgMemResp, block, mc.tile)
 		resp.Tag = tag
 		if !mc.sys.sendFrom(mc.tile, from, resp) {
 			mc.outbox = append(mc.outbox, mcOut{from, resp})
@@ -231,15 +246,27 @@ func New(cfg Config, wlName string, scale workload.Scale) (*System, error) {
 
 // NewWith builds a machine around an existing workload value.
 func NewWith(cfg Config, wl workload.Workload) (*System, error) {
-	s := &System{cfg: cfg, wl: wl, msgPool: cache.NewMsgPool()}
+	s := &System{cfg: cfg, wl: wl}
 	s.env = workload.NewEnv(cfg.Threads, cfg.Seed)
 	wl.Init(s.env)
-	s.engine = sim.NewEngine()
+	if cfg.Shards > 0 {
+		s.plan = computePlan(cfg)
+	} else {
+		s.engine = sim.NewEngine()
+	}
 
 	// --- Host NoC: 4x4 mesh, every tile hosts a core+L1 and an L2 bank.
 	meshTopo := network.NewMesh(4, nil)
 	s.noc = network.NewFabric(meshTopo, cfg.NoC)
 	tiles := meshTopo.Tiles()
+	if s.plan != nil {
+		s.noc.ShardNodes(s.plan.nocAssign, s.plan.S)
+	}
+	s.msgPools = make([]*cache.MsgPool, tiles)
+	for t := range s.msgPools {
+		s.msgPools[t] = cache.NewMsgPool()
+	}
+	s.memTags = make([]uint64, tiles)
 	s.hubs = make([]*tileHub, tiles)
 	for t := 0; t < tiles; t++ {
 		s.hubs[t] = &tileHub{sys: s, tile: t, pendingMem: make(map[uint64]func(uint64))}
@@ -261,6 +288,9 @@ func NewWith(cfg Config, wl workload.Workload) (*System, error) {
 			topo = network.NewDragonfly(ctrlCubes[:])
 		}
 		s.memnet = network.NewFabric(topo, cfg.MemNet)
+		if s.plan != nil {
+			s.memnet.ShardNodes(s.plan.memAssign, 2*s.plan.S)
+		}
 		s.cubes = make([]*hmc.Cube, cfg.HMCGeom.Cubes)
 		for c := range s.cubes {
 			s.cubes[c] = hmc.NewCube(c, cfg.Cube, s.memnet, s.env.Store)
@@ -276,7 +306,11 @@ func NewWith(cfg Config, wl workload.Workload) (*System, error) {
 			ports[i] = s.hmcCtrls[i]
 		}
 		if cfg.Scheme.Active() {
-			s.coord = core.NewCoordinator(cfg.Scheme.Policy(), cfg.HMCGeom, ports, s.env.Store, s.memnet.Pool, cfg.CoordQueue)
+			coordPool := s.memnet.Pool
+			if s.plan != nil {
+				coordPool = nil // private pool: the coordinator runs serially
+			}
+			s.coord = core.NewCoordinator(cfg.Scheme.Policy(), cfg.HMCGeom, ports, s.env.Store, coordPool, cfg.CoordQueue)
 			memTopo := topo
 			s.coord.SetDistanceFn(func(port, cube int) int {
 				entry := ctrlCubes[port]
@@ -299,7 +333,7 @@ func NewWith(cfg Config, wl workload.Workload) (*System, error) {
 		if cfg.Scheme == SchemeDRAM {
 			ctrl := s.dramCtrls[i]
 			mc.access = func(pa mem.PAddr, write bool, done func(uint64)) bool {
-				return ctrl.Access(pa, write, s.engine.Cycle(), done)
+				return ctrl.Access(pa, write, s.now(), done)
 			}
 		} else {
 			ctrl := s.hmcCtrls[i]
@@ -321,34 +355,34 @@ func NewWith(cfg Config, wl workload.Workload) (*System, error) {
 			} else {
 				idx = cfg.HMCGeom.CubeOf(block) * 4 / cfg.HMCGeom.Cubes
 			}
-			s.nextMemTag++
-			tag := uint64(tile)<<40 | s.nextMemTag
+			s.memTags[tile]++
+			tag := uint64(tile)<<40 | s.memTags[tile]
 			kind := cache.MsgMemRead
 			if write {
 				kind = cache.MsgMemWrite
 			}
-			m := s.msgPool.Get(kind, block, tile)
+			m := s.msgPools[tile].Get(kind, block, tile)
 			m.Tag = tag
 			if !s.sendFrom(tile, mcTiles[idx], m) {
-				s.msgPool.Put(m)
+				s.msgPools[tile].Put(m)
 				return false
 			}
 			s.hubs[tile].pendingMem[tag] = done
 			return true
 		}
-		s.l2s[t] = cache.NewL2Bank(t, cfg.L2, s.senderFor(t), memPort, s.msgPool)
+		s.l2s[t] = cache.NewL2Bank(t, cfg.L2, s.senderFor(t), memPort, s.msgPools[t])
 	}
 	s.l1s = make([]*cache.L1, tiles)
 	for t := 0; t < tiles; t++ {
 		s.l1s[t] = cache.NewL1(t, cfg.L1, s.senderFor(t),
-			func(block mem.PAddr) int { return cache.BankOf(block, tiles) }, s.msgPool)
+			func(block mem.PAddr) int { return cache.BankOf(block, tiles) }, s.msgPools[t])
 	}
 
 	// --- Message interfaces (Active-Routing schemes only).
 	s.mis = make([]*MessageInterface, tiles)
 	if cfg.Scheme.Active() {
 		for t := 0; t < tiles; t++ {
-			s.mis[t] = NewMessageInterface(t, s.senderFor(t), s.coord, s.msgPool, cfg.MIQueue, cfg.MIWindow)
+			s.mis[t] = NewMessageInterface(t, s.senderFor(t), s.coord, s.msgPools[t], cfg.MIQueue, cfg.MIWindow)
 		}
 	}
 
@@ -357,7 +391,8 @@ func NewWith(cfg Config, wl workload.Workload) (*System, error) {
 	if len(streams) != cfg.Threads {
 		return nil, fmt.Errorf("system: workload produced %d streams for %d threads", len(streams), cfg.Threads)
 	}
-	barrier := cpu.NewBarrier(cfg.Threads)
+	s.barrier = cpu.NewBarrier(cfg.Threads)
+	barrier := s.barrier
 	s.cores = make([]*cpu.Core, cfg.Threads)
 	for i := range s.cores {
 		var off cpu.OffloadPort
@@ -367,8 +402,20 @@ func NewWith(cfg Config, wl workload.Workload) (*System, error) {
 		s.cores[i] = cpu.NewCore(i, cfg.Core, streams[i], s.l1s[i], off, s.env.Store, s.env.AS, barrier)
 	}
 
-	s.register()
+	if s.plan != nil {
+		s.registerSharded()
+	} else {
+		s.register()
+	}
 	return s, nil
+}
+
+// now reports the current simulation cycle under either kernel.
+func (s *System) now() uint64 {
+	if s.cond != nil {
+		return s.cond.Cycle()
+	}
+	return s.engine.Cycle()
 }
 
 // senderFor builds the NoC message sender for a tile. Same-tile messages
@@ -379,14 +426,15 @@ func (s *System) senderFor(tile int) cache.Sender {
 
 func (s *System) sendFrom(src, dst int, m *cache.Msg) bool {
 	if src == dst {
-		return s.hubs[dst].deliverMsg(m, s.engine.Cycle())
+		return s.hubs[dst].deliverMsg(m, s.now(), false)
 	}
-	p := cache.PacketFor(s.noc.Pool, m, src, dst)
-	if !s.noc.Inject(src, p, s.engine.Cycle()) {
+	pool := s.noc.PoolAt(src)
+	p := cache.PacketFor(pool, m, src, dst)
+	if !s.noc.Inject(src, p, s.now()) {
 		// The wrapper never entered the fabric; the caller keeps the
 		// message and retries, so only the packet returns to the pool.
 		p.Meta = nil
-		s.noc.Pool.Put(p)
+		pool.Put(p)
 		return false
 	}
 	return true
@@ -450,6 +498,22 @@ func (s *System) register() {
 		s.busyChecks = append(s.busyChecks, c.Busy)
 	}
 	s.engine.Register("ipc-sampler", ipcSampler{s})
+	s.engine.Register("barrier-flush", barrierFlush{s.barrier})
+}
+
+// barrierFlush fires deferred barrier releases at the end of every cycle
+// (the last slot in the tick order), so a crossing completed during cycle c
+// resumes every waiter at c+1 regardless of tick-order position. It is a
+// plain (non-cacheable) idler: the pending check is one length read.
+type barrierFlush struct{ b *cpu.Barrier }
+
+func (f barrierFlush) Tick(uint64) { f.b.Flush() }
+
+func (f barrierFlush) NextWork(now uint64) uint64 {
+	if f.b.Pending() {
+		return now
+	}
+	return never
 }
 
 // ipcSampler adapts the Fig 5.8 IPC probe to the engine with an idle hint:
@@ -510,7 +574,13 @@ func (s *System) done() bool {
 // Run simulates to completion, verifies the workload's final memory state,
 // and returns the collected results.
 func (s *System) Run() (*Results, error) {
-	if _, err := s.engine.RunUntil(s.done, s.cfg.MaxCycles); err != nil {
+	var err error
+	if s.cond != nil {
+		_, err = s.cond.RunUntil(s.done, s.cfg.MaxCycles)
+	} else {
+		_, err = s.engine.RunUntil(s.done, s.cfg.MaxCycles)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("system: %s/%s: %w", s.cfg.Scheme, s.wl.Name(), err)
 	}
 	if err := s.wl.Verify(); err != nil {
@@ -524,7 +594,7 @@ func (s *System) collect() *Results {
 	r := &Results{
 		Scheme:   s.cfg.Scheme,
 		Workload: s.wl.Name(),
-		Cycles:   s.engine.Cycle(),
+		Cycles:   s.now(),
 		IPCTrace: s.ipcTrace,
 	}
 	for _, c := range s.cores {
@@ -571,8 +641,8 @@ func (s *System) collect() *Results {
 		r.Coord = s.coord.Stats
 	}
 	if s.memnet != nil {
-		r.Movement = s.memnet.Movement
-		r.NetHopByte = s.memnet.HopBytes
+		r.Movement = s.memnet.MovementTotal()
+		r.NetHopByte = s.memnet.HopBytesTotal()
 	}
 	for _, d := range s.dramCtrls {
 		r.DRAMAcc += d.Banks.Stats.Reads + d.Banks.Stats.Writes
@@ -615,11 +685,42 @@ func mergeEngineStats(dst *core.EngineStats, src core.EngineStats) {
 	}
 }
 
-// Engine exposes the simulation engine (tests and tooling).
+// Engine exposes the sequential simulation engine (tests and tooling); it
+// is nil under the sharded kernel, where Conductor is the scheduler.
 func (s *System) Engine() *sim.Engine { return s.engine }
+
+// Conductor exposes the sharded kernel's scheduler (nil under the
+// sequential kernel).
+func (s *System) Conductor() *sim.Sharded { return s.cond }
 
 // Env exposes the workload environment (tests).
 func (s *System) Env() *workload.Env { return s.env }
 
 // Workload exposes the bound workload.
 func (s *System) Workload() workload.Workload { return s.wl }
+
+// DebugDigest summarizes per-cycle observable state for kernel-equivalence
+// debugging (tests and tooling only).
+func (s *System) DebugDigest() string {
+	var retired, fence, stalls uint64
+	for _, c := range s.cores {
+		retired += c.Stats.Retired
+		fence += c.Stats.FenceCycles
+		stalls += c.Stats.OffloadStalls
+	}
+	var miq, mid uint64
+	for _, mi := range s.mis {
+		if mi != nil {
+			miq += mi.QueriesSent
+			mid += mi.UpdatesSent + mi.GathersSent
+		}
+	}
+	d := fmt.Sprintf("ret=%d fence=%d ostall=%d miq=%d mid=%d noc=%d", retired, fence, stalls, miq, mid, s.noc.InFlight())
+	if s.memnet != nil {
+		d += fmt.Sprintf(" mem=%d", s.memnet.InFlight())
+	}
+	if s.coord != nil {
+		d += fmt.Sprintf(" coord={u=%d g=%d ps=%d er=%d flows=%d}", s.coord.Stats.Updates, s.coord.Stats.Gathers, s.coord.Stats.PortStalls, s.coord.Stats.EnqueueRejects, s.coord.LiveFlows())
+	}
+	return d
+}
