@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -189,6 +190,33 @@ func NewService(opts ServiceOptions) *ServiceServer { return service.New(opts) }
 
 // NewServiceClient builds a Go client for an arserved daemon.
 func NewServiceClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
+
+// ServiceRetryPolicy bounds the client's idempotent retry loop (exponential
+// backoff with jitter, honouring server Retry-After hints). Safe because
+// jobs are content-addressed and the simulator deterministic: a duplicate
+// submission coalesces onto the cached result instead of recomputing.
+type ServiceRetryPolicy = service.RetryPolicy
+
+// ErrServiceOverloaded is returned (as an HTTP 503 with Retry-After) when
+// the daemon sheds a request that would need a new simulation while its
+// queue is over -max-queue or it is draining.
+var ErrServiceOverloaded = service.ErrOverloaded
+
+// Result-store types: the crash-safe, content-addressed persistence layer
+// behind arserved's -store flag. Append-only checksummed segment files;
+// recovery quarantines torn or corrupt records and never loses an intact
+// one. See DESIGN.md "Durability & failure".
+type (
+	ResultStore      = store.Store
+	ResultStoreOpts  = store.Options
+	ResultStoreStats = store.Stats
+)
+
+// OpenResultStore opens (creating if needed) a result store rooted at dir,
+// recovering every intact record from a previous process lifetime.
+func OpenResultStore(dir string, opts ResultStoreOpts) (*ResultStore, error) {
+	return store.Open(dir, opts)
+}
 
 // ServiceFigureIDs lists the figure ids /figures/{id} serves.
 func ServiceFigureIDs() []string { return service.FigureIDs() }

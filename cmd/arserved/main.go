@@ -7,6 +7,11 @@
 //
 //	arserved -addr :8080                 # serve with GOMAXPROCS workers
 //	arserved -addr :8080 -workers 4
+//	arserved -addr :8080 -store /var/lib/arserved
+//
+// With -store, every computed result is persisted to a crash-safe
+// append-only store and warm-loaded at the next boot, so a restarted
+// daemon serves its whole history as cache hits without re-simulating.
 //
 // Endpoints:
 //
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -44,6 +50,9 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	simShards := flag.Int("simshards", 0, "run jobs without a pinned kernel on the sharded simulation kernel with this shard count (0 = sequential); a sharded job holds its worker count in the shared budget")
+	storeDir := flag.String("store", "", "directory for the crash-safe result store; empty disables persistence")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none); expired jobs abort and release their worker slots")
+	maxQueue := flag.Int("max-queue", 0, "shed new-simulation requests with 503 once this many jobs wait for workers (0 = never shed)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -58,7 +67,30 @@ func main() {
 		}()
 	}
 
-	svc := service.New(service.Options{Workers: *workers, Shards: *shards, SimShards: *simShards})
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arserved: opening result store:", err)
+			os.Exit(1)
+		}
+		ss := st.Stats()
+		fmt.Fprintf(os.Stderr, "arserved: result store %s (%d records, %d bytes", *storeDir, ss.Records, ss.BytesOnDisk)
+		if ss.CorruptRecords > 0 {
+			fmt.Fprintf(os.Stderr, ", %d corrupt records quarantined", ss.CorruptRecords)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	}
+
+	svc := service.New(service.Options{
+		Workers:    *workers,
+		Shards:     *shards,
+		SimShards:  *simShards,
+		Store:      st,
+		JobTimeout: *jobTimeout,
+		MaxQueue:   *maxQueue,
+	})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -78,6 +110,9 @@ func main() {
 	stop() // a second signal kills the process the default way
 
 	fmt.Fprintln(os.Stderr, "arserved: draining (in-flight requests run to completion)")
+	// Draining sheds requests that would start a new simulation while
+	// already-cached results keep serving until the listener closes.
+	svc.SetDraining(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -88,7 +123,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arserved:", err)
 		os.Exit(1)
 	}
-	st := svc.Stats()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "arserved: closing result store:", err)
+		}
+	}
+	stats := svc.Stats()
 	fmt.Fprintf(os.Stderr, "arserved: drained cleanly (served %d sims, %d cache hits, hit rate %.2f)\n",
-		st.SimsCompleted, st.CacheHits, st.HitRate)
+		stats.SimsCompleted, stats.CacheHits, stats.HitRate)
 }

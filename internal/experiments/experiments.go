@@ -75,7 +75,7 @@ func RunSuiteCtx(ctx context.Context, scale workload.Scale, workloads []string, 
 		if err != nil {
 			return fmt.Errorf("experiments: %s/%s: %w", k.Scheme, k.Workload, err)
 		}
-		r, err := sys.Run()
+		r, err := sys.RunCtx(ctx)
 		if err != nil {
 			return fmt.Errorf("experiments: %s/%s: %w", k.Scheme, k.Workload, err)
 		}

@@ -91,6 +91,33 @@ func (c *resultCache) do(ctx context.Context, key string, compute func() (*syste
 	return e.res, false, e.err
 }
 
+// has reports whether key has an entry (completed or in-flight). It is the
+// load-shedding probe: requests resolvable without a new simulation are
+// admitted even when the queue is full.
+func (c *resultCache) has(key string) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	_, ok := sh.m[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// seed installs a completed entry (a result recovered from the durable
+// store at boot). First writer wins; a concurrent in-flight computation for
+// the key is left alone. Reports whether the entry was installed.
+func (c *resultCache) seed(key string, res *system.Results) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		return false
+	}
+	e := &cacheEntry{done: make(chan struct{}), res: res}
+	close(e.done)
+	sh.m[key] = e
+	return true
+}
+
 // len counts completed and in-flight entries across shards.
 func (c *resultCache) len() int {
 	n := 0

@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
+	"time"
 
 	"repro/internal/sweep"
 )
@@ -18,6 +21,53 @@ type Client struct {
 	BaseURL string
 	// HTTP overrides the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Retry enables idempotent retries. Every daemon request is safe to
+	// retry — jobs are content-addressed and the simulator deterministic,
+	// so a duplicate submission coalesces onto the cache entry instead of
+	// recomputing. The zero value disables retries.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds the client's retry loop for transport errors and
+// retryable HTTP statuses (502/503/504). Backoff is exponential from
+// BaseDelay, capped at MaxDelay, with full jitter; a server Retry-After
+// hint overrides the computed delay when longer.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries; 0 or 1 means no retries.
+	MaxAttempts int
+	// BaseDelay is the first backoff step; 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means 5s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// delay computes the backoff before attempt n (1-based count of failures so
+// far): full jitter over an exponentially growing window, floored by the
+// server's Retry-After hint when one was sent.
+func (p RetryPolicy) delay(n int, retryAfter time.Duration) time.Duration {
+	window := p.base() << (n - 1)
+	if window <= 0 || window > p.max() {
+		window = p.max()
+	}
+	d := time.Duration(rand.Int64N(int64(window) + 1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
 }
 
 // NewClient builds a client for the daemon at baseURL.
@@ -30,44 +80,88 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// call performs one JSON round trip; in decodes into out (out may be nil).
+// call performs a JSON round trip, retrying per c.Retry; in decodes into
+// out (out may be nil). The request body is rebuilt from the marshaled
+// bytes on every attempt, so a half-consumed failed send never corrupts
+// the retry.
 func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("service client: encoding %s request: %w", path, err)
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for n := 1; ; n++ {
+		retryable, retryAfter, err := c.attempt(ctx, method, path, payload, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || n >= attempts {
+			return lastErr
+		}
+		t := time.NewTimer(c.Retry.delay(n, retryAfter))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("service client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
+		case <-t.C:
+		}
+	}
+}
+
+// attempt is one HTTP round trip. retryable reports whether the failure is
+// worth another try (transport error, or a 502/503/504 status); retryAfter
+// carries the server's Retry-After hint when present.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (retryable bool, retryAfter time.Duration, err error) {
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return fmt.Errorf("service client: %w", err)
+		return false, 0, fmt.Errorf("service client: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return fmt.Errorf("service client: %s %s: %w", method, path, err)
+		// Transport-level failures (connection reset, refused) are
+		// retryable unless the caller's context is what gave out.
+		return ctx.Err() == nil, 0, fmt.Errorf("service client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			retryable = true
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var problem struct {
 			Error string `json:"error"`
 		}
 		if derr := json.NewDecoder(resp.Body).Decode(&problem); derr == nil && problem.Error != "" {
-			return fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, problem.Error, resp.StatusCode)
+			return retryable, retryAfter, fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, problem.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("service client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return retryable, retryAfter, fmt.Errorf("service client: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return false, 0, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("service client: decoding %s response: %w", path, err)
+		return false, 0, fmt.Errorf("service client: decoding %s response: %w", path, err)
 	}
-	return nil
+	return false, 0, nil
 }
 
 // Run submits one simulation job and returns the (possibly cached) result.

@@ -85,15 +85,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps an error to a JSON problem body: request-shaped failures
-// (unknown workload/scheme/scale/figure, invalid config) are 400s,
-// everything else a 500.
+// (unknown workload/scheme/scale/figure, invalid config) are 400s, shed load
+// a 503 with Retry-After so well-behaved clients back off, everything else
+// a 500.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
-	if errors.Is(err, errBadRequest) {
+	switch {
+	case errors.Is(err, errBadRequest):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
+
+// retryAfterSeconds is the Retry-After hint sent with shed requests. Jobs
+// are short at service scales; a single-digit pause clears most bursts.
+const retryAfterSeconds = "2"
 
 // errBadRequest marks request-shaped failures for status mapping.
 var errBadRequest = errors.New("bad request")
@@ -182,7 +191,11 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": s.budget.Cap()})
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "workers": s.budget.Cap()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

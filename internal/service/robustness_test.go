@@ -1,0 +1,288 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// openStore opens the durable store at dir, failing the test on error.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// jobKey computes the content address the service will use for job,
+// normalizing the nil config exactly the way the server does.
+func jobKey(job service.Job) string {
+	cfg := system.DefaultConfig(job.Scheme)
+	job.Config = &cfg
+	return job.Key()
+}
+
+// TestCrashRestartWarmLoad is the tentpole acceptance test: a server
+// computes results into the store, the process dies without any shutdown
+// (the handle is simply abandoned, as after SIGKILL), and a fresh server
+// over the same directory serves every job as a cache hit with zero
+// re-simulation and byte-identical results.
+func TestCrashRestartWarmLoad(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []service.Job{
+		{Workload: "mac", Scheme: system.SchemeARFtid, Scale: workload.ScaleTiny},
+		{Workload: "reduce", Scheme: system.SchemeHMC, Scale: workload.ScaleTiny},
+	}
+
+	st1 := openStore(t, dir)
+	svc1 := service.New(service.Options{Workers: 2, Store: st1})
+	first := make([][]byte, len(jobs))
+	for i, job := range jobs {
+		res, hit, err := svc1.Run(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatalf("job %d: first run reported a cache hit", i)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = b
+	}
+	// Crash: st1 is never Closed, never Synced again — just abandoned.
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	svc2 := service.New(service.Options{Workers: 2, Store: st2})
+	if st := svc2.Stats(); st.StoreRecordsLoaded != uint64(len(jobs)) {
+		t.Fatalf("StoreRecordsLoaded = %d after restart, want %d", st.StoreRecordsLoaded, len(jobs))
+	}
+	for i, job := range jobs {
+		res, hit, err := svc2.Run(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			t.Fatalf("job %d: restarted server missed the cache", i)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// JSON comparison, not DeepEqual: a decode round trip may turn empty
+		// slices into nil, but the serialized observable result must match.
+		if !bytes.Equal(b, first[i]) {
+			t.Errorf("job %d: restarted result differs from original", i)
+		}
+	}
+	st := svc2.Stats()
+	if st.SimsStarted != 0 {
+		t.Errorf("SimsStarted = %d after restart, want 0 (warm-loaded)", st.SimsStarted)
+	}
+	if st.StoreBytesOnDisk == 0 || st.StoreRecords != uint64(len(jobs)) {
+		t.Errorf("store gauges: bytes=%d records=%d, want bytes>0 records=%d",
+			st.StoreBytesOnDisk, st.StoreRecords, len(jobs))
+	}
+}
+
+// TestUndecodableStoredRecordRecomputed covers the service-level last line
+// of defense: a record whose bytes are intact (store checksums pass) but
+// whose value no longer decodes as Results is skipped at boot, counted, and
+// the job transparently recomputes.
+func TestUndecodableStoredRecordRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	job := service.Job{Workload: "mac", Scheme: system.SchemeARFtid, Scale: workload.ScaleTiny}
+
+	st1 := openStore(t, dir)
+	if err := st1.Put(jobKey(job), []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	svc := service.New(service.Options{Workers: 2, Store: st2})
+	if st := svc.Stats(); st.StoreRecordsLoaded != 0 || st.StoreCorruptQuarantined != 1 {
+		t.Fatalf("loaded=%d quarantined=%d, want 0 and 1", st.StoreRecordsLoaded, st.StoreCorruptQuarantined)
+	}
+	res, hit, err := svc.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("undecodable record was served as a cache hit")
+	}
+	want := direct(t, system.SchemeARFtid, "mac")
+	got, _ := json.Marshal(res)
+	wantB, _ := json.Marshal(want)
+	if !bytes.Equal(got, wantB) {
+		t.Error("recomputed result differs from direct run")
+	}
+}
+
+// faultyTransport injects connection-level failures into the first n
+// round trips, then delegates to the real transport.
+type faultyTransport struct {
+	failures atomic.Int64 // remaining injected failures
+	attempts atomic.Int64
+}
+
+func (f *faultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.attempts.Add(1)
+	if f.failures.Add(-1) >= 0 {
+		return nil, errors.New("read tcp: connection reset by peer (injected)")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestClientRetriesTransportFaults pins the degradation contract: injected
+// connection resets are retried with backoff and the final result is
+// unaffected by the faults; exhausting the attempt budget surfaces the
+// error.
+func TestClientRetriesTransportFaults(t *testing.T) {
+	svc := service.New(service.Options{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	rt := &faultyTransport{}
+	rt.failures.Store(2)
+	client := &service.Client{
+		BaseURL: ts.URL,
+		HTTP:    &http.Client{Transport: rt},
+		Retry:   service.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	}
+	resp, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+	if err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if got := rt.attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (2 injected failures + 1 success)", got)
+	}
+	want := direct(t, system.SchemeARFtid, "mac")
+	gotB, _ := json.Marshal(resp.Results)
+	wantB, _ := json.Marshal(want)
+	if !bytes.Equal(gotB, wantB) {
+		t.Error("result served through faults differs from direct run")
+	}
+
+	// Exhausted attempts: every round trip fails, the last error surfaces.
+	rt2 := &faultyTransport{}
+	rt2.failures.Store(1 << 30)
+	client.HTTP = &http.Client{Transport: rt2}
+	_, err = client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+	if err == nil {
+		t.Fatal("expected error after exhausting retries")
+	}
+	if got := rt2.attempts.Load(); got != 4 {
+		t.Errorf("attempts = %d, want MaxAttempts=4", got)
+	}
+	if !strings.Contains(err.Error(), "connection reset") {
+		t.Errorf("error %q does not carry the transport failure", err)
+	}
+}
+
+// TestJobTimeoutReleasesBudget pins the deadline path: a job stuck behind
+// a saturated worker budget is abandoned at its deadline with
+// DeadlineExceeded (the slot-release guarantee for hung requests), the
+// timeout counter ticks, and no budget slot leaks.
+func TestJobTimeoutReleasesBudget(t *testing.T) {
+	svc := service.New(service.Options{Workers: 1, JobTimeout: 5 * time.Millisecond})
+	// Saturate the single worker slot so the job queues; its deadline must
+	// fire while it waits, releasing the request within a bounded interval.
+	if err := svc.Budget().Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	job := service.Job{Workload: "mac", Scheme: system.SchemeARFtid, Scale: workload.ScaleTiny}
+	_, _, err := svc.Run(context.Background(), job)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	svc.Budget().Release()
+	st := svc.Stats()
+	if st.JobsTimedOut != 1 {
+		t.Errorf("JobsTimedOut = %d, want 1", st.JobsTimedOut)
+	}
+	if st.FailedRequests != 1 {
+		t.Errorf("FailedRequests = %d, want 1", st.FailedRequests)
+	}
+	if st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Errorf("budget leaked: InFlight=%d QueueDepth=%d, want 0/0", st.InFlight, st.QueueDepth)
+	}
+	// A failed computation is not cached: the same job on a healthy server
+	// must run fresh.
+	svc2 := service.New(service.Options{Workers: 1})
+	if _, hit, err := svc2.Run(context.Background(), job); err != nil || hit {
+		t.Fatalf("healthy rerun: hit=%v err=%v, want fresh success", hit, err)
+	}
+}
+
+// TestDrainShedsNewWork pins the load-shedding contract over the real HTTP
+// stack: while draining, cached jobs keep serving, while a job needing a
+// new simulation gets 503 with a Retry-After hint; flipping drain off
+// restores service.
+func TestDrainShedsNewWork(t *testing.T) {
+	svc := service.New(service.Options{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := service.NewClient(ts.URL)
+
+	cached := service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"}
+	if _, err := client.Run(context.Background(), cached); err != nil {
+		t.Fatal(err)
+	}
+
+	svc.SetDraining(true)
+	resp, err := client.Run(context.Background(), cached)
+	if err != nil {
+		t.Fatalf("cached job refused during drain: %v", err)
+	}
+	if !resp.CacheHit {
+		t.Error("cached job re-simulated during drain")
+	}
+
+	body, _ := json.Marshal(service.RunRequest{Workload: "reduce", Scheme: "HMC", Scale: "tiny"})
+	httpResp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new job during drain: HTTP %d, want 503", httpResp.StatusCode)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After header")
+	}
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestsShed == 0 {
+		t.Error("RequestsShed = 0 after a shed request")
+	}
+	if !st.Draining {
+		t.Error("Stats.Draining = false while draining")
+	}
+
+	svc.SetDraining(false)
+	if _, err := client.Run(context.Background(), service.RunRequest{Workload: "reduce", Scheme: "HMC", Scale: "tiny"}); err != nil {
+		t.Fatalf("job after drain lifted: %v", err)
+	}
+}

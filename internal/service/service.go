@@ -15,11 +15,15 @@ package service
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -76,15 +80,43 @@ type Options struct {
 	// and each such job accounts for its worker count against the shared
 	// budget.
 	SimShards int
+	// Store, when non-nil, is the durable result store: every record it
+	// holds at construction warm-loads into the cache (a restarted daemon
+	// serves previously computed jobs with zero re-simulation), and every
+	// fresh result is written through. Results are content-addressed by the
+	// same job key as the in-memory cache, so determinism makes the store
+	// append-only and conflict-free.
+	Store *store.Store
+	// JobTimeout bounds each simulation's wall-clock time; 0 disables. A
+	// hung or deadlocked run is abandoned at the deadline (the kernel's
+	// cancellation stride), releasing its budget slots within a bounded
+	// interval even when the requester has long disconnected.
+	JobTimeout time.Duration
+	// MaxQueue sheds load once this many acquirers wait on the budget:
+	// requests that would need a NEW simulation fail fast with
+	// ErrOverloaded (HTTP 503 + Retry-After) instead of queueing without
+	// bound; cached (and in-flight-coalescible) requests are always served.
+	// 0 disables shedding.
+	MaxQueue int
 }
+
+// ErrOverloaded is returned for a request that would start a new
+// simulation while the server is saturated past Options.MaxQueue or
+// draining for shutdown. The job was not started; an identical retry after
+// backoff is safe (jobs are deterministic and content-addressed).
+var ErrOverloaded = errors.New("service: overloaded, retry later")
 
 // Server is the embeddable service core: cache + scheduler + statistics.
 // cmd/arserved wraps it in an HTTP daemon; tests drive it directly.
 type Server struct {
-	budget    *sweep.Budget
-	cache     *resultCache
-	start     time.Time
-	simShards int
+	budget     *sweep.Budget
+	cache      *resultCache
+	store      *store.Store
+	start      time.Time
+	simShards  int
+	jobTimeout time.Duration
+	maxQueue   int
+	draining   atomic.Bool
 
 	mu       sync.Mutex
 	hits     uint64
@@ -92,17 +124,54 @@ type Server struct {
 	started  uint64 // simulations begun (the singleflight test pins this)
 	done     uint64 // simulations completed successfully
 	failures uint64
+	// Robustness counters.
+	shed        uint64 // requests refused with ErrOverloaded
+	cancelled   uint64 // jobs abandoned on a cancelled context
+	timedOut    uint64 // jobs abandoned at the JobTimeout deadline
+	storeLoaded uint64 // records warm-loaded from the store at boot
+	storeBadRec uint64 // store records that failed to decode at boot
+	storeFails  uint64 // write-through Put failures (results still served)
 }
 
-// New builds a server.
+// New builds a server. When opts.Store is set, every decodable record it
+// holds is seeded into the result cache before the first request: a
+// restart costs zero re-simulation for previously computed jobs. A stored
+// record that fails to decode (e.g. written by an incompatible version) is
+// skipped and counted — corrupt bytes were already quarantined by the
+// store's own recovery, so this is the last line of defense, not the first.
 func New(opts Options) *Server {
-	return &Server{
-		budget:    sweep.NewBudget(opts.Workers),
-		cache:     newResultCache(opts.Shards),
-		start:     time.Now(),
-		simShards: opts.SimShards,
+	s := &Server{
+		budget:     sweep.NewBudget(opts.Workers),
+		cache:      newResultCache(opts.Shards),
+		store:      opts.Store,
+		start:      time.Now(),
+		simShards:  opts.SimShards,
+		jobTimeout: opts.JobTimeout,
+		maxQueue:   opts.MaxQueue,
 	}
+	if s.store != nil {
+		s.store.Range(func(key string, value []byte) bool {
+			var res system.Results
+			if err := json.Unmarshal(value, &res); err != nil {
+				s.storeBadRec++
+				return true
+			}
+			if s.cache.seed(key, &res) {
+				s.storeLoaded++
+			}
+			return true
+		})
+	}
+	return s
 }
+
+// SetDraining flips drain mode: while draining, requests needing a new
+// simulation are shed with ErrOverloaded so the daemon's shutdown deadline
+// is spent finishing in-flight work, while cached results keep serving.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Budget exposes the shared worker budget so callers embedding the server
 // can schedule their own work against the same cap.
@@ -131,19 +200,67 @@ func (s *Server) runNormalized(ctx context.Context, job Job) (*system.Results, b
 		cfg.Shards = s.simShards
 		job.Config = &cfg
 	}
-	res, hit, err := s.cache.do(ctx, job.Key(), func() (*system.Results, error) {
+	key := job.Key()
+	// Load shedding happens before the cache entry is created, and only for
+	// requests that cannot be resolved by an existing (completed or
+	// in-flight) entry: a saturated or draining server keeps serving its
+	// read-mostly traffic. The has/do gap can admit a few extra leaders
+	// under contention — shedding is a bound, not an exact gate.
+	if !s.cache.has(key) && s.overloaded() {
+		s.mu.Lock()
+		s.shed++
+		s.mu.Unlock()
+		return nil, false, ErrOverloaded
+	}
+	res, hit, err := s.cache.do(ctx, key, func() (*system.Results, error) {
 		return s.simulate(ctx, job)
 	})
 	s.mu.Lock()
 	if err != nil {
 		s.failures++
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timedOut++
+		case errors.Is(err, context.Canceled):
+			s.cancelled++
+		}
 	} else if hit {
 		s.hits++
 	} else {
 		s.misses++
 	}
 	s.mu.Unlock()
+	if err == nil && !hit {
+		s.persist(key, res)
+	}
 	return res, hit, err
+}
+
+// overloaded reports whether a new simulation should be refused right now.
+func (s *Server) overloaded() bool {
+	if s.draining.Load() {
+		return true
+	}
+	return s.maxQueue > 0 && s.budget.Waiting() >= s.maxQueue
+}
+
+// persist writes one fresh result through to the durable store. Storage
+// failures never fail the request — the result is already computed and
+// served from memory — but they are counted, and the next restart simply
+// recomputes what was not durable.
+func (s *Server) persist(key string, res *system.Results) {
+	if s.store == nil {
+		return
+	}
+	b, err := json.Marshal(res)
+	if err == nil {
+		err = s.store.Put(key, b)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.storeFails++
+		s.mu.Unlock()
+	}
 }
 
 // jobWeight reports how many budget slots a job's simulation consumes: one
@@ -159,10 +276,18 @@ func jobWeight(cfg *system.Config) int {
 	return cfg.Shards
 }
 
-// simulate runs one normalized job under the shared budget. Once slots are
-// held the run goes to completion — the simulator has no mid-run preemption
-// points — so cancellation only short-circuits the queue wait.
+// simulate runs one normalized job under the shared budget. Cancellation is
+// cooperative end-to-end: a cancelled context short-circuits the queue
+// wait, and a running simulation is abandoned at the kernel's cancellation
+// stride — so the held budget slots are always released within a bounded
+// interval, even for a deadlocked configuration whose requester has
+// disconnected (JobTimeout bounds the worst case).
 func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error) {
+	if s.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.jobTimeout)
+		defer cancel()
+	}
 	held, err := s.budget.AcquireN(ctx, jobWeight(job.Config))
 	if err != nil {
 		return nil, err
@@ -175,7 +300,7 @@ func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error)
 	if err != nil {
 		return nil, fmt.Errorf("service: %s/%s: %w", job.Scheme, job.Workload, err)
 	}
-	res, err := sys.Run()
+	res, err := sys.RunCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("service: %s/%s: %w", job.Scheme, job.Workload, err)
 	}
@@ -211,6 +336,19 @@ type Stats struct {
 	SimsCompleted  uint64  `json:"sims_completed"`
 	FailedRequests uint64  `json:"failed_requests"`
 
+	// Robustness gauges: durable-store health, load shedding and the
+	// cancellation/deadline path (mirrored in the Go client via this shared
+	// type).
+	Draining                bool   `json:"draining"`
+	RequestsShed            uint64 `json:"requests_shed"`
+	JobsCancelled           uint64 `json:"jobs_cancelled"`
+	JobsTimedOut            uint64 `json:"jobs_timed_out"`
+	StoreBytesOnDisk        uint64 `json:"store_bytes_on_disk"`
+	StoreRecords            uint64 `json:"store_records"`
+	StoreRecordsLoaded      uint64 `json:"store_records_loaded"`
+	StoreCorruptQuarantined uint64 `json:"store_corrupt_quarantined"`
+	StorePutFailures        uint64 `json:"store_put_failures"`
+
 	// Allocation/GC gauges (runtime.MemStats snapshots) so operators can
 	// watch the simulator's memory discipline in production: with the
 	// pooled packet/message lifecycle the per-simulation allocation rate
@@ -233,8 +371,23 @@ func (s *Server) Stats() Stats {
 		SimsStarted:    s.started,
 		SimsCompleted:  s.done,
 		FailedRequests: s.failures,
+		RequestsShed:   s.shed,
+		JobsCancelled:  s.cancelled,
+		JobsTimedOut:   s.timedOut,
 	}
+	storeBad := s.storeBadRec
+	st.StoreRecordsLoaded = s.storeLoaded
+	st.StorePutFailures = s.storeFails
 	s.mu.Unlock()
+	st.Draining = s.draining.Load()
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.StoreBytesOnDisk = uint64(ss.BytesOnDisk)
+		st.StoreRecords = uint64(ss.Records)
+		// Quarantines seen by the store's recovery scan plus records the
+		// service could not decode after a clean read.
+		st.StoreCorruptQuarantined = uint64(ss.CorruptRecords) + storeBad
+	}
 	st.UptimeSeconds = time.Since(s.start).Seconds()
 	st.Workers = s.budget.Cap()
 	st.InFlight = s.budget.InUse()

@@ -27,6 +27,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -489,17 +490,34 @@ func (s *Sharded) Step() { s.step() }
 
 // RunUntil steps the machine until done() reports true or maxCycles
 // elapse, jumping fully quiescent stretches exactly like Engine.RunUntil.
-// Workers are started on first use and parked on return.
+// Workers are started on first use and parked on return. The timeout error
+// is a *TimeoutError identical to the sequential kernel's for the same
+// machine state.
 func (s *Sharded) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
+	return s.RunUntilCtx(context.Background(), done, maxCycles)
+}
+
+// RunUntilCtx is RunUntil with cooperative cancellation on the same
+// amortized stride as Engine.RunUntilCtx; the context is polled only on the
+// conductor goroutine, between steps, so workers never observe a torn
+// abandon — park() still fences every worker out before return.
+func (s *Sharded) RunUntilCtx(ctx context.Context, done func() bool, maxCycles uint64) (uint64, error) {
 	if !s.sealed {
 		panic("sim: RunUntil before Seal")
 	}
 	s.startWorkers()
 	defer s.park()
 	start := s.cycle
+	poll := cancelStride
 	for !done() {
 		if s.cycle-start >= maxCycles {
-			return s.cycle - start, fmt.Errorf("sim: no completion after %d cycles (deadlock or undersized budget)", maxCycles)
+			return s.cycle - start, s.timeoutError(maxCycles)
+		}
+		if poll--; poll <= 0 {
+			poll = cancelStride
+			if err := ctx.Err(); err != nil {
+				return s.cycle - start, fmt.Errorf("sim: run abandoned at cycle %d: %w", s.cycle, err)
+			}
 		}
 		wake := s.step()
 		if wake > s.cycle {
@@ -514,7 +532,7 @@ func (s *Sharded) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 					s.JumpedCycles += limit - s.cycle
 					s.cycle = limit
 				}
-				return s.cycle - start, fmt.Errorf("sim: no completion after %d cycles (deadlock or undersized budget)", maxCycles)
+				return s.cycle - start, s.timeoutError(maxCycles)
 			}
 			s.JumpedCycles += wake - s.cycle
 			s.cycle = wake

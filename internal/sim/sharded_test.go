@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -194,21 +197,65 @@ func TestShardedJumpsIdleStretches(t *testing.T) {
 }
 
 // TestShardedTimeoutParity checks the deadlock timeout contract matches the
-// engine's.
+// engine's: both kernels must return the identical structured *TimeoutError
+// for the same machine — same message, same pending-work snapshot.
 func TestShardedTimeoutParity(t *testing.T) {
+	build := func(reg func(name string, tk Ticker)) {
+		reg("busy", TickFunc(func(uint64) {}))
+		reg("timed", &pinger{interval: 1000, until: 1 << 50})
+	}
 	c := NewSharded(1)
 	a := c.AddShard("a")
-	a.Register("idle", TickFunc(func(uint64) {}))
+	build(a.Register)
 	c.Seal()
 	_, err := c.RunUntil(func() bool { return false }, 100)
 	if err == nil {
 		t.Fatal("want timeout error")
 	}
 	e := NewEngine()
-	e.Register("idle", TickFunc(func(uint64) {}))
+	build(e.Register)
 	_, eerr := e.RunUntil(func() bool { return false }, 100)
 	if eerr == nil || err.Error() != eerr.Error() {
 		t.Fatalf("timeout error mismatch: sharded %q engine %q", err, eerr)
+	}
+	var st, et *TimeoutError
+	if !errors.As(err, &st) || !errors.As(eerr, &et) {
+		t.Fatalf("timeout errors are not *TimeoutError: %T / %T", err, eerr)
+	}
+	if st.MaxCycles != 100 || et.MaxCycles != 100 {
+		t.Fatalf("MaxCycles = %d/%d, want 100", st.MaxCycles, et.MaxCycles)
+	}
+	if !reflect.DeepEqual(st.Pending, et.Pending) {
+		t.Fatalf("pending snapshots differ: sharded %+v engine %+v", st.Pending, et.Pending)
+	}
+	// The always-busy TickFunc must be named as an immediate suspect and the
+	// timed pinger with its future wake hint.
+	if len(st.Pending) != 2 || st.Pending[0].Name != "busy" || st.Pending[1].Name != "timed" {
+		t.Fatalf("pending = %+v, want [busy timed]", st.Pending)
+	}
+	if st.Pending[0].NextWork > st.Cycle {
+		t.Fatalf("busy component reported future work %d at cycle %d", st.Pending[0].NextWork, st.Cycle)
+	}
+	if st.Pending[1].NextWork <= st.Cycle {
+		t.Fatalf("timed component reported immediate work %d at cycle %d", st.Pending[1].NextWork, st.Cycle)
+	}
+}
+
+// TestShardedCancellation checks a cancelled context abandons a sharded run
+// within the amortized poll stride, with the workers parked on return.
+func TestShardedCancellation(t *testing.T) {
+	c := NewSharded(2)
+	a := c.AddShard("a")
+	a.Register("busy", TickFunc(func(uint64) {}))
+	c.Seal()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cycles, err := c.RunUntilCtx(ctx, func() bool { return false }, Never)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if cycles > 2*cancelStride {
+		t.Fatalf("ran %d cycles after cancellation, want <= one poll stride", cycles)
 	}
 }
 

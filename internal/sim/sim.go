@@ -18,9 +18,17 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 )
+
+// cancelStride is how many RunUntil iterations pass between context polls.
+// One iteration is one whole-machine step (or one multi-cycle idle jump),
+// so the amortized cost is a counter decrement per step — invisible next to
+// a step's component scan, and pinned by the CI allocs/op ceiling — while a
+// cancelled run is still abandoned within a bounded, small number of steps.
+const cancelStride = 4096
 
 // Ticker is a hardware component that advances by one clock cycle per call.
 type Ticker interface {
@@ -259,12 +267,28 @@ func (e *Engine) Step() { e.step() }
 // RunUntil steps the machine until done() reports true or maxCycles elapse.
 // It returns the number of cycles executed and an error on timeout. When
 // every component is quiescent the clock jumps to the next pending event in
-// O(1) instead of stepping the gap cycle by cycle.
+// O(1) instead of stepping the gap cycle by cycle. The timeout error is a
+// *TimeoutError carrying a per-component pending-work snapshot.
 func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
+	return e.RunUntilCtx(context.Background(), done, maxCycles)
+}
+
+// RunUntilCtx is RunUntil with cooperative cancellation: ctx is polled on an
+// amortized stride (every cancelStride steps), so a cancelled or expired
+// context abandons the run within a bounded number of steps at no hot-path
+// cost. The cancellation error wraps ctx.Err() for errors.Is dispatch.
+func (e *Engine) RunUntilCtx(ctx context.Context, done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
+	poll := cancelStride
 	for !done() {
 		if e.cycle-start >= maxCycles {
-			return e.cycle - start, fmt.Errorf("sim: no completion after %d cycles (deadlock or undersized budget)", maxCycles)
+			return e.cycle - start, e.timeoutError(maxCycles)
+		}
+		if poll--; poll <= 0 {
+			poll = cancelStride
+			if err := ctx.Err(); err != nil {
+				return e.cycle - start, fmt.Errorf("sim: run abandoned at cycle %d: %w", e.cycle, err)
+			}
 		}
 		wake := e.step()
 		if wake > e.cycle {
@@ -285,7 +309,7 @@ func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 					e.JumpedCycles += limit - e.cycle
 					e.cycle = limit
 				}
-				return e.cycle - start, fmt.Errorf("sim: no completion after %d cycles (deadlock or undersized budget)", maxCycles)
+				return e.cycle - start, e.timeoutError(maxCycles)
 			}
 			e.JumpedCycles += wake - e.cycle
 			e.cycle = wake

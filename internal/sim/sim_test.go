@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -39,6 +42,49 @@ func TestEngineRunUntilTimeout(t *testing.T) {
 	}
 	if e.Cycle() != 5 {
 		t.Fatalf("cycle = %d, want 5", e.Cycle())
+	}
+}
+
+// TestEngineTimeoutErrorStructure checks the timeout error is typed and
+// lists non-quiescent components with their NextWork hints.
+func TestEngineTimeoutErrorStructure(t *testing.T) {
+	e := NewEngine()
+	e.Register("spinner", TickFunc(func(uint64) {}))
+	e.Register("timer", &pinger{interval: 1000, until: 1 << 50})
+	_, err := e.RunUntil(func() bool { return false }, 7)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v, want *TimeoutError", err, err)
+	}
+	if te.MaxCycles != 7 || te.Cycle != 7 {
+		t.Fatalf("MaxCycles/Cycle = %d/%d, want 7/7", te.MaxCycles, te.Cycle)
+	}
+	if len(te.Pending) != 2 || te.Pending[0].Name != "spinner" || te.Pending[1].Name != "timer" {
+		t.Fatalf("pending = %+v, want [spinner timer] sorted by name", te.Pending)
+	}
+	if te.Pending[1].NextWork != 1000 {
+		t.Fatalf("timer hint = %d, want 1000", te.Pending[1].NextWork)
+	}
+	for _, want := range []string{"no completion after 7 cycles", "spinner(now)", "timer(@1000)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestEngineRunUntilCtxCancel checks a cancelled context abandons the run
+// within the amortized poll stride and the error wraps context.Canceled.
+func TestEngineRunUntilCtxCancel(t *testing.T) {
+	e := NewEngine()
+	e.Register("busy", TickFunc(func(uint64) {}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cycles, err := e.RunUntilCtx(ctx, func() bool { return false }, Never)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if cycles > 2*cancelStride {
+		t.Fatalf("ran %d cycles after cancellation, want <= one poll stride", cycles)
 	}
 }
 

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PendingWork describes one non-quiescent component at the moment a cycle
+// budget expired: its registration name and the earliest cycle at which it
+// reports work. NextWork <= the error's Cycle means the component claims
+// immediate work every cycle yet the machine never drains (the classic
+// deadlock suspect); a future NextWork is a timed event the budget cut off.
+// Components whose NextWork is Never (quiescent until external input) are
+// not listed — in a cross-component deadlock the Pending list is empty and
+// the error says so explicitly.
+type PendingWork struct {
+	Name     string
+	NextWork uint64
+}
+
+// maxPendingReport caps the components named in the error string; the full
+// snapshot stays available on the TimeoutError value.
+const maxPendingReport = 8
+
+// TimeoutError is the structured "no completion" error both kernels return
+// when RunUntil exhausts its cycle budget. The message keeps the historical
+// "sim: no completion after %d cycles (deadlock or undersized budget)"
+// prefix and appends a per-component pending-work snapshot so a deadlocked
+// configuration (the flowtable study found real ones) is diagnosable from
+// the error alone.
+type TimeoutError struct {
+	// MaxCycles is the exhausted cycle budget.
+	MaxCycles uint64
+	// Cycle is the absolute clock value at which the run gave up.
+	Cycle uint64
+	// Pending lists every component with claimed work, sorted by name.
+	Pending []PendingWork
+}
+
+// Error renders the snapshot; names beyond maxPendingReport collapse into a
+// count so deeply wedged machines still produce a readable line.
+func (e *TimeoutError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: no completion after %d cycles (deadlock or undersized budget)", e.MaxCycles)
+	if len(e.Pending) == 0 {
+		b.WriteString("; every component quiescent awaiting external input (cross-component deadlock)")
+		return b.String()
+	}
+	b.WriteString("; pending: ")
+	n := len(e.Pending)
+	shown := n
+	if shown > maxPendingReport {
+		shown = maxPendingReport
+	}
+	for i, p := range e.Pending[:shown] {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if p.NextWork <= e.Cycle {
+			fmt.Fprintf(&b, "%s(now)", p.Name)
+		} else {
+			fmt.Fprintf(&b, "%s(@%d)", p.Name, p.NextWork)
+		}
+	}
+	if n > shown {
+		fmt.Fprintf(&b, " and %d more", n-shown)
+	}
+	return b.String()
+}
+
+// appendPending collects one scheduler domain's non-quiescent slots.
+// NextWork is side-effect-free by the Idler contract, so probing every slot
+// (including parked wake-aware ones) cannot change simulated state; slots
+// without an idle hint are always potentially busy and report now.
+func appendPending(dst []PendingWork, slots []slot, names []string, now uint64) []PendingWork {
+	for i := range slots {
+		s := &slots[i]
+		if s.i == nil {
+			dst = append(dst, PendingWork{Name: names[i], NextWork: now})
+			continue
+		}
+		if wk := s.i.NextWork(now); wk != Never {
+			dst = append(dst, PendingWork{Name: names[i], NextWork: wk})
+		}
+	}
+	return dst
+}
+
+// newTimeoutError finalizes a snapshot. Sorting by name makes the error
+// independent of the kernel's internal slot layout, so the sequential and
+// sharded kernels produce the identical structured error for the same
+// machine state (asserted by TestShardedTimeoutParity).
+func newTimeoutError(pending []PendingWork, maxCycles, cycle uint64) *TimeoutError {
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].Name != pending[j].Name {
+			return pending[i].Name < pending[j].Name
+		}
+		return pending[i].NextWork < pending[j].NextWork
+	})
+	return &TimeoutError{MaxCycles: maxCycles, Cycle: cycle, Pending: pending}
+}
+
+// timeoutError snapshots the engine's pending work at the current clock.
+func (e *Engine) timeoutError(maxCycles uint64) *TimeoutError {
+	return newTimeoutError(appendPending(nil, e.slots, e.names, e.cycle), maxCycles, e.cycle)
+}
+
+// timeoutError snapshots pending work across every shard. It runs on the
+// conductor while the workers are parked at the hand-off spin (they only
+// touch shard state between a gen bump and their doneCnt add), so the reads
+// are race-free.
+func (s *Sharded) timeoutError(maxCycles uint64) *TimeoutError {
+	var p []PendingWork
+	for _, sh := range s.par {
+		p = appendPending(p, sh.slots, sh.names, s.cycle)
+	}
+	for _, sh := range s.serial {
+		if sh != nil {
+			p = appendPending(p, sh.slots, sh.names, s.cycle)
+		}
+	}
+	return newTimeoutError(p, maxCycles, s.cycle)
+}

@@ -1,0 +1,205 @@
+// Package faultfs wraps a store.FS with programmable fault injection: torn
+// writes, short reads, bit flips and sync failures. The store's recovery
+// invariants — a corrupt record is never served, recovery never loses an
+// intact record — are proven against this package instead of real crashes.
+//
+// Hooks run under the caller's goroutine with no locking of their own; the
+// store serializes filesystem access behind its mutex, so hooks may mutate
+// shared test state freely.
+package faultfs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// ErrInjected is the error returned by injected write/sync failures.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS wraps Base, diverting operations through optional hooks. A nil hook
+// passes the operation straight through.
+type FS struct {
+	Base store.FS
+
+	// OnReadFile may transform (or replace) the bytes a read returns —
+	// flip a bit, truncate to a short read, or error outright.
+	OnReadFile func(name string, data []byte) ([]byte, error)
+	// OnAppendWrite may transform the bytes about to be appended. Returning
+	// (prefix, ErrInjected) models a torn write: the prefix reaches the
+	// file, then the write fails — exactly what a crash mid-append leaves.
+	OnAppendWrite func(name string, p []byte) ([]byte, error)
+	// OnSync may fail an fsync.
+	OnSync func(name string) error
+}
+
+// New wraps base (nil means the real filesystem).
+func New(base store.FS) *FS {
+	if base == nil {
+		base = store.OSFS()
+	}
+	return &FS{Base: base}
+}
+
+func (f *FS) MkdirAll(dir string) error            { return f.Base.MkdirAll(dir) }
+func (f *FS) ReadDir(dir string) ([]string, error) { return f.Base.ReadDir(dir) }
+func (f *FS) Rename(o, n string) error             { return f.Base.Rename(o, n) }
+func (f *FS) Remove(name string) error             { return f.Base.Remove(name) }
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	data, err := f.Base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.OnReadFile != nil {
+		return f.OnReadFile(name, data)
+	}
+	return data, nil
+}
+
+// WriteFile passes through untouched: it is the store's atomic repair path,
+// whose crash-safety comes from rename, not from write ordering. Injecting
+// into appends and reads is what exercises the recovery invariants.
+func (f *FS) WriteFile(name string, data []byte) error { return f.Base.WriteFile(name, data) }
+
+func (f *FS) OpenAppend(name string) (store.AppendFile, error) {
+	af, err := f.Base.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &appendFile{fs: f, name: name, f: af}, nil
+}
+
+type appendFile struct {
+	fs   *FS
+	name string
+	f    store.AppendFile
+}
+
+func (a *appendFile) Write(p []byte) (int, error) {
+	if a.fs.OnAppendWrite != nil {
+		mutated, err := a.fs.OnAppendWrite(a.name, p)
+		if len(mutated) > 0 {
+			if n, werr := a.f.Write(mutated); werr != nil {
+				return n, werr
+			}
+		}
+		if err != nil {
+			return len(mutated), err
+		}
+		return len(p), nil
+	}
+	return a.f.Write(p)
+}
+
+func (a *appendFile) Sync() error {
+	if a.fs.OnSync != nil {
+		if err := a.fs.OnSync(a.name); err != nil {
+			return err
+		}
+	}
+	return a.f.Sync()
+}
+
+func (a *appendFile) Close() error { return a.f.Close() }
+
+// Plan builds common one-shot fault schedules. The zero Plan injects
+// nothing. Arm the plan's hooks onto an FS with Arm.
+type Plan struct {
+	mu sync.Mutex
+	// tornAfter > 0: the n-th append write (1-based) keeps only tornAfter
+	// bytes and fails with ErrInjected.
+	tornAt, tornAfter int
+	// flipByte >= 0: reads of files matching flipName flip bit 0 of this
+	// byte offset.
+	flipName string
+	flipByte int
+	// shortBy > 0: reads of files matching shortName lose their last bytes.
+	shortName string
+	shortBy   int
+	// failSyncs > 0: the next failSyncs Syncs fail.
+	failSyncs int
+	writes    int
+}
+
+// NewPlan returns an empty schedule.
+func NewPlan() *Plan { return &Plan{flipByte: -1} }
+
+// TearWrite makes append-write number n (1-based) a torn write keeping
+// keep bytes.
+func (p *Plan) TearWrite(n, keep int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tornAt, p.tornAfter = n, keep
+	return p
+}
+
+// FlipBit flips bit 0 of byte off whenever a file whose name contains
+// nameSub is read.
+func (p *Plan) FlipBit(nameSub string, off int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flipName, p.flipByte = nameSub, off
+	return p
+}
+
+// ShortRead drops the last n bytes of reads of files containing nameSub.
+func (p *Plan) ShortRead(nameSub string, n int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shortName, p.shortBy = nameSub, n
+	return p
+}
+
+// FailSyncs fails the next n Sync calls.
+func (p *Plan) FailSyncs(n int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failSyncs = n
+	return p
+}
+
+// Arm installs the plan's hooks on fs.
+func (p *Plan) Arm(fs *FS) {
+	fs.OnAppendWrite = func(name string, b []byte) ([]byte, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.writes++
+		if p.tornAt > 0 && p.writes == p.tornAt {
+			keep := p.tornAfter
+			if keep > len(b) {
+				keep = len(b)
+			}
+			return b[:keep], ErrInjected
+		}
+		return b, nil
+	}
+	fs.OnReadFile = func(name string, data []byte) ([]byte, error) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		out := data
+		if p.flipByte >= 0 && p.flipName != "" && strings.Contains(name, p.flipName) && p.flipByte < len(out) {
+			out = append([]byte(nil), out...)
+			out[p.flipByte] ^= 1
+		}
+		if p.shortBy > 0 && p.shortName != "" && strings.Contains(name, p.shortName) {
+			n := len(out) - p.shortBy
+			if n < 0 {
+				n = 0
+			}
+			out = out[:n]
+		}
+		return out, nil
+	}
+	fs.OnSync = func(name string) error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.failSyncs > 0 {
+			p.failSyncs--
+			return ErrInjected
+		}
+		return nil
+	}
+}

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the store runs on. Production code
+// uses OSFS; the faultfs package wraps any FS to inject torn writes, short
+// reads, bit flips and sync failures, so every recovery path is testable
+// without real crashes.
+type FS interface {
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile creates (or truncates) name with data and syncs it.
+	WriteFile(name string, data []byte) error
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (AppendFile, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+}
+
+// AppendFile is an append-only file handle.
+type AppendFile interface {
+	// Write appends p; a short write must return an error.
+	Write(p []byte) (int, error)
+	// Sync flushes appended data to stable storage.
+	Sync() error
+	// Close releases the handle (it does not imply Sync).
+	Close() error
+}
+
+// OSFS returns the real-filesystem implementation.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFile writes through a same-directory temp file, syncs, then renames
+// over the destination: the file either keeps its old content or has the
+// complete new content, never a torn middle state.
+func (osFS) WriteFile(name string, data []byte) error {
+	dir, base := filepath.Split(name)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, name); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (osFS) OpenAppend(name string) (AppendFile, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

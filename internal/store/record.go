@@ -1,0 +1,107 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record wire format (little-endian), the unit of the append-only segment
+// files:
+//
+//	offset  size  field
+//	0       4     magic "ARS1"
+//	4       4     key length
+//	8       4     value length
+//	12      4     CRC32 (IEEE) of key || value
+//	16      4     CRC32 (IEEE) of bytes [0,16) — the header's own checksum
+//	20      kLen  key bytes
+//	20+kLen vLen  value bytes
+//
+// The header carries its own CRC so recovery can distinguish "trustworthy
+// lengths, corrupt payload" (skip exactly this record and keep scanning —
+// no intact record after it is lost) from "untrustworthy header" (the
+// remaining bytes of the segment cannot be re-framed and are quarantined
+// wholesale). Length caps bound what a corrupted-but-checksum-colliding
+// header could make the scanner allocate.
+const (
+	recordHeaderSize = 20
+	recordMagic      = "ARS1"
+	maxKeyLen        = 1 << 20 // 1 MiB
+	maxValueLen      = 1 << 30 // 1 GiB
+)
+
+// Scan outcomes for one record slot.
+var (
+	// errTornRecord: the segment ends mid-record (torn tail from a crash
+	// during an append). Everything before it is intact.
+	errTornRecord = errors.New("store: torn record at end of segment")
+	// errBadHeader: the header fails its own checksum (or magic/length
+	// sanity); the record boundary is lost and the rest of the segment
+	// cannot be decoded.
+	errBadHeader = errors.New("store: corrupt record header")
+	// errBadPayload: the header is intact but key/value bytes fail the
+	// payload checksum; exactly this record is bad and the scan can resume
+	// at the next boundary.
+	errBadPayload = errors.New("store: corrupt record payload")
+)
+
+// appendRecord encodes one record onto buf and returns the extended slice.
+func appendRecord(buf []byte, key, value []byte) ([]byte, error) {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return buf, fmt.Errorf("store: key length %d outside (0, %d]", len(key), maxKeyLen)
+	}
+	if len(value) > maxValueLen {
+		return buf, fmt.Errorf("store: value length %d exceeds %d", len(value), maxValueLen)
+	}
+	base := len(buf)
+	buf = append(buf, recordMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(value)))
+	crc := crc32.ChecksumIEEE(key)
+	crc = crc32.Update(crc, crc32.IEEETable, value)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[base:base+16]))
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	return buf, nil
+}
+
+// decodeRecord reads the record starting at b[0].
+//
+// On success it returns the key, value and total encoded size. On failure
+// the error is one of errTornRecord / errBadHeader / errBadPayload; for
+// errBadPayload the returned size still frames the full corrupt record, so
+// the caller can skip it and keep scanning.
+func decodeRecord(b []byte) (key, value []byte, size int, err error) {
+	if len(b) < recordHeaderSize {
+		return nil, nil, 0, errTornRecord
+	}
+	hdr := b[:recordHeaderSize]
+	if string(hdr[0:4]) != recordMagic {
+		return nil, nil, 0, errBadHeader
+	}
+	if crc32.ChecksumIEEE(hdr[:16]) != binary.LittleEndian.Uint32(hdr[16:20]) {
+		return nil, nil, 0, errBadHeader
+	}
+	kLen := binary.LittleEndian.Uint32(hdr[4:8])
+	vLen := binary.LittleEndian.Uint32(hdr[8:12])
+	if kLen == 0 || kLen > maxKeyLen || vLen > maxValueLen {
+		return nil, nil, 0, errBadHeader
+	}
+	size = recordHeaderSize + int(kLen) + int(vLen)
+	if len(b) < size {
+		// The header is intact, so the lengths are real: the segment simply
+		// ends before the payload does (crash mid-append).
+		return nil, nil, 0, errTornRecord
+	}
+	key = b[recordHeaderSize : recordHeaderSize+int(kLen)]
+	value = b[recordHeaderSize+int(kLen) : size]
+	crc := crc32.ChecksumIEEE(key)
+	crc = crc32.Update(crc, crc32.IEEETable, value)
+	if crc != binary.LittleEndian.Uint32(hdr[12:16]) {
+		return nil, nil, size, errBadPayload
+	}
+	return key, value, size, nil
+}

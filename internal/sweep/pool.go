@@ -113,8 +113,8 @@ func RunJobs(ctx context.Context, n, workers int, run func(ctx context.Context, 
 // private GOMAXPROCS-sized budget) with fail-fast cancellation. Workers
 // pull indices in order and acquire one budget slot per job, so concurrent
 // RunJobsOn calls sharing a budget never exceed its cap combined. The first
-// job error cancels the pool context, so queued jobs never start (running
-// jobs finish — the simulator has no mid-run preemption points). The
+// job error cancels the pool context, so queued jobs never start and
+// running simulations abandon at the kernel's cancellation stride. The
 // returned error is the lowest-index job error, preferring real failures
 // over cancellation noise; a nil return means every job ran and succeeded.
 //

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -122,4 +123,76 @@ func TestBudgetAcquireN(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestBudgetAcquireCancellation pins the slot-release guarantee the service
+// layer's per-job deadlines rely on: an Acquire or AcquireN blocked on a
+// full budget returns promptly when its context is cancelled, drains the
+// waiting gauge, and leaks no slots — the full capacity is reacquirable
+// afterwards. Run under -race this also exercises the waiter accounting.
+func TestBudgetAcquireCancellation(t *testing.T) {
+	const cap = 3
+	b := NewBudget(cap)
+	for i := 0; i < cap; i++ {
+		if err := b.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A blocked single Acquire and a blocked weighted AcquireN, each with
+	// its own cancellable context.
+	type result struct {
+		held int
+		err  error
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	res1 := make(chan result, 1)
+	res2 := make(chan result, 1)
+	go func() {
+		err := b.Acquire(ctx1)
+		res1 <- result{1, err}
+	}()
+	go func() {
+		h, err := b.AcquireN(ctx2, 2)
+		res2 <- result{h, err}
+	}()
+
+	// Wait until both are visibly queued, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Waiting() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued: Waiting = %d", b.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel1()
+	cancel2()
+	for _, ch := range []chan result{res1, res2} {
+		select {
+		case r := <-ch:
+			if !errors.Is(r.err, context.Canceled) {
+				t.Fatalf("cancelled acquire returned err=%v, want context.Canceled", r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled acquire did not return promptly")
+		}
+	}
+	if w := b.Waiting(); w != 0 {
+		t.Fatalf("Waiting = %d after cancellation, want 0", w)
+	}
+
+	// No slots leaked: release the original holders and reacquire the full
+	// capacity, both singly and weighted.
+	for i := 0; i < cap; i++ {
+		b.Release()
+	}
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after release, want 0", got)
+	}
+	h, err := b.AcquireN(context.Background(), cap)
+	if err != nil || h != cap {
+		t.Fatalf("AcquireN after cancellation: held %d err %v, want full cap %d", h, err, cap)
+	}
+	b.ReleaseN(h)
 }

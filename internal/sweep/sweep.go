@@ -176,7 +176,7 @@ func RunOn(ctx context.Context, g Grid, b *Budget) (*Result, error) {
 		if err != nil {
 			return fmt.Errorf("sweep %s point %v: %w", g.Name, j.coords, err)
 		}
-		r, err := sys.Run()
+		r, err := sys.RunCtx(ctx)
 		if err != nil {
 			return fmt.Errorf("sweep %s point %v: %w", g.Name, j.coords, err)
 		}

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -574,11 +575,20 @@ func (s *System) done() bool {
 // Run simulates to completion, verifies the workload's final memory state,
 // and returns the collected results.
 func (s *System) Run() (*Results, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: the kernel polls ctx on an
+// amortized stride (sim.RunUntilCtx), so a cancelled or expired context
+// abandons a running simulation within a bounded number of steps instead
+// of burning its full cycle budget. Cancellation never produces partial
+// Results — the return is (nil, error wrapping ctx.Err()).
+func (s *System) RunCtx(ctx context.Context) (*Results, error) {
 	var err error
 	if s.cond != nil {
-		_, err = s.cond.RunUntil(s.done, s.cfg.MaxCycles)
+		_, err = s.cond.RunUntilCtx(ctx, s.done, s.cfg.MaxCycles)
 	} else {
-		_, err = s.engine.RunUntil(s.done, s.cfg.MaxCycles)
+		_, err = s.engine.RunUntilCtx(ctx, s.done, s.cfg.MaxCycles)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("system: %s/%s: %w", s.cfg.Scheme, s.wl.Name(), err)
