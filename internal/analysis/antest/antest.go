@@ -1,0 +1,185 @@
+// Package antest is the fixture-driven test harness for the repository's
+// analyzers, in the spirit of golang.org/x/tools/go/analysis/analysistest
+// but built on the same stdlib-only stack as cmd/arlint. A fixture is a
+// directory of Go files forming one package; expected findings are written
+// in the source as trailing comments:
+//
+//	l.miss = append(l.miss, m) // want "append may grow"
+//
+// Each `want` takes one or more quoted regular expressions; every
+// diagnostic the analyzers report on that line must be matched by one of
+// them, and every expectation must be consumed by a diagnostic. Fixture
+// directories live under testdata/, which the go tool ignores, so broken
+// or deliberately buggy fixture code never reaches `go build ./...`.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the fixture package in dir (fixtures may import real
+// repository packages such as repro/internal/network; they resolve through
+// the same loader arlint uses), applies the analyzers, and fails the test
+// unless the reported diagnostics exactly cover the fixture's // want
+// expectations.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	diags, fset, files := analyze(t, dir, analyzers...)
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// analyze loads and type-checks the fixture and returns the diagnostics.
+func analyze(t *testing.T, dir string, analyzers ...*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(abs, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+
+	root, err := load.ModuleRoot(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer:    load.New(root),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err.Error()) },
+	}
+	pkg, _ := conf.Check("fixture/"+filepath.Base(abs), fset, files, info)
+	if len(typeErrs) > 0 {
+		t.Fatalf("fixture does not type-check:\n  %s", strings.Join(typeErrs, "\n  "))
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	diags, err := analysis.Run([]*analysis.Unit{unit}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, fset, files
+}
+
+// wantRE matches the expectation syntax: `want` followed by one or more
+// Go string literals (double-quoted or backquoted).
+var wantRE = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants parses every // want comment in the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantArgRE.FindAllString(m[1], -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v",
+							filepath.Base(pos.Filename), pos.Line, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v",
+							filepath.Base(pos.Filename), pos.Line, raw, err)
+					}
+					wants = append(wants, &want{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// consume marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches; false means the diagnostic was not expected.
+func consume(wants []*want, d analysis.Diagnostic) bool {
+	file := filepath.Base(d.Pos.Filename)
+	msg := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(msg) || w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

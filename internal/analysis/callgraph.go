@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the intra-package static call graph: function/method
+// declarations and the declared callees each one mentions. Calls through
+// interfaces, function values and closures are not edges — the analyzers
+// that use the graph (hotpath, hashcov) require annotations/reads on the
+// concrete implementations instead (DESIGN.md "Static invariants").
+type CallGraph struct {
+	// Decls maps each declared function object to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Callees maps a declared function to the package-local functions it
+	// calls by name (deduplicated, in first-call order).
+	Callees map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph scans the pass's files once.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		Callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[obj] = fd
+		}
+	}
+	for obj, fd := range g.Decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := CalleeOf(pass, call)
+			if callee == nil || seen[callee] {
+				return true
+			}
+			if _, local := g.Decls[callee]; !local {
+				return true
+			}
+			seen[callee] = true
+			g.Callees[obj] = append(g.Callees[obj], callee)
+			return true
+		})
+	}
+	return g
+}
+
+// CalleeOf resolves a call expression to the statically named function or
+// method, or nil for calls through values, interfaces or type conversions.
+func CalleeOf(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// Interface method calls resolve to the interface's *types.Func,
+		// which has no local declaration, so they naturally fall out when
+		// the caller checks Decls membership.
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// Reach returns the transitive closure over the call graph from the given
+// roots, mapping each reached function to the root that first reached it
+// (roots map to themselves). Iteration order is deterministic given a
+// deterministic root order.
+func (g *CallGraph) Reach(roots []*types.Func) map[*types.Func]*types.Func {
+	reached := make(map[*types.Func]*types.Func)
+	var walk func(fn, root *types.Func)
+	walk = func(fn, root *types.Func) {
+		if _, ok := reached[fn]; ok {
+			return
+		}
+		reached[fn] = root
+		for _, c := range g.Callees[fn] {
+			walk(c, root)
+		}
+	}
+	for _, r := range roots {
+		walk(r, r)
+	}
+	return reached
+}

@@ -1,0 +1,146 @@
+// Package determinism flags constructs that can make simulation results
+// differ between runs of the same configuration — the invariant the whole
+// result-caching tier (content-addressed cache, arserved store, sweep
+// dedup) is built on. Two shipped bugs motivated it: the L1 unsent-miss map
+// iteration (fixed in PR 1) and the FlowEntry.Children map iteration (fixed
+// in PR 4), both of which made packet order depend on Go's randomized map
+// hash seed.
+//
+// Inside kernel packages it reports:
+//
+//   - range over a map: iteration order is randomized per process; results
+//     that depend on it are not bit-identical. Iterate a sorted or
+//     insertion-ordered slice instead, or //ar:exempt with the reason the
+//     order provably cannot reach simulated state.
+//   - time.Now/Since/Until: wall-clock reads differ per run.
+//   - math/rand global functions: the global source is seeded per process;
+//     use sim.Rand (or an explicitly seeded *rand.Rand) instead.
+//   - select with two or more ready communication cases: the winner is
+//     chosen uniformly at random by the runtime.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flag nondeterministic constructs (map iteration, wall clock, global rand, multi-case select) " +
+		"in simulation kernel packages",
+	Run: run,
+}
+
+// Scope is the exemption scope token.
+const Scope = "determinism"
+
+// kernelPackages are the packages whose code feeds simulated state; the
+// determinism contract is load-bearing exactly there. Other packages
+// (service, sweep drivers, CLIs) opt in with a //ar:kernel file marker.
+var kernelPackages = map[string]bool{
+	"repro/internal/sim":     true,
+	"repro/internal/network": true,
+	"repro/internal/cpu":     true,
+	"repro/internal/cache":   true,
+	"repro/internal/core":    true,
+	"repro/internal/dram":    true,
+	"repro/internal/hmc":     true,
+	"repro/internal/mem":     true,
+	"repro/internal/system":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !kernelPackages[pass.Pkg.Path()] && !pass.HasKernelMark() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.Ident:
+				checkIdent(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRange(pass *analysis.Pass, n *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(n.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(n.For, Scope,
+			"range over map %s iterates in randomized order; simulated state "+
+				"reached from here is not bit-identical across runs — iterate a "+
+				"sorted or insertion-ordered slice instead",
+			analysis.TypeName(t, pass.Pkg))
+	}
+}
+
+func checkSelect(pass *analysis.Pass, n *ast.SelectStmt) {
+	comm := 0
+	for _, c := range n.Body.List {
+		if cl, ok := c.(*ast.CommClause); ok && cl.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(n.Select, Scope,
+			"select with %d communication cases: the runtime picks a ready case "+
+				"uniformly at random", comm)
+	}
+}
+
+// wallClock lists the time package functions that read the wall clock.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func checkSelector(pass *analysis.Pass, n *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	reportFunc(pass, n.Sel.Pos(), fn)
+}
+
+// checkIdent catches dot-imported or aliased references (rare, but the
+// check is cheap and closes the loophole).
+func checkIdent(pass *analysis.Pass, n *ast.Ident) {
+	fn, ok := pass.TypesInfo.Uses[n].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return
+	}
+	reportFunc(pass, n.Pos(), fn)
+}
+
+func reportFunc(pass *analysis.Pass, pos token.Pos, fn *types.Func) {
+	sig, _ := fn.Type().(*types.Signature)
+	pkgPath := fn.Pkg().Path()
+	switch {
+	case pkgPath == "time" && wallClock[fn.Name()] && (sig == nil || sig.Recv() == nil):
+		pass.Reportf(pos, Scope,
+			"time.%s reads the wall clock; simulation must run on the cycle "+
+				"counter only", fn.Name())
+	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") &&
+		(sig == nil || sig.Recv() == nil):
+		// Constructors of explicitly seeded generators are fine; the
+		// hazard is the per-process-seeded global source.
+		if name := fn.Name(); name != "New" && name != "NewSource" &&
+			name != "NewPCG" && name != "NewChaCha8" && name != "NewZipf" {
+			pass.Reportf(pos, Scope,
+				"%s.%s draws from the process-seeded global source; use sim.Rand "+
+					"(or an explicitly seeded *rand.Rand)", pkgPath, fn.Name())
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/determinism"
+)
+
+// TestKernelFixture exercises every diagnostic class against a fixture that
+// reproduces the shipped map-iteration bugs, plus the exempted and fixed
+// shapes that must stay silent.
+func TestKernelFixture(t *testing.T) {
+	antest.Run(t, "testdata/kernel", determinism.Analyzer)
+}
+
+// TestNonKernelSilent checks the gate: packages without the //ar:kernel
+// marker (and outside the built-in kernel list) produce no diagnostics.
+func TestNonKernelSilent(t *testing.T) {
+	antest.Run(t, "testdata/nonkernel", determinism.Analyzer)
+}

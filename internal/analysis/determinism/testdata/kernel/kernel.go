@@ -1,0 +1,80 @@
+// Package kernel is the determinism analyzer fixture. The //ar:kernel
+// marker below opts it into the kernel checks; each construct reproduces a
+// bug class the analyzer exists to catch, headed by the map-iteration
+// nondeterminism that shipped twice (the L1 unsent-miss queue and the
+// FlowEntry children list).
+//
+//ar:kernel
+package kernel
+
+import (
+	"math/rand"
+	"time"
+)
+
+type miss struct{ sent bool }
+
+// flushMisses is the shipped L1 bug class: draining a pending-miss map in
+// hash order makes packet injection order differ run to run.
+func flushMisses(pending map[uint64]*miss) {
+	for _, m := range pending { // want `range over map .* randomized order`
+		m.sent = true
+	}
+}
+
+// flushSorted is the fixed shape: keys are collected and sorted before any
+// simulated state is touched, and the collection loop is exempted.
+func flushSorted(pending map[uint64]*miss, keys []uint64) {
+	keys = keys[:0]
+	for k := range pending { //ar:exempt(determinism) key collection only; the slice is sorted before use
+		keys = append(keys, k)
+	}
+	sortU64(keys)
+	for _, k := range keys {
+		pending[k].sent = true
+	}
+}
+
+func sortU64(keys []uint64) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// stamp reads the wall clock, which differs per run.
+func stamp() int64 {
+	t := time.Now() // want `time\.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+// jitter draws from the process-seeded global source.
+func jitter() int {
+	return rand.Intn(8) // want `math/rand\.Intn draws from the process-seeded global source`
+}
+
+// seeded constructs an explicitly seeded generator: the allowed form.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// arbitrate lets the runtime pick a ready channel uniformly at random.
+func arbitrate(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// poll is the allowed select shape: one communication case plus default.
+func poll(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,12 @@
+// Package nonkernel has no //ar:kernel marker and is not in the built-in
+// kernel list: the determinism analyzer must stay silent even though the
+// code ranges over a map (export paths legitimately do, after sorting).
+package nonkernel
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

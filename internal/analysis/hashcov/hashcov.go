@@ -1,0 +1,161 @@
+// Package hashcov proves, at analysis time, that every field of a package's
+// `Config` struct is covered by both its result-cache key (Hash) and its
+// input validation (Validate) — the contract that keys the whole service
+// tier. Both cfg hash-salt incidents came from this gap: a field whose
+// value could change results without changing the cache key would silently
+// poison every cached figure, sweep and stored result.
+//
+// For a package declaring a struct type named Config with methods Hash and
+// Validate, the analyzer computes the set of Config fields read (selector
+// in a non-assignment position) inside each method, transitively through
+// package-local static calls. Every field must be read by Hash and by
+// Validate, or its declaration must carry a scoped exemption:
+//
+//	//ar:exempt(hash) reason      — deliberately excluded from the key
+//	//ar:exempt(validate) reason  — any representable value is runnable
+//
+// A field written inside Hash (e.g. `canon.Shards = 0` to canonicalize a
+// result-invariant knob) does not count as read: exclusion-by-zeroing must
+// be paired with an //ar:exempt(hash) on the field, so it can never happen
+// silently again.
+package hashcov
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the Config hash/validate coverage checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hashcov",
+	Doc: "require every Config field to be read by both Hash() and Validate(), " +
+		"or carry a scoped //ar:exempt on its declaration",
+	Run: run,
+}
+
+// Exemption scopes.
+const (
+	ScopeHash     = "hash"
+	ScopeValidate = "validate"
+)
+
+func run(pass *analysis.Pass) error {
+	cfg := configStruct(pass)
+	if cfg == nil {
+		return nil
+	}
+	st, ok := cfg.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	hash := methodOf(pass, cfg, "Hash")
+	validate := methodOf(pass, cfg, "Validate")
+	if hash == nil || validate == nil {
+		return nil
+	}
+
+	graph := analysis.BuildCallGraph(pass)
+	hashReads := fieldReads(pass, graph, hash, st)
+	validateReads := fieldReads(pass, graph, validate, st)
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !hashReads[f] {
+			pass.Reportf(f.Pos(), ScopeHash,
+				"Config field %s is not read by Hash(): a change to it would not "+
+					"change the result-cache key (add it to Hash or //ar:exempt(hash) "+
+					"with the reason it cannot affect results)", f.Name())
+		}
+		if !validateReads[f] {
+			pass.Reportf(f.Pos(), ScopeValidate,
+				"Config field %s is not read by Validate(): invalid values reach "+
+					"the machine assembly unchecked (validate it or "+
+					"//ar:exempt(validate) with the reason every value is runnable)",
+				f.Name())
+		}
+	}
+	return nil
+}
+
+// configStruct finds the package-level type named Config.
+func configStruct(pass *analysis.Pass) *types.TypeName {
+	obj := pass.Pkg.Scope().Lookup("Config")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if _, ok := tn.Type().Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return tn
+}
+
+// methodOf returns the declared method named name on Config (either
+// receiver form).
+func methodOf(pass *analysis.Pass, cfg *types.TypeName, name string) *types.Func {
+	named, ok := cfg.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// fieldReads returns the Config fields read inside fn and the package-local
+// functions it calls, transitively. A selector that is the direct target of
+// an assignment is a write, not a read.
+func fieldReads(pass *analysis.Pass, graph *analysis.CallGraph, fn *types.Func, st *types.Struct) map[*types.Var]bool {
+	fields := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+	reads := make(map[*types.Var]bool)
+	for reached := range graph.Reach([]*types.Func{fn}) {
+		decl := graph.Decls[reached]
+		if decl == nil {
+			continue
+		}
+		assigned := assignmentTargets(decl.Body)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() || !fields[obj] {
+				return true
+			}
+			if assigned[sel] {
+				return true
+			}
+			reads[obj] = true
+			return true
+		})
+	}
+	return reads
+}
+
+// assignmentTargets collects selector expressions appearing as direct
+// assignment LHS targets within body.
+func assignmentTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if sel, ok := ast.Unparen(l).(*ast.SelectorExpr); ok {
+				out[sel] = true
+			}
+		}
+		return true
+	})
+	return out
+}

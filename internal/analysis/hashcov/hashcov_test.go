@@ -1,0 +1,16 @@
+package hashcov_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/hashcov"
+)
+
+// TestCfgFixture covers the field-coverage matrix: fully covered, covered
+// by one method only, covered by neither, excluded-by-zeroing (the
+// historical unhashed-field bug class, which must still be flagged), and a
+// scoped exemption that must silence exactly one of the two checks.
+func TestCfgFixture(t *testing.T) {
+	antest.Run(t, "testdata/cfg", hashcov.Analyzer)
+}

@@ -1,0 +1,36 @@
+// Package cfg is the hashcov analyzer fixture. Its Config mirrors the
+// field coverage states the analyzer distinguishes, headed by the
+// historical bug class: a field excluded from Hash by zeroing a canonical
+// copy (Shards) — a write, not a read — which silently keyed every cached
+// result wrongly until the cfg hash-salt incidents forced a bump.
+package cfg
+
+// Config is the fixture configuration struct.
+type Config struct {
+	Threads int   // read by Hash and Validate: fully covered
+	Width   int   // want `Width is not read by Validate\(\)`
+	Debug   bool  // want `Debug is not read by Hash\(\)` `Debug is not read by Validate\(\)`
+	Shards  int   // want `Shards is not read by Hash\(\)`
+	Seed    int64 //ar:exempt(validate) every 64-bit seed keys a runnable machine
+}
+
+// Hash covers Threads and Width directly and Seed through a package-local
+// helper; zeroing canon.Shards is exclusion-by-zeroing, not a read.
+func (c Config) Hash() uint64 {
+	canon := c
+	canon.Shards = 0
+	h := uint64(canon.Threads)<<16 ^ uint64(canon.Width)
+	return h ^ hashTail(canon)
+}
+
+func hashTail(c Config) uint64 {
+	return uint64(c.Seed) * 0x9e3779b97f4a7c15
+}
+
+// Validate covers Threads and Shards.
+func (c Config) Validate() bool {
+	if c.Threads <= 0 {
+		return false
+	}
+	return c.Shards >= 0
+}

@@ -1,0 +1,17 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/hotpath"
+)
+
+// TestHotFixture exercises every allocation class inside an //ar:hotpath
+// closure — append growth, closures, map/slice/make/new, composite-literal
+// escapes, implicit and explicit interface boxing — plus the shapes that
+// must stay silent: cold functions, panic arguments, interface dispatch
+// (which does not extend the closure), and reasoned exemptions.
+func TestHotFixture(t *testing.T) {
+	antest.Run(t, "testdata/hot", hotpath.Analyzer)
+}

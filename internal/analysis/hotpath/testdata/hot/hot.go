@@ -1,0 +1,52 @@
+// Package hot is the hotpath analyzer fixture: one //ar:hotpath root, one
+// transitively reached helper, one cold function, and every allocation
+// class the analyzer flags — the shapes the 300k allocs/op CI ceiling used
+// to catch only after the fact, as an aggregate number.
+package hot
+
+type engine struct {
+	queue []uint64
+	free  []uint64
+	seen  map[uint64]bool
+}
+
+type ticker interface{ tick(uint64) }
+
+//ar:hotpath
+func (e *engine) Tick(cycle uint64) {
+	e.queue = append(e.queue, cycle) // want `append may grow its backing array`
+	e.helper(cycle)
+	cb := func() { e.seen[cycle] = true } // want `closure literal allocates`
+	cb()
+	e.seen = map[uint64]bool{} // want `map literal allocates`
+	buf := make([]uint64, 0)   // want `make\(\.\.\.\) allocates`
+	box(cycle)                 // want `passing uint64 as interface`
+	n := new(engine)           // want `new\(\.\.\.\) heap-allocates`
+	p := &engine{}             // want `&composite literal heap-allocates`
+	_ = any(cycle)             // want `conversion of uint64 to interface`
+	if buf == nil || n == nil || p == nil {
+		panic(append([]byte{}, 'x')) // cold: constructs inside panic arguments are not flagged
+	}
+	e.free = append(e.free, cycle) //ar:exempt(hotpath) free list reaches steady-state capacity
+}
+
+// helper is not annotated itself; it is hot because Tick reaches it.
+func (e *engine) helper(cycle uint64) {
+	e.queue = append(e.queue, cycle) // want `append may grow .*reached from //ar:hotpath Tick`
+}
+
+// cold is neither annotated nor reached from a hot root: allocation here is
+// fine and must not be flagged.
+func (e *engine) cold() []uint64 {
+	return make([]uint64, 8)
+}
+
+// dispatch calls through an interface: the closure is static-call only, so
+// t's concrete tick is NOT pulled into the hot set by this call.
+//
+//ar:hotpath
+func dispatch(t ticker, cycle uint64) {
+	t.tick(cycle)
+}
+
+func box(v any) { _ = v }

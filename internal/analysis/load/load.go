@@ -1,0 +1,259 @@
+// Package load type-checks Go packages from source using only the standard
+// library and the go command — a minimal, offline replacement for
+// golang.org/x/tools/go/packages sufficient for the arlint analyzers.
+//
+// Packages are enumerated with `go list -json -deps`, which yields the full
+// transitive closure in dependency-first order, and type-checked from source
+// in that order. Dependency packages (stdlib, non-target repo packages) are
+// checked with IgnoreFuncBodies for speed — the analyzers only need full
+// syntax and types.Info for the target packages. The go command is invoked
+// with CGO_ENABLED=0 so that cgo-capable stdlib packages (net, os/user)
+// resolve to their pure-Go variants, which type-check cleanly from source.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Loader loads and type-checks packages on demand, caching results for the
+// lifetime of the loader. It implements types.Importer, so it can also serve
+// as the importer for externally parsed files (the analyzer test fixtures).
+type Loader struct {
+	// Dir is the directory `go list` runs in; it must be inside the module.
+	Dir  string
+	Fset *token.FileSet
+
+	checked map[string]*types.Package
+	astOf   map[string][]*ast.File
+	infoOf  map[string]*types.Info
+	seen    map[string]listPackage
+}
+
+// New returns a loader rooted at dir (the module root or any directory
+// within the module).
+func New(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		Fset:    token.NewFileSet(),
+		checked: make(map[string]*types.Package),
+		astOf:   make(map[string][]*ast.File),
+		infoOf:  make(map[string]*types.Info),
+		seen:    make(map[string]listPackage),
+	}
+}
+
+// goList runs `go list -e -json -deps` over the patterns and returns the
+// package list in dependency-first order.
+func (l *Loader) goList(patterns ...string) ([]listPackage, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching the go list patterns (with their
+// full dependency closure) and returns one analysis unit per matched
+// package, in listing order. Target packages get full bodies and a complete
+// types.Info; dependencies are declaration-checked only.
+func (l *Loader) Load(patterns ...string) ([]*analysis.Unit, error) {
+	pkgs, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var units []*analysis.Unit
+	for _, p := range pkgs {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		l.seen[p.ImportPath] = p
+	}
+	for _, p := range pkgs {
+		if err := l.check(p, !p.DepOnly); err != nil {
+			if p.DepOnly {
+				// A broken dependency only matters if a target needs the
+				// missing piece; the target's own check will surface it.
+				continue
+			}
+			return nil, err
+		}
+		if !p.DepOnly {
+			units = append(units, &analysis.Unit{
+				Fset:      l.Fset,
+				Files:     l.astOf[p.ImportPath],
+				Pkg:       l.checked[p.ImportPath],
+				TypesInfo: l.infoOf[p.ImportPath],
+			})
+		}
+	}
+	return units, nil
+}
+
+// check type-checks one listed package from source, caching the result.
+// With full=true, function bodies are checked and types.Info recorded.
+func (l *Loader) check(p listPackage, full bool) error {
+	if p.ImportPath == "unsafe" {
+		l.checked["unsafe"] = types.Unsafe
+		return nil
+	}
+	if prev, ok := l.checked[p.ImportPath]; ok && prev != nil {
+		if !full || l.infoOf[p.ImportPath] != nil {
+			return nil
+		}
+		// Previously checked as a dependency; re-check with bodies.
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("package %s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:         importerFunc(l.importFor(p)),
+		IgnoreFuncBodies: !full,
+		FakeImportC:      true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+	}
+	tpkg, err := conf.Check(p.ImportPath, l.Fset, files, info)
+	if err == nil && firstErr != nil {
+		err = firstErr
+	}
+	if err != nil && full {
+		return fmt.Errorf("package %s: type error: %v", p.ImportPath, err)
+	}
+	// Declaration-only dependencies tolerate residual errors (e.g. bodies
+	// referencing assembly stubs); the partial package is still usable.
+	l.checked[p.ImportPath] = tpkg
+	if full {
+		l.astOf[p.ImportPath] = files
+		l.infoOf[p.ImportPath] = info
+	}
+	return nil
+}
+
+// importFor resolves import paths as seen from package p: the ImportMap
+// handles stdlib vendoring (golang.org/x/... -> vendor/golang.org/x/...).
+func (l *Loader) importFor(p listPackage) func(string) (*types.Package, error) {
+	return func(path string) (*types.Package, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		return l.Import(path)
+	}
+}
+
+// Import implements types.Importer over the loader's cache, listing and
+// checking the package (and its dependencies) on demand. External callers
+// (test fixtures) use it to resolve both stdlib and repro imports.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.checked[path]; ok && pkg != nil {
+		return pkg, nil
+	}
+	if pkg, ok := l.checked["vendor/"+path]; ok && pkg != nil {
+		return pkg, nil
+	}
+	pkgs, err := l.goList(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		l.seen[p.ImportPath] = p
+		if err := l.check(p, false); err != nil {
+			return nil, err
+		}
+	}
+	if pkg, ok := l.checked[path]; ok && pkg != nil {
+		return pkg, nil
+	}
+	if pkg, ok := l.checked["vendor/"+path]; ok && pkg != nil {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("load: cannot resolve import %q", path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("load: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -100,6 +100,8 @@ func NewMsgPool() *MsgPool { return &MsgPool{} }
 
 // Get returns a zeroed message with the given header fields, reusing a
 // released message when one is available.
+//
+//ar:hotpath
 func (pl *MsgPool) Get(t MsgType, block mem.PAddr, from int) *Msg {
 	var m *Msg
 	if n := len(pl.free); n > 0 {
@@ -108,7 +110,7 @@ func (pl *MsgPool) Get(t MsgType, block mem.PAddr, from int) *Msg {
 		pl.free = pl.free[:n-1]
 		*m = Msg{}
 	} else {
-		m = &Msg{}
+		m = &Msg{} //ar:exempt(hotpath) pool slow path: allocates only when the free list is empty, cold after warm-up
 	}
 	m.Type, m.Block, m.From = t, block, from
 	return m
@@ -116,12 +118,14 @@ func (pl *MsgPool) Get(t MsgType, block mem.PAddr, from int) *Msg {
 
 // Put releases a message back to the free list; releasing one that is
 // already free panics (lifecycle bug).
+//
+//ar:hotpath
 func (pl *MsgPool) Put(m *Msg) {
 	if m.poolFree {
 		panic(fmt.Sprintf("cache: double release of message %s block %#x", m.Type, uint64(m.Block)))
 	}
 	m.poolFree = true
-	pl.free = append(pl.free, m)
+	pl.free = append(pl.free, m) //ar:exempt(hotpath) free list reaches steady-state capacity; append stops growing after warm-up
 }
 
 // Sender injects coherence messages into the NoC; the system package wires
@@ -130,6 +134,8 @@ type Sender func(dstTile int, m *Msg) bool
 
 // PacketFor wraps m into a NoC packet from srcTile to dstTile with the
 // correct traffic class and wire size, acquired from the fabric's pool.
+//
+//ar:hotpath
 func PacketFor(pool *network.Pool, m *Msg, srcTile, dstTile int) *network.Packet {
 	kind := network.HostMsg
 	if m.Type.isResponse() {

@@ -421,6 +421,8 @@ func (c *Coordinator) NextWork(now uint64) uint64 {
 }
 
 // Tick drains the per-port command queues into the network.
+//
+//ar:hotpath
 func (c *Coordinator) Tick(cycle uint64) {
 	for port := range c.queues {
 		for n := 0; n < 4 && c.queues[port].Len() > 0; n++ {

@@ -84,8 +84,8 @@ type EngineStats struct {
 // Flow Table, operand buffer pool and ALU, attached to the cube's intra-
 // cube switch.
 type Engine struct {
-	CubeID int
-	Node   int // network node id of the host cube
+	CubeID    int
+	Node      int // network node id of the host cube
 	cfg       EngineConfig
 	cube      Cube
 	tagReader TagReader     // non-nil when cube supports tag-routed reads
@@ -192,6 +192,8 @@ func (e *Engine) NextWork(now uint64) uint64 {
 }
 
 // Tick advances the engine one simulator cycle.
+//
+//ar:hotpath
 func (e *Engine) Tick(cycle uint64) {
 	if e.clockPow2 {
 		if cycle&e.clockMask != 0 {
@@ -231,6 +233,8 @@ func (e *Engine) emit(p *network.Packet) {
 
 // drainOut injects buffered packets into the local router, each class in
 // FIFO order.
+//
+//ar:hotpath
 func (e *Engine) drainOut(cycle uint64) {
 	for class := 2; class >= 0; class-- {
 		for e.outQ[class].Len() > 0 {
@@ -250,7 +254,7 @@ func (e *Engine) issueOperandRequests(cycle uint64) {
 	for _, oe := range e.sendQ {
 		e.tryIssue(oe, cycle)
 		if !oe.sent() {
-			kept = append(kept, oe)
+			kept = append(kept, oe) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 		}
 	}
 	e.sendQ = kept
@@ -282,7 +286,7 @@ func (e *Engine) issueOne(oe *OperandEntry, addr mem.PAddr, tag uint64) bool {
 			// per-access callback allocation.
 			ok = e.tagReader.VaultReadTag(addr, tag)
 		} else {
-			ok = e.cube.VaultAccess(addr, false, 0, func(v float64, c uint64) {
+			ok = e.cube.VaultAccess(addr, false, 0, func(v float64, c uint64) { //ar:exempt(hotpath) one completion callback per vault access; the vault API is callback-shaped and the allocs/op ceiling bounds it
 				e.operandArrived(tag, v, c)
 			})
 		}
@@ -350,7 +354,7 @@ func (e *Engine) commitReady(cycle uint64) {
 			oe.issueCycle-oe.arriveCycle,
 			cycle-oe.issueCycle,
 		)
-		e.oeFree = append(e.oeFree, oe)
+		e.oeFree = append(e.oeFree, oe) //ar:exempt(hotpath) free list reaches steady-state capacity; append stops growing after warm-up
 		e.maybeComplete(fe)
 	}
 }
@@ -448,7 +452,7 @@ func (e *Engine) expandElement(fe *FlowEntry, p *network.Packet, cycle uint64, n
 		e.oeFree = e.oeFree[:n-1]
 		*oe = OperandEntry{}
 	} else {
-		oe = &OperandEntry{}
+		oe = &OperandEntry{} //ar:exempt(hotpath) pool slow path: allocates only when the free list is empty, cold after warm-up
 	}
 	oe.Key = p.Flow
 	oe.Op = p.Op
@@ -477,7 +481,7 @@ func (e *Engine) expandElement(fe *FlowEntry, p *network.Packet, cycle uint64, n
 	fe.ReqCount++
 	e.tryIssue(oe, cycle)
 	if !oe.sent() {
-		e.sendQ = append(e.sendQ, oe)
+		e.sendQ = append(e.sendQ, oe) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 	}
 }
 

@@ -252,6 +252,8 @@ func (c *Core) catchUp(now uint64) {
 }
 
 // Tick advances the core one cycle: retire, then dispatch.
+//
+//ar:hotpath
 func (c *Core) Tick(cycle uint64) {
 	c.catchUp(cycle)
 	if c.Finished() {
@@ -264,7 +266,7 @@ func (c *Core) Tick(cycle uint64) {
 			if t.at <= cycle {
 				t.e.done = true
 			} else {
-				c.calls = append(c.calls, t)
+				c.calls = append(c.calls, t) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 			}
 		}
 		c.callsSpare = due[:0]
@@ -302,14 +304,14 @@ func (c *Core) applyEffect(in *isa.Inst) {
 	case isa.KindStore:
 		pa := c.as.Translate(in.Addr)
 		if c.fx != nil {
-			c.fx.ops = append(c.fx.ops, effect{kind: effStore, pa: pa, val: in.Value})
+			c.fx.ops = append(c.fx.ops, effect{kind: effStore, pa: pa, val: in.Value}) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 			return
 		}
 		c.store.WriteF64(pa, in.Value)
 	case isa.KindAtomicAdd:
 		pa := c.as.Translate(in.Addr)
 		if c.fx != nil {
-			c.fx.ops = append(c.fx.ops, effect{kind: effAtomicAdd, pa: pa, val: in.Value})
+			c.fx.ops = append(c.fx.ops, effect{kind: effAtomicAdd, pa: pa, val: in.Value}) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 			return
 		}
 		c.store.WriteF64(pa, c.store.ReadF64(pa)+in.Value)
@@ -405,13 +407,13 @@ func (c *Core) issue(in *isa.Inst, cycle uint64) bool {
 		default:
 			lat = c.cfg.FPMulLat
 		}
-		c.calls = append(c.calls, timedCall{at: cycle + lat, e: e})
+		c.calls = append(c.calls, timedCall{at: cycle + lat, e: e}) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 		c.Stats.Computes++
 	case isa.KindLoad, isa.KindStore, isa.KindAtomicAdd:
 		pa := c.as.Translate(in.Addr)
 		write := in.Kind != isa.KindLoad
 		if e.memDone == nil {
-			e.memDone = func(uint64) {
+			e.memDone = func(uint64) { //ar:exempt(hotpath) allocated once per inflight entry, cached in the entry and reused
 				e.done = true
 				c.waker.Wake()
 			}
@@ -448,7 +450,7 @@ func (c *Core) issue(in *isa.Inst, cycle uint64) bool {
 		c.Stats.Updates++
 	case isa.KindGather:
 		if e.gatherWake == nil {
-			e.gatherWake = func(uint64) {
+			e.gatherWake = func(uint64) { //ar:exempt(hotpath) allocated once per inflight entry, cached in the entry and reused
 				e.done = true
 				c.fenced = false
 				c.waker.Wake()
@@ -473,7 +475,7 @@ func (c *Core) issue(in *isa.Inst, cycle uint64) bool {
 			panic(fmt.Sprintf("cpu: core %d hit a barrier without one configured", c.ID))
 		}
 		if e.barrierWake == nil {
-			e.barrierWake = func() {
+			e.barrierWake = func() { //ar:exempt(hotpath) allocated once per inflight entry, cached in the entry and reused
 				e.done = true
 				c.fenced = false
 				c.waker.Wake()
@@ -482,7 +484,7 @@ func (c *Core) issue(in *isa.Inst, cycle uint64) bool {
 		c.fenced = true
 		c.Stats.Barriers++
 		if c.fx != nil {
-			c.fx.ops = append(c.fx.ops, effect{kind: effBarrier, wake: e.barrierWake})
+			c.fx.ops = append(c.fx.ops, effect{kind: effBarrier, wake: e.barrierWake}) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 		} else {
 			c.barrier.Arrive(e.barrierWake)
 		}
@@ -569,9 +571,9 @@ func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
 // every waiter is queued for release at the next Flush.
 func (b *Barrier) Arrive(wake func()) {
 	b.arrived++
-	b.waiters = append(b.waiters, wake)
+	b.waiters = append(b.waiters, wake) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 	if b.arrived == b.n {
-		b.release = append(b.release, b.waiters...)
+		b.release = append(b.release, b.waiters...) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 		b.arrived = 0
 		b.waiters = b.waiters[:0]
 		b.Crossings++

@@ -132,6 +132,8 @@ func (c *Controller) Deliver(p *network.Packet, cycle uint64) bool {
 }
 
 // Tick drains the controller's request queue into the network.
+//
+//ar:hotpath
 func (c *Controller) Tick(cycle uint64) {
 	for n := 0; n < 4 && c.queue.Len() > 0; n++ {
 		if !c.fabric.Inject(c.node, c.queue.Peek(), cycle) {

@@ -273,7 +273,7 @@ func (c *Cube) startVault(op cubeOp) bool {
 		c.pendFree = c.pendFree[:n-1]
 	} else {
 		tok = uint32(len(c.pend))
-		c.pend = append(c.pend, cubeOp{})
+		c.pend = append(c.pend, cubeOp{}) //ar:exempt(hotpath) pend table grows to the in-flight high-water mark, then stops
 	}
 	c.pend[tok] = op
 	ok := c.vaults[v].Enqueue(dram.Request{
@@ -284,7 +284,7 @@ func (c *Cube) startVault(op cubeOp) bool {
 		Token: uint64(tok),
 	}, 0)
 	if !ok {
-		c.pendFree = append(c.pendFree, tok)
+		c.pendFree = append(c.pendFree, tok) //ar:exempt(hotpath) free list reaches steady-state capacity; append stops growing after warm-up
 		return false
 	}
 	c.vaultWork++
@@ -340,6 +340,8 @@ func (c *Cube) vaultDone(token uint64, cycle uint64) {
 }
 
 // Tick advances the cube: vaults, crossbar staging, outbox and ARE.
+//
+//ar:hotpath
 func (c *Cube) Tick(cycle uint64) {
 	if c.vaultWork > 0 {
 		// Visit only vaults holding work (bit v of vaultBusy), and among

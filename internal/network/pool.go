@@ -47,6 +47,8 @@ func (pl *Pool) SetGuard(on bool) { pl.guard = on }
 // Get returns a zeroed packet of kind k from src to dst, reusing a released
 // packet when one is available. The returned packet is indistinguishable
 // from NewPacket(0, k, src, dst).
+//
+//ar:hotpath
 func (pl *Pool) Get(k Kind, src, dst int) *Packet {
 	pl.Gets++
 	var p *Packet
@@ -57,7 +59,7 @@ func (pl *Pool) Get(k Kind, src, dst int) *Packet {
 		*p = Packet{}
 	} else {
 		pl.News++
-		p = &Packet{}
+		p = &Packet{} //ar:exempt(hotpath) pool slow path: allocates only when the free list is empty, cold after warm-up
 	}
 	p.Kind, p.Src, p.Dst, p.Size = k, src, dst, SizeOf(k)
 	p.poolState = poolLive
@@ -67,6 +69,8 @@ func (pl *Pool) Get(k Kind, src, dst int) *Packet {
 // Put releases a packet back to the free list. Releasing a packet that is
 // already free is a lifecycle bug and panics; packets built with NewPacket
 // (poolLoose) are adopted into the pool on their first release.
+//
+//ar:hotpath
 func (pl *Pool) Put(p *Packet) {
 	if p.poolState == poolFree {
 		panic(fmt.Sprintf("network: double release of packet id=%d kind=%s", p.ID, p.Kind))
@@ -82,7 +86,7 @@ func (pl *Pool) Put(p *Packet) {
 		p.Src = -1
 		p.Meta = nil
 	}
-	pl.free = append(pl.free, p)
+	pl.free = append(pl.free, p) //ar:exempt(hotpath) free list reaches steady-state capacity; append stops growing after warm-up
 }
 
 // FreeLen reports the current free-list length (tests).

@@ -32,6 +32,7 @@ func newPacketRing(capacity int) packetRing {
 func (r *packetRing) len() int      { return int(r.tail - r.head) }
 func (r *packetRing) peek() *Packet { return r.buf[r.head&r.mask] }
 
+//ar:hotpath
 func (r *packetRing) push(p *Packet) {
 	if r.tail-r.head == uint32(len(r.buf)) {
 		panic("network: packet ring overflow (queue admission invariant broken)")
@@ -40,6 +41,7 @@ func (r *packetRing) push(p *Packet) {
 	r.tail++
 }
 
+//ar:hotpath
 func (r *packetRing) pop() *Packet {
 	if r.head == r.tail {
 		panic("network: pop from empty packet ring")
@@ -77,13 +79,17 @@ func (w *arrivalWheel) len() int { return w.count }
 // push files a at its arrival network-cycle. netCycle must be within one
 // wheel revolution of the current cycle (the fabric sizes the wheel from
 // the worst-case wire latency and panics otherwise via the landing check).
+//
+//ar:hotpath
 func (w *arrivalWheel) push(netCycle uint64, a arrival) {
-	w.buckets[netCycle&w.mask] = append(w.buckets[netCycle&w.mask], a)
+	w.buckets[netCycle&w.mask] = append(w.buckets[netCycle&w.mask], a) //ar:exempt(hotpath) wheel bucket retains its capacity across laps; growth is amortized to the high-water mark
 	w.count++
 }
 
 // take removes and returns the bucket for netCycle; the caller must recycle
 // it via putBack after draining.
+//
+//ar:hotpath
 func (w *arrivalWheel) take(netCycle uint64) []arrival {
 	b := w.buckets[netCycle&w.mask]
 	w.buckets[netCycle&w.mask] = nil
@@ -95,6 +101,8 @@ func (w *arrivalWheel) take(netCycle uint64) []arrival {
 // a push during draining already started a new bucket there. Stale packet
 // pointers in the retained capacity are not cleared: packets are pool-owned
 // and live for the fabric's lifetime anyway.
+//
+//ar:hotpath
 func (w *arrivalWheel) putBack(netCycle uint64, b []arrival) {
 	if w.buckets[netCycle&w.mask] == nil {
 		w.buckets[netCycle&w.mask] = b[:0]

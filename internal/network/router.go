@@ -679,6 +679,8 @@ func (f *Fabric) netCycle(c uint64) uint64 {
 
 // Tick advances the whole fabric by one simulator cycle (the sequential
 // kernel: every node lives in domain 0).
+//
+//ar:hotpath
 func (f *Fabric) Tick(cycle uint64) {
 	f.tickDomain(f.doms[0], cycle)
 }
@@ -688,6 +690,8 @@ func (f *Fabric) Tick(cycle uint64) {
 // kernel each domain's tick touches only domain-local state plus its own
 // staging buffers, so domains tick concurrently; with one domain this is
 // exactly the sequential fabric tick.
+//
+//ar:hotpath
 func (f *Fabric) tickDomain(d *domain, cycle uint64) {
 	if !f.onEdge(cycle) {
 		return
@@ -828,6 +832,8 @@ func (f *Fabric) land(r *router, cycle uint64) {
 // simulated results depend on (see DESIGN.md). Only occupied (port, VC)
 // queues are visited; the visit order (class descending, then port then VC
 // ascending) matches the plain scan.
+//
+//ar:hotpath
 func (f *Fabric) eject(r *router, cycle uint64) {
 	ep := f.endpoints[r.node]
 	for pass := 0; pass < 3; pass++ {
@@ -863,6 +869,8 @@ func (f *Fabric) eject(r *router, cycle uint64) {
 // it reports whether a packet was popped. A successful Deliver is the
 // ejection commit: ownership passes to the endpoint, which releases the
 // packet to its domain pool at its final consumption point.
+//
+//ar:hotpath
 func (f *Fabric) ejectQueue(r *router, ep Endpoint, idx int, cycle uint64) bool {
 	q := &r.in[idx]
 	if q.len() == 0 || q.peek().Dst != r.node {
@@ -903,6 +911,8 @@ func (f *Fabric) ejectQueue(r *router, ep Endpoint, idx int, cycle uint64) bool 
 // eligible head packet (round-robin over inputs including injection). Only
 // occupied queues are visited, in exactly the round-robin order of the
 // plain scan.
+//
+//ar:hotpath
 func (f *Fabric) forward(r *router, cycle uint64) {
 	nin := r.ports*f.Cfg.VCs + f.Cfg.VCs // link inputs + injection queues
 	for out := 0; out < r.ports; out++ {
@@ -1022,7 +1032,7 @@ func (f *Fabric) tryForward(r *router, out, idx int, l link, cycle uint64, nin i
 		// committing at the barrier preserves the sequential landing cycle
 		// and — with one upstream router per (dest, port) — the per-edge
 		// FIFO order.
-		d.stagedPushes = append(d.stagedPushes, stagedPush{node: int32(l.peer), t: f.netCycle(arrive), a: a})
+		d.stagedPushes = append(d.stagedPushes, stagedPush{node: int32(l.peer), t: f.netCycle(arrive), a: a}) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 	}
 	r.rrPort = (idx + 1) % nin
 	return true
@@ -1042,9 +1052,9 @@ func (f *Fabric) returnCredit(r *router, port, vc int) {
 	ref := credRef{node: int32(up.node), idx: int32(up.port*f.Cfg.VCs + vc)}
 	d := r.dom
 	if f.routers[up.node].dom == d {
-		d.pendingCredits = append(d.pendingCredits, ref)
+		d.pendingCredits = append(d.pendingCredits, ref) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 	} else {
-		d.stagedCredits = append(d.stagedCredits, ref)
+		d.stagedCredits = append(d.stagedCredits, ref) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks
 	}
 }
 

@@ -21,6 +21,8 @@ func (q *FIFO[T]) Len() int { return len(q.buf) - q.head }
 func (q *FIFO[T]) Empty() bool { return q.head == len(q.buf) }
 
 // Push appends v.
+//
+//ar:hotpath
 func (q *FIFO[T]) Push(v T) {
 	// Reclaim the drained prefix before growing past capacity: slide the
 	// live elements down instead of allocating a bigger array.
@@ -33,7 +35,7 @@ func (q *FIFO[T]) Push(v T) {
 		q.buf = q.buf[:n]
 		q.head = 0
 	}
-	q.buf = append(q.buf, v)
+	q.buf = append(q.buf, v) //ar:exempt(hotpath) ring growth doubles capacity; amortized O(1) and flat at steady state
 }
 
 // Peek returns the oldest element; it panics on an empty queue.
@@ -46,6 +48,8 @@ func (q *FIFO[T]) At(i int) T { return q.buf[q.head+i] }
 func (q *FIFO[T]) PtrAt(i int) *T { return &q.buf[q.head+i] }
 
 // Pop removes and returns the oldest element; it panics on an empty queue.
+//
+//ar:hotpath
 func (q *FIFO[T]) Pop() T {
 	v := q.buf[q.head]
 	var zero T

@@ -100,6 +100,8 @@ func (sh *Shard) Components() int { return len(sh.slots) }
 // sweep re-activates every parked slot whose cached wake cycle has arrived
 // and recomputes the park horizon. It runs at most once per cycle, at the
 // shard's first executed segment.
+//
+//ar:hotpath
 func (sh *Shard) sweep(c uint64) {
 	min := Never
 	for i, wa := range sh.wakeAt {
@@ -122,6 +124,8 @@ func (sh *Shard) sweep(c uint64) {
 // report no work, and refreshes the segment's re-poll (segNext) and work
 // (segHorizon) hints. It must only run on the shard's owning worker, or on
 // the conductor for serial shards.
+//
+//ar:hotpath
 func (sh *Shard) runSegment(seg int, c uint64) {
 	if c >= sh.minWake && sh.sweptAt != c+1 {
 		sh.sweptAt = c + 1
@@ -405,6 +409,8 @@ func (s *Sharded) workerLoop(wk int, last uint64) {
 
 // runAssigned runs worker wk's shards' segments for wave w at cycle c,
 // skipping shards whose segment re-poll hint is in the future.
+//
+//ar:hotpath
 func (s *Sharded) runAssigned(wk, w int, c uint64) {
 	for i := wk; i < len(s.par); i += s.nw {
 		sh := s.par[i]
@@ -417,6 +423,8 @@ func (s *Sharded) runAssigned(wk, w int, c uint64) {
 // runWave executes parallel wave w at cycle c with a full barrier, unless
 // no shard needs polling for it this cycle, in which case it returns
 // without synchronizing at all.
+//
+//ar:hotpath
 func (s *Sharded) runWave(w int, c uint64) {
 	hasWork := false
 	for _, sh := range s.par {
@@ -436,13 +444,15 @@ func (s *Sharded) runWave(w int, c uint64) {
 	s.gen.Add(1)
 	s.runAssigned(0, w, c)
 	s.expect += uint64(s.nw - 1)
-	spinWait(func() bool { return s.doneCnt.Load() == s.expect })
+	spinWait(func() bool { return s.doneCnt.Load() == s.expect }) //ar:exempt(hotpath) one spin predicate per wave barrier, amortized over every packet in the wave
 }
 
 // step advances the whole machine one cycle and reports the earliest cycle
 // at which any component has future work; the return value exceeds the
 // post-increment clock only when nothing ticked at all (Engine.step
 // contract), in which case the clock may jump.
+//
+//ar:hotpath
 func (s *Sharded) step() uint64 {
 	c := s.cycle
 	for w := 0; w < s.waves; w++ {

@@ -194,6 +194,8 @@ func (e *Engine) Components() int { return len(e.slots) }
 // increment) only when no component ticked at all, in which case no
 // simulated state changed this cycle and the clock may be advanced to the
 // returned cycle directly.
+//
+//ar:hotpath
 func (e *Engine) step() uint64 {
 	c := e.cycle
 	if c >= e.minWake {

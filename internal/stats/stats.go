@@ -43,9 +43,13 @@ func (s *Set) Register(name string) Handle {
 
 // AddH increments the counter behind a registered handle by v — the hot-path
 // fast path: no map lookup, no string handling.
+//
+//ar:hotpath
 func (s *Set) AddH(h Handle, v uint64) { s.vals[h] += v }
 
 // IncH increments the counter behind a registered handle by one.
+//
+//ar:hotpath
 func (s *Set) IncH(h Handle) { s.vals[h]++ }
 
 // Add increments the named counter by v, creating it on first use.

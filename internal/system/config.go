@@ -146,6 +146,7 @@ type Config struct {
 	MIQueue    int
 	MIWindow   int
 
+	//ar:exempt(validate) every 64-bit seed keys a runnable machine
 	Seed      uint64
 	MaxCycles uint64
 	// IPCSampleCycles sets the Fig 5.8 sampling window.
@@ -157,9 +158,11 @@ type Config struct {
 	// kernel (DESIGN.md "Sharded kernel"). 0 (the default) runs the
 	// sequential kernel. Shards and Workers never change simulated results
 	// and are excluded from Hash.
+	//ar:exempt(hash) kernel choice is result-invariant (pinned by the sharded determinism tests); one cache entry serves every kernel
 	Shards int
 	// Workers bounds the sharded kernel's OS-thread pool; 0 defaults to
 	// Shards. Ignored when Shards is 0.
+	//ar:exempt(hash) worker-pool width is result-invariant, same contract as Shards
 	Workers int
 }
 
@@ -188,6 +191,12 @@ func (c *Config) Validate() error {
 		{c.HMCGeom.Cubes > 0 && c.HMCGeom.VaultsPerCube > 0, "HMC geometry must be positive"},
 		{c.CoordQueue > 0, "CoordQueue must be positive"},
 		{c.MIQueue > 0 && c.MIWindow > 0, "MI queue/window must be positive"},
+		{c.Cube.VaultQueue > 0 && c.Cube.XbarRate > 0, "cube vault queue and crossbar rate must be positive"},
+		{c.Cube.Geom.VaultsPerCube > 0 && c.Cube.Geom.BanksPerVault > 0, "cube geometry must be positive"},
+		{c.Cube.Timing.CyclesPerTick > 0, "cube DRAM timing CyclesPerTick must be positive"},
+		{c.MemTopo == TopoDragonfly || c.MemTopo == TopoMesh, "MemTopo out of range"},
+		{c.DRAMTiming.CyclesPerTick > 0, "DRAM timing CyclesPerTick must be positive"},
+		{c.DRAMTiming.BL > 0, "DRAM timing burst length must be positive"},
 		{c.MaxCycles > 0, "MaxCycles must be positive"},
 		{c.IPCSampleCycles > 0, "IPCSampleCycles must be positive"},
 		{c.Shards >= 0 && c.Shards <= 16, "Shards must be in [0, 16]"},
@@ -202,26 +211,37 @@ func (c *Config) Validate() error {
 }
 
 // cfgHashVersion salts Config.Hash. Bump it whenever the configuration
-// schema changes shape in a way the %#v rendering might not capture, so
-// results cached under the old schema (service result cache, sweep keys)
-// can never collide with new ones. v2: the dead network EjectPerCycle knob
-// was removed. v3: the sharded-kernel Shards/Workers knobs were added —
-// they are zeroed before rendering because they never change simulated
-// results (pinned by the sharded determinism tests), so one cache entry
-// serves every kernel configuration of the same machine.
-const cfgHashVersion = "cfg/v3|"
+// schema changes shape, so results cached under the old schema (service
+// result cache, sweep keys, the arserved disk store) can never collide
+// with new ones. v2: the dead network EjectPerCycle knob was removed. v3:
+// the sharded-kernel Shards/Workers knobs were added, zeroed before
+// rendering. v4: the rendering switched from one whole-struct %#v to an
+// explicit field-by-field enumeration so the hashcov analyzer can prove
+// coverage per field — a new Config field that is not added here (or
+// //ar:exempt(hash)-ed with a reviewed reason) now fails `arlint ./...`
+// instead of silently fragmenting or poisoning the result cache.
+const cfgHashVersion = "cfg/v4|"
 
 // Hash returns a stable 64-bit digest of the full configuration, used to
-// key sweep results: two runs share a hash iff every result-affecting
-// configuration field (including nested component configs) is identical
-// and the schema version matches. The config structs are all plain value
-// types, so the %#v rendering is deterministic.
+// key cached and stored results: two runs share a hash iff every
+// result-affecting configuration field (including nested component
+// configs) is identical and the schema version matches. Every field is
+// rendered explicitly — the hashcov analyzer enforces that this list and
+// the Config struct never drift apart. Shards and Workers are the only
+// exclusions: kernel choice is result-invariant (see the field
+// exemptions), so one cache entry serves every kernel configuration of
+// the same machine. The nested component configs are plain value types,
+// so their %#v renderings are deterministic.
 func (c *Config) Hash() string {
 	h := fnv.New64a()
 	h.Write([]byte(cfgHashVersion))
-	canon := *c
-	canon.Shards, canon.Workers = 0, 0 // kernel choice: result-invariant
-	fmt.Fprintf(h, "%#v", canon)
+	fmt.Fprintf(h, "%d|%d|", c.Scheme, c.Threads)
+	fmt.Fprintf(h, "%#v|%#v|%#v|", c.Core, c.L1, c.L2)
+	fmt.Fprintf(h, "%#v|%#v|", c.NoC, c.MemNet)
+	fmt.Fprintf(h, "%#v|%#v|%d|", c.Cube, c.ARE, c.MemTopo)
+	fmt.Fprintf(h, "%#v|%#v|%#v|", c.DRAMTiming, c.DRAMGeom, c.HMCGeom)
+	fmt.Fprintf(h, "%d|%d|%d|", c.CoordQueue, c.MIQueue, c.MIWindow)
+	fmt.Fprintf(h, "%d|%d|%d", c.Seed, c.MaxCycles, c.IPCSampleCycles)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

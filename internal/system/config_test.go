@@ -87,6 +87,20 @@ var v2ConfigHashes = map[Scheme]string{
 	SchemeARFea:          "b88ab93de8b3155b",
 }
 
+// v3ConfigHashes records Config.Hash() of DefaultConfig(scheme) under the
+// cfg/v3 schema (captured immediately before Hash moved from whole-struct
+// %#v formatting to explicit field enumeration, the form the hashcov
+// analyzer can prove complete).
+var v3ConfigHashes = map[Scheme]string{
+	SchemeDRAM:           "dbbfc17d1812ff00",
+	SchemeHMC:            "6299e99ff69289e7",
+	SchemeART:            "47f6a8b6d49cbeae",
+	SchemeARFtid:         "59a5b0be4149884d",
+	SchemeARFaddr:        "b31fc5fe3821b5b4",
+	SchemeARFtidAdaptive: "65e9a231d5bf8f5b",
+	SchemeARFea:          "38fcca9ba075b782",
+}
+
 // TestConfigHashDistinctFromOldSchemas pins the schema-versioning contract:
 // after each schema change, otherwise-equal default configs hash
 // differently from their ancestors, so stale cached results can never
@@ -104,6 +118,11 @@ func TestConfigHashDistinctFromOldSchemas(t *testing.T) {
 			t.Fatalf("missing v2 hash for %s", s)
 		} else if got == old {
 			t.Errorf("%s: hash %s collides with the v2 schema hash", s, got)
+		}
+		if old, ok := v3ConfigHashes[s]; !ok {
+			t.Fatalf("missing v3 hash for %s", s)
+		} else if got == old {
+			t.Errorf("%s: hash %s collides with the v3 schema hash", s, got)
 		}
 	}
 }

@@ -44,7 +44,7 @@ func FuzzConfigValidate(f *testing.F) {
 	f.Add(3, 16, 4, 128, 4096, 4, 2048, 4, 16, 16, 4, 8, 512, 64, 32, 16,
 		uint64(42), uint64(200_000_000), uint64(2048))
 	f.Add(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, uint64(0), uint64(0), uint64(0))
-	f.Add(-1, -7, 1, -128, 1 << 30, 1, -2048, 93, 1, -16, 4, 8, -512, 64, 32, 16,
+	f.Add(-1, -7, 1, -128, 1<<30, 1, -2048, 93, 1, -16, 4, 8, -512, 64, 32, 16,
 		uint64(1), uint64(1), uint64(1))
 	f.Add(99, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
 		^uint64(0), ^uint64(0), ^uint64(0))

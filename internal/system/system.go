@@ -203,7 +203,7 @@ func (mc *mcPort) queued() int { return len(mc.outbox) - mc.outHead }
 func (mc *mcPort) deliver(m *cache.Msg, cycle uint64) bool {
 	write := m.Type == cache.MsgMemWrite
 	from, tag, block := m.From, m.Tag, m.Block
-	return mc.access(m.Block, write, func(cyc uint64) {
+	return mc.access(m.Block, write, func(cyc uint64) { //ar:exempt(hotpath) one completion closure per DRAM access; allocation is dwarfed by the access latency it tracks
 		resp := mc.sys.msgPools[mc.tile].Get(cache.MsgMemResp, block, mc.tile)
 		resp.Tag = tag
 		if !mc.sys.sendFrom(mc.tile, from, resp) {
@@ -222,6 +222,8 @@ func (mc *mcPort) NextWork(now uint64) uint64 {
 }
 
 // Tick retries queued response sends in FIFO order.
+//
+//ar:hotpath
 func (mc *mcPort) Tick(cycle uint64) {
 	for mc.outHead < len(mc.outbox) {
 		o := mc.outbox[mc.outHead]
