@@ -209,14 +209,19 @@ type benchRun struct {
 // benchReport is the machine-readable simulator-speed snapshot committed as
 // BENCH_*.json, tracking the perf trajectory across PRs. Shards/Workers
 // record the simulation kernel the report was measured with (0 =
-// sequential); HostCPUs records the measuring host's schedulable threads,
-// without which a sharded wall-clock number cannot be interpreted.
+// sequential). HostCPUs is the machine's logical CPU count
+// (runtime.NumCPU) and Gomaxprocs the Go scheduler's parallelism cap at
+// measurement time — they differ under quota-limited containers or an
+// explicit GOMAXPROCS, and a sharded wall-clock number needs both to be
+// interpreted. (Reports before the split recorded GOMAXPROCS under
+// host_cpus; see EXPERIMENTS.md.)
 type benchReport struct {
 	Suite        string     `json:"suite"`
 	Scale        string     `json:"scale"`
 	Shards       int        `json:"shards,omitempty"`
 	Workers      int        `json:"workers,omitempty"`
 	HostCPUs     int        `json:"host_cpus"`
+	Gomaxprocs   int        `json:"gomaxprocs"`
 	Runs         []benchRun `json:"runs"`
 	TotalWallNS  int64      `json:"total_wall_ns"`
 	TotalCycles  uint64     `json:"total_cycles"`
@@ -242,7 +247,7 @@ func stampBenchPath(path, suite, scaleName string) string {
 // writes the JSON report to path ("-" for stdout), with suite and scale
 // stamped into the filename.
 func runBenchJSON(path string, scale workload.Scale, scaleName string, shards, workers int) error {
-	rep := benchReport{Suite: "fig5.1a", Scale: scaleName, Shards: shards, Workers: workers, HostCPUs: runtime.GOMAXPROCS(0)}
+	rep := benchReport{Suite: "fig5.1a", Scale: scaleName, Shards: shards, Workers: workers, HostCPUs: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0)}
 	path = stampBenchPath(path, "fig51a", scaleName)
 	for _, wl := range workload.Benchmarks() {
 		for _, sch := range system.Schemes() {

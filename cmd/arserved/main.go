@@ -12,6 +12,9 @@
 // With -store, every computed result is persisted to a crash-safe
 // append-only store and warm-loaded at the next boot, so a restarted
 // daemon serves its whole history as cache hits without re-simulating.
+// With -snapshots, prefix-shared sweep checkpoints persist the same way:
+// a repeated study warm-starts its family leaders from disk instead of
+// re-simulating their shared prefixes.
 //
 // Endpoints:
 //
@@ -51,6 +54,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	simShards := flag.Int("simshards", 0, "run jobs without a pinned kernel on the sharded simulation kernel with this shard count (0 = sequential); a sharded job holds its worker count in the shared budget")
 	storeDir := flag.String("store", "", "directory for the crash-safe result store; empty disables persistence")
+	snapDir := flag.String("snapshots", "", "directory for the checkpoint store backing prefix-shared sweeps (warm starts across restarts); empty keeps sweep checkpoints in memory only")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none); expired jobs abort and release their worker slots")
 	maxQueue := flag.Int("max-queue", 0, "shed new-simulation requests with 503 once this many jobs wait for workers (0 = never shed)")
 	flag.Parse()
@@ -83,6 +87,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, ")")
 	}
 
+	var snaps *store.Store
+	if *snapDir != "" {
+		var err error
+		snaps, err = store.Open(*snapDir, store.Options{SegmentPrefix: "snap"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arserved: opening snapshot store:", err)
+			os.Exit(1)
+		}
+		ss := snaps.Stats()
+		fmt.Fprintf(os.Stderr, "arserved: snapshot store %s (%d checkpoints, %d bytes)\n", *snapDir, ss.Records, ss.BytesOnDisk)
+	}
+
 	svc := service.New(service.Options{
 		Workers:    *workers,
 		Shards:     *shards,
@@ -90,6 +106,7 @@ func main() {
 		Store:      st,
 		JobTimeout: *jobTimeout,
 		MaxQueue:   *maxQueue,
+		Snapshots:  snaps,
 	})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
@@ -126,6 +143,11 @@ func main() {
 	if st != nil {
 		if err := st.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "arserved: closing result store:", err)
+		}
+	}
+	if snaps != nil {
+		if err := snaps.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "arserved: closing snapshot store:", err)
 		}
 	}
 	stats := svc.Stats()

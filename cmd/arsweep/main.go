@@ -7,6 +7,8 @@
 //	arsweep -study linkbw -scale small -csv grid.csv -json grid.json
 //	arsweep -study flowtable -csv ''                 # JSON only (jq-friendly)
 //	arsweep -study flowtable -json ''                # CSV only
+//	arsweep -study flowtable -prefix-share           # fork points from shared checkpoints
+//	arsweep -study flowtable -prefix-share -snapshots ckpt/   # persist warm starts
 //	arsweep -list                                    # available studies
 //
 // The default emits both renderings concatenated to stdout (a human-
@@ -27,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -56,6 +59,8 @@ func main() {
 	jsonFlag := flag.String("json", "-", "JSON output path (- for stdout, empty to skip)")
 	csvFlag := flag.String("csv", "-", "CSV output path (- for stdout, empty to skip)")
 	workersFlag := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	prefixFlag := flag.Bool("prefix-share", false, "factor the grid into shared-prefix families and fork points from one checkpoint per family (results identical, wall clock lower)")
+	snapFlag := flag.String("snapshots", "", "snapshot store directory for prefix-share checkpoints (persists warm starts across runs)")
 	listFlag := flag.Bool("list", false, "list available studies and exit")
 	flag.Parse()
 
@@ -81,7 +86,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	res, err := sweep.Run(ctx, grid)
+	var res *sweep.Result
+	if *prefixFlag {
+		var snaps *store.Store
+		if *snapFlag != "" {
+			snaps, err = store.Open(*snapFlag, store.Options{SegmentPrefix: "snap"})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arsweep:", err)
+				os.Exit(1)
+			}
+			defer snaps.Close()
+		}
+		var st *sweep.PrefixStats
+		res, st, err = sweep.RunPrefixShared(ctx, grid, nil, snaps)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "arsweep: prefix-share: %d families, %d leader runs, %d store hits, %d forks, %d cold fallbacks\n",
+				st.Families, st.LeaderRuns, st.StoreHits, st.ForkResumes, st.ColdFallbacks)
+		}
+	} else {
+		res, err = sweep.Run(ctx, grid)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arsweep:", err)
 		os.Exit(1)

@@ -24,6 +24,15 @@
 //	    an exemption is a reviewed claim that the flagged construct cannot
 //	    affect simulated results (see DESIGN.md "Static invariants").
 //
+//	//ar:prefix(<scope>) <reason>
+//	    Declares a Config field deliberately excluded from PrefixHash, the
+//	    checkpoint content-address (enforced by hashcov's PrefixHash
+//	    coverage check). Unlike //ar:exempt, the scope is mandatory: it
+//	    names the exclusion class (e.g. "cycle-inert" — the field bounds
+//	    how many cycles run but can never alter what any executed cycle
+//	    computes). The reason is mandatory too. The annotation covers its
+//	    own line and the line directly below it, like //ar:exempt.
+//
 //	//ar:kernel
 //	    File-level marker opting the file's package into the determinism
 //	    checks outside the built-in kernel package list (used by analyzer
@@ -59,8 +68,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags   *[]Diagnostic
-	exempts map[string][]exemption // filename -> parsed //ar:exempt comments
+	diags    *[]Diagnostic
+	exempts  map[string][]exemption // filename -> parsed //ar:exempt comments
+	prefixes map[string][]exemption // filename -> parsed //ar:prefix comments
 }
 
 // Diagnostic is one reported violation.
@@ -86,13 +96,15 @@ type exemption struct {
 
 const (
 	exemptPrefix = "ar:exempt"
+	prefixMark   = "ar:prefix"
 	hotPrefix    = "ar:hotpath"
 	kernelMark   = "ar:kernel"
 )
 
 // NewPass assembles a pass over a type-checked package and parses the
 // exemption annotations of every file. Malformed exemptions (no reason
-// string) are reported immediately, before the analyzer runs.
+// string; for //ar:prefix, also no scope) are reported immediately, before
+// the analyzer runs.
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink *[]Diagnostic) *Pass {
 	p := &Pass{
 		Analyzer:  a,
@@ -102,34 +114,46 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		TypesInfo: info,
 		diags:     sink,
 		exempts:   make(map[string][]exemption),
+		prefixes:  make(map[string][]exemption),
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, exemptPrefix) {
+				var mark string
+				var into map[string][]exemption
+				switch {
+				case strings.HasPrefix(text, exemptPrefix):
+					mark, into = "//"+exemptPrefix, p.exempts
+				case strings.HasPrefix(text, prefixMark):
+					mark, into = "//"+prefixMark, p.prefixes
+				default:
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest := text[len(exemptPrefix):]
+				rest := strings.TrimPrefix(text, mark[2:])
 				scope := ""
 				if strings.HasPrefix(rest, "(") {
 					end := strings.Index(rest, ")")
 					if end < 0 {
 						p.emit(Diagnostic{Pos: pos, Analyzer: a.Name, Scope: "grammar",
-							Message: "malformed //ar:exempt: unterminated scope parenthesis"})
+							Message: "malformed " + mark + ": unterminated scope parenthesis"})
 						continue
 					}
 					scope = rest[1:end]
 					rest = rest[end+1:]
+				} else if mark == "//"+prefixMark {
+					p.emit(Diagnostic{Pos: pos, Analyzer: a.Name, Scope: "grammar",
+						Message: "//ar:prefix requires a (scope) naming the exclusion class, e.g. //ar:prefix(cycle-inert)"})
+					continue
 				}
 				reason := strings.TrimSpace(rest)
 				if reason == "" {
 					p.emit(Diagnostic{Pos: pos, Analyzer: a.Name, Scope: "grammar",
-						Message: "//ar:exempt requires a reason string explaining why the construct is safe"})
+						Message: mark + " requires a reason string explaining why the construct is safe"})
 					continue
 				}
-				p.exempts[pos.Filename] = append(p.exempts[pos.Filename],
+				into[pos.Filename] = append(into[pos.Filename],
 					exemption{line: pos.Line, scope: scope, reason: reason})
 			}
 		}
@@ -153,6 +177,21 @@ func (p *Pass) Reportf(pos token.Pos, scope, format string, args ...interface{})
 		Scope:    scope,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// PrefixExempt reports whether an //ar:prefix annotation covers the line
+// at pos (the annotation's own line or the line directly below it, the
+// same window Reportf gives //ar:exempt). The annotation's scope is a
+// classification, not a filter: any //ar:prefix on the line silences the
+// PrefixHash coverage check for it.
+func (p *Pass) PrefixExempt(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, ex := range p.prefixes[position.Filename] {
+		if ex.line == position.Line || ex.line == position.Line-1 {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *Pass) emit(d Diagnostic) { *p.diags = append(*p.diags, d) }

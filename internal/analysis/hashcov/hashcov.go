@@ -18,6 +18,15 @@
 // result-invariant knob) does not count as read: exclusion-by-zeroing must
 // be paired with an //ar:exempt(hash) on the field, so it can never happen
 // silently again.
+//
+// When Config also declares a PrefixHash method — the checkpoint
+// content-address keying prefix-shared warm starts — the same coverage
+// discipline applies: every field must be read by PrefixHash, or carry
+// //ar:exempt(hash) (excluded from both keys because it is
+// result-invariant), or carry //ar:prefix(<scope>) <reason> declaring why
+// the field can bound or reshape the run without influencing any cycle the
+// machine actually executes. A field that silently escapes PrefixHash
+// would let two diverging configurations share a checkpoint.
 package hashcov
 
 import (
@@ -74,6 +83,26 @@ func run(pass *analysis.Pass) error {
 					"the machine assembly unchecked (validate it or "+
 					"//ar:exempt(validate) with the reason every value is runnable)",
 				f.Name())
+		}
+	}
+
+	// PrefixHash, when present, is held to the same standard as Hash: the
+	// report carries ScopeHash so fields excluded from both digests for the
+	// same result-invariance reason need only their //ar:exempt(hash), while
+	// prefix-only exclusions declare themselves with //ar:prefix.
+	if prefix := methodOf(pass, cfg, "PrefixHash"); prefix != nil {
+		prefixReads := fieldReads(pass, graph, prefix, st)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if prefixReads[f] || pass.PrefixExempt(f.Pos()) {
+				continue
+			}
+			pass.Reportf(f.Pos(), ScopeHash,
+				"Config field %s is not read by PrefixHash(): two configurations "+
+					"differing only in it would share a checkpoint content-address "+
+					"(render it in PrefixHash or annotate the field "+
+					"//ar:prefix(<scope>) with the reason it cannot influence any "+
+					"executed cycle)", f.Name())
 		}
 	}
 	return nil

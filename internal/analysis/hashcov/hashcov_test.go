@@ -14,3 +14,12 @@ import (
 func TestCfgFixture(t *testing.T) {
 	antest.Run(t, "testdata/cfg", hashcov.Analyzer)
 }
+
+// TestPrefixCfgFixture covers the PrefixHash coverage check: a rendered
+// field, a field annotated //ar:prefix(cycle-inert), a field silenced by
+// its existing //ar:exempt(hash), a silently escaping field that must be
+// flagged, and a malformed scope-less //ar:prefix that is itself a
+// grammar diagnostic and silences nothing.
+func TestPrefixCfgFixture(t *testing.T) {
+	antest.Run(t, "testdata/prefixcfg", hashcov.Analyzer)
+}

@@ -1,0 +1,38 @@
+// Package prefixcfg is the hashcov PrefixHash-coverage fixture. A Config
+// declaring a PrefixHash method (the checkpoint content-address) must
+// render every field in it, annotate the field //ar:prefix with the reason
+// it cannot influence any executed cycle, or already exclude the field
+// from Hash with //ar:exempt(hash) — anything else is the checkpoint
+// analogue of the unhashed-field bug class: two diverging configurations
+// silently sharing a warm start.
+package prefixcfg
+
+// Config is the fixture configuration struct.
+type Config struct {
+	Threads int // read by Hash, Validate and PrefixHash: fully covered
+	//ar:prefix(cycle-inert) the budget bounds how many cycles run, never what any executed cycle computes
+	Budget int
+	Limit  int // want `Limit is not read by PrefixHash\(\)`
+	//ar:exempt(hash) kernel choice is result-invariant; one cache entry and one checkpoint serve every kernel
+	Shards int
+	//ar:prefix no scope given // want `//ar:prefix requires a \(scope\)`
+	Window int // want `Window is not read by PrefixHash\(\)`
+}
+
+// Hash covers everything except the deliberately excluded Shards.
+func (c Config) Hash() uint64 {
+	return uint64(c.Threads) ^ uint64(c.Budget)<<8 ^ uint64(c.Limit)<<16 ^ uint64(c.Window)<<24
+}
+
+// PrefixHash is the checkpoint content-address: Budget is annotated
+// cycle-inert, Limit's omission is the fixture's deliberate gap, and
+// Window's annotation is malformed (no scope) so it must not silence the
+// coverage check.
+func (c Config) PrefixHash(cycle uint64) uint64 {
+	return uint64(c.Threads) ^ cycle
+}
+
+// Validate covers every field.
+func (c Config) Validate() bool {
+	return c.Threads > 0 && c.Budget >= 0 && c.Limit >= 0 && c.Shards >= 0 && c.Window >= 0
+}

@@ -119,6 +119,12 @@ type Core struct {
 
 	fenced bool // Gather or barrier outstanding: dispatch stops
 
+	// Fence provenance, recorded at issue so a checkpoint can re-arm the
+	// fence on restore: which primitive holds the thread and — for a
+	// Gather — the flow target whose completion wake must re-attach.
+	fenceKind   FenceKind
+	fenceTarget mem.PAddr
+
 	calls      []timedCall
 	callsSpare []timedCall // recycled backing array for the calls queue
 
@@ -469,6 +475,8 @@ func (c *Core) issue(in *isa.Inst, cycle uint64) bool {
 		// Gather is a thread fence: later updates of a dependent flow must
 		// not overtake the reduction write-back.
 		c.fenced = true
+		c.fenceKind = FenceGather
+		c.fenceTarget = cmd.Target
 		c.Stats.Gathers++
 	case isa.KindBarrier:
 		if c.barrier == nil {
@@ -482,6 +490,7 @@ func (c *Core) issue(in *isa.Inst, cycle uint64) bool {
 			}
 		}
 		c.fenced = true
+		c.fenceKind = FenceBarrier
 		c.Stats.Barriers++
 		if c.fx != nil {
 			c.fx.ops = append(c.fx.ops, effect{kind: effBarrier, wake: e.barrierWake}) //ar:exempt(hotpath) append into a retained buffer whose capacity is reused across ticks

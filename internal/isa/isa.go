@@ -224,6 +224,22 @@ func (s *SliceStream) Next() (Inst, bool) {
 	return i, true
 }
 
+// Pos reports how many instructions have been consumed (the replay
+// cursor), for checkpointing.
+func (s *SliceStream) Pos() int { return s.pos }
+
+// Len reports the total instruction count.
+func (s *SliceStream) Len() int { return len(s.insts) }
+
+// SetPos moves the replay cursor (restore path). It panics on an
+// out-of-range position; snapshot decoders validate against Len first.
+func (s *SliceStream) SetPos(pos int) {
+	if pos < 0 || pos > len(s.insts) {
+		panic("isa: SliceStream position out of range")
+	}
+	s.pos = pos
+}
+
 // PtrStream is an optional Stream extension that hands out a pointer to the
 // next instruction instead of a copy. The pointee is owned by the stream
 // and valid only until the following NextPtr/Next call; callers that need

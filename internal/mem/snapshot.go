@@ -1,0 +1,50 @@
+package mem
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Snapshot appends every touched page (sorted by page number, so the byte
+// stream is independent of map iteration order) for checkpointing.
+func (s *Store) Snapshot(e *sim.Enc) {
+	e.Tag("mem.store")
+	pns := make([]uint64, 0, len(s.pages))
+	//ar:exempt(determinism) key collection only; the slice is sorted before use
+	for pn := range s.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	e.Int(len(pns))
+	for _, pn := range pns {
+		e.U64(pn)
+		e.B = append(e.B, s.pages[pn][:]...)
+	}
+}
+
+// Restore replaces the store's contents with the snapshotted pages.
+func (s *Store) Restore(d *sim.Dec) {
+	d.Tag("mem.store")
+	n := d.Len(d.Remaining()/PageSize+1, "store pages")
+	if d.Err() != nil {
+		return
+	}
+	pages := make(map[uint64]*[PageSize]byte, n)
+	for i := 0; i < n; i++ {
+		pn := d.U64()
+		var pg [PageSize]byte
+		if d.Err() != nil {
+			return
+		}
+		if d.Remaining() < PageSize {
+			d.Fail("truncated page %#x", pn)
+			return
+		}
+		copy(pg[:], d.BytesAt(PageSize))
+		pages[pn] = &pg
+	}
+	if d.Err() == nil {
+		s.pages = pages
+	}
+}

@@ -1,0 +1,128 @@
+package network
+
+import (
+	"repro/internal/sim"
+)
+
+// Checkpoint support. A fabric snapshots only when fully drained with no
+// staged cross-domain effects (SnapshotReady), so queues, arrival wheels
+// and staging buffers are all empty and the surviving state is per-router
+// arbitration/link-timing state plus the accounting counters.
+//
+// Credits are encoded at their effective value: a drained fabric has
+// returned every downstream slot, but same-domain returns sit in
+// pendingCredits until the domain's next tick — the encoder folds those in
+// without mutating live state, and restore starts with the deferral queue
+// empty, which is behaviorally identical (deferred credits would apply
+// before any phase of the next tick anyway).
+//
+// Per-domain counters are encoded as merged totals and restored into
+// domain 0. Every cross-domain merge in the collection path is a
+// commutative sum, so a snapshot taken under one kernel partition restores
+// exactly under another (sequential <-> sharded).
+
+// SnapshotReady reports whether the fabric is in a checkpointable state.
+func (f *Fabric) SnapshotReady() bool { return f.Drained() && !f.StagedWork() }
+
+// Snapshot implements sim.Snapshotter for a drained fabric.
+func (f *Fabric) Snapshot(e *sim.Enc) {
+	e.Tag("fabric")
+	e.Int(len(f.routers))
+	e.Int(f.Cfg.VCs)
+
+	// Effective credits: live credits plus deferred returns, computed in
+	// scratch so the live machine is untouched.
+	eff := make([][]int, len(f.routers))
+	for i, r := range f.routers {
+		eff[i] = append([]int(nil), r.credits...)
+	}
+	for _, d := range f.doms {
+		for _, c := range d.pendingCredits {
+			eff[c.node][c.idx]++
+		}
+		for _, c := range d.stagedCredits {
+			eff[c.node][c.idx]++
+		}
+	}
+	for i, r := range f.routers {
+		e.Int(r.ports)
+		e.Int(r.rrPort)
+		for _, lb := range r.linkBusy {
+			e.U64(lb)
+		}
+		for _, cr := range eff[i] {
+			e.Int(cr)
+		}
+	}
+
+	// Accounting, merged across domains (commutative sums).
+	var hopBytes, delivered, injected, ejectStalled, nextID uint64
+	var movement [4]uint64
+	for _, d := range f.doms {
+		hopBytes += d.HopBytes
+		delivered += d.Delivered
+		injected += d.Injected
+		ejectStalled += d.ejectStalled
+		nextID += d.nextID
+		movement[0] += d.Movement.NormReq
+		movement[1] += d.Movement.NormResp
+		movement[2] += d.Movement.ActiveReq
+		movement[3] += d.Movement.ActiveResp
+	}
+	e.U64(hopBytes)
+	e.U64(delivered)
+	e.U64(injected)
+	e.U64(ejectStalled)
+	e.U64(nextID)
+	for _, m := range movement {
+		e.U64(m)
+	}
+	f.MergedCounters().Snapshot(e)
+}
+
+// Restore implements sim.Snapshotter for a freshly constructed (traffic-
+// free) fabric, possibly partitioned differently from the snapshot source.
+func (f *Fabric) Restore(d *sim.Dec) {
+	d.Tag("fabric")
+	if n := d.Int(); d.Err() == nil && n != len(f.routers) {
+		d.Fail("fabric router count mismatch: snapshot %d, machine %d", n, len(f.routers))
+		return
+	}
+	if v := d.Int(); d.Err() == nil && v != f.Cfg.VCs {
+		d.Fail("fabric VC count mismatch: snapshot %d, machine %d", v, f.Cfg.VCs)
+		return
+	}
+	for _, r := range f.routers {
+		if p := d.Int(); d.Err() == nil && p != r.ports {
+			d.Fail("fabric node %d port count mismatch: snapshot %d, machine %d", r.node, p, r.ports)
+			return
+		}
+		r.rrPort = d.Int()
+		if nin := r.ports*f.Cfg.VCs + f.Cfg.VCs; r.rrPort < 0 || r.rrPort >= nin {
+			d.Fail("fabric node %d rrPort %d out of range", r.node, r.rrPort)
+			return
+		}
+		for p := range r.linkBusy {
+			r.linkBusy[p] = d.U64()
+		}
+		for i := range r.credits {
+			cr := d.Int()
+			if cr < 0 || cr > f.Cfg.QueueDepth {
+				d.Fail("fabric node %d credit %d out of range [0,%d]", r.node, cr, f.Cfg.QueueDepth)
+				return
+			}
+			r.credits[i] = cr
+		}
+	}
+	d0 := f.doms[0]
+	d0.HopBytes = d.U64()
+	d0.Delivered = d.U64()
+	d0.Injected = d.U64()
+	d0.ejectStalled = d.U64()
+	d0.nextID = d.U64()
+	d0.Movement.NormReq = d.U64()
+	d0.Movement.NormResp = d.U64()
+	d0.Movement.ActiveReq = d.U64()
+	d0.Movement.ActiveResp = d.U64()
+	d0.counters.Restore(d)
+}

@@ -29,9 +29,10 @@ type Client struct {
 }
 
 // RetryPolicy bounds the client's retry loop for transport errors and
-// retryable HTTP statuses (502/503/504). Backoff is exponential from
+// retryable HTTP statuses (429/502/503/504). Backoff is exponential from
 // BaseDelay, capped at MaxDelay, with full jitter; a server Retry-After
-// hint overrides the computed delay when longer.
+// hint (delay-seconds or HTTP-date) overrides the computed delay when
+// longer.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries; 0 or 1 means no retries.
 	MaxAttempts int
@@ -57,8 +58,14 @@ func (p RetryPolicy) max() time.Duration {
 
 // delay computes the backoff before attempt n (1-based count of failures so
 // far): full jitter over an exponentially growing window, floored by the
-// server's Retry-After hint when one was sent.
-func (p RetryPolicy) delay(n int, retryAfter time.Duration) time.Duration {
+// server's Retry-After hint when one was sent. An explicit zero hint
+// ("Retry-After: 0") means the server invites an immediate retry, which
+// overrides the jittered wait — distinct from no hint at all, where the
+// client's own backoff stands.
+func (p RetryPolicy) delay(n int, retryAfter time.Duration, hasHint bool) time.Duration {
+	if hasHint && retryAfter == 0 {
+		return 0
+	}
 	window := p.base() << (n - 1)
 	if window <= 0 || window > p.max() {
 		window = p.max()
@@ -99,7 +106,7 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 	}
 	var lastErr error
 	for n := 1; ; n++ {
-		retryable, retryAfter, err := c.attempt(ctx, method, path, payload, in != nil, out)
+		retryable, retryAfter, hasHint, err := c.attempt(ctx, method, path, payload, in != nil, out)
 		if err == nil {
 			return nil
 		}
@@ -107,7 +114,7 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 		if !retryable || n >= attempts {
 			return lastErr
 		}
-		t := time.NewTimer(c.Retry.delay(n, retryAfter))
+		t := time.NewTimer(c.Retry.delay(n, retryAfter, hasHint))
 		select {
 		case <-ctx.Done():
 			t.Stop()
@@ -117,17 +124,42 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 	}
 }
 
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds ("120", "0" meaning retry immediately) or an HTTP-date
+// ("Fri, 08 Aug 2026 09:00:00 GMT"), whose delay is the distance from now
+// (0 when the date already passed). ok distinguishes an explicit zero hint
+// from no usable hint: absent or malformed values report false, and the
+// client falls back to its own backoff — never skips the retry.
+func parseRetryAfter(v string) (d time.Duration, ok bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
 // attempt is one HTTP round trip. retryable reports whether the failure is
-// worth another try (transport error, or a 502/503/504 status); retryAfter
-// carries the server's Retry-After hint when present.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (retryable bool, retryAfter time.Duration, err error) {
+// worth another try (transport error, or a 429/502/503/504 status);
+// retryAfter carries the server's Retry-After hint when present.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) (retryable bool, retryAfter time.Duration, hasHint bool, err error) {
 	var body io.Reader
 	if hasBody {
 		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return false, 0, fmt.Errorf("service client: %w", err)
+		return false, 0, false, fmt.Errorf("service client: %w", err)
 	}
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
@@ -136,32 +168,30 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	if err != nil {
 		// Transport-level failures (connection reset, refused) are
 		// retryable unless the caller's context is what gave out.
-		return ctx.Err() == nil, 0, fmt.Errorf("service client: %s %s: %w", method, path, err)
+		return ctx.Err() == nil, 0, false, fmt.Errorf("service client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		switch resp.StatusCode {
-		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			retryable = true
-			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
-				retryAfter = time.Duration(secs) * time.Second
-			}
+			retryAfter, hasHint = parseRetryAfter(resp.Header.Get("Retry-After"))
 		}
 		var problem struct {
 			Error string `json:"error"`
 		}
 		if derr := json.NewDecoder(resp.Body).Decode(&problem); derr == nil && problem.Error != "" {
-			return retryable, retryAfter, fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, problem.Error, resp.StatusCode)
+			return retryable, retryAfter, hasHint, fmt.Errorf("service client: %s %s: %s (HTTP %d)", method, path, problem.Error, resp.StatusCode)
 		}
-		return retryable, retryAfter, fmt.Errorf("service client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return retryable, retryAfter, hasHint, fmt.Errorf("service client: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	if out == nil {
-		return false, 0, nil
+		return false, 0, false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return false, 0, fmt.Errorf("service client: decoding %s response: %w", path, err)
+		return false, 0, false, fmt.Errorf("service client: decoding %s response: %w", path, err)
 	}
-	return false, 0, nil
+	return false, 0, false, nil
 }
 
 // Run submits one simulation job and returns the (possibly cached) result.

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		d    time.Duration
+		ok   bool
+		name string
+	}{
+		{"", 0, false, "absent"},
+		{"garbage", 0, false, "malformed"},
+		{"-3", 0, false, "negative seconds"},
+		{"0", 0, true, "explicit zero (immediate retry)"},
+		{"2", 2 * time.Second, true, "delay-seconds"},
+		{time.Now().UTC().Add(-time.Hour).Format(http.TimeFormat), 0, true, "past HTTP-date"},
+	}
+	for _, c := range cases {
+		d, ok := parseRetryAfter(c.in)
+		if d != c.d || ok != c.ok {
+			t.Errorf("%s: parseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.name, c.in, d, ok, c.d, c.ok)
+		}
+	}
+	// Future HTTP-date: the delay is the distance from now, so assert a
+	// window rather than an exact value.
+	future := time.Now().UTC().Add(90 * time.Second).Format(http.TimeFormat)
+	d, ok := parseRetryAfter(future)
+	if !ok || d <= 80*time.Second || d > 91*time.Second {
+		t.Errorf("future HTTP-date: parseRetryAfter(%q) = (%v, %v)", future, d, ok)
+	}
+}
+
+// TestRetryDelayHonorsHints pins the delay policy's hint handling: an
+// explicit zero hint retries immediately, a long hint floors the jittered
+// backoff, and no hint leaves the backoff window intact.
+func TestRetryDelayHonorsHints(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	if d := p.delay(1, 0, true); d != 0 {
+		t.Errorf("explicit zero hint: delay = %v, want 0", d)
+	}
+	if d := p.delay(1, time.Minute, true); d != time.Minute {
+		t.Errorf("long hint: delay = %v, want 1m", d)
+	}
+	if d := p.delay(1, 0, false); d > 4*time.Millisecond {
+		t.Errorf("no hint: delay = %v beyond MaxDelay", d)
+	}
+}
+
+// TestClientRetries429 checks 429 is retryable (it was not, historically:
+// only 502/503/504 were) and that "Retry-After: 0" produces an immediate
+// second attempt.
+func TestClientRetries429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	// A prohibitive backoff proves the zero hint bypasses it: the test
+	// would time out if the client slept its configured delay.
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("429 then 200: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d calls, want 2", n)
+	}
+}
+
+// TestClientRetryAfterHTTPDate checks the RFC 9110 HTTP-date form is
+// honored: historically it failed strconv.Atoi and was silently dropped.
+func TestClientRetryAfterHTTPDate(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// A date already passed: hint decays to an immediate retry.
+			w.Header().Set("Retry-After", time.Now().UTC().Add(-time.Minute).Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("503 with HTTP-date then 200: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d calls, want 2", n)
+	}
+}

@@ -98,6 +98,11 @@ type Options struct {
 	// bound; cached (and in-flight-coalescible) requests are always served.
 	// 0 disables shedding.
 	MaxQueue int
+	// Snapshots, when non-nil, is the durable checkpoint store backing
+	// prefix-shared sweeps: family checkpoints persist across restarts, so
+	// a repeated study warm-starts its leaders instead of re-simulating
+	// their prefixes. Results are unaffected — only wall clock.
+	Snapshots *store.Store
 }
 
 // ErrOverloaded is returned for a request that would start a new
@@ -112,6 +117,7 @@ type Server struct {
 	budget     *sweep.Budget
 	cache      *resultCache
 	store      *store.Store
+	snaps      *store.Store
 	start      time.Time
 	simShards  int
 	jobTimeout time.Duration
@@ -131,6 +137,8 @@ type Server struct {
 	storeLoaded uint64 // records warm-loaded from the store at boot
 	storeBadRec uint64 // store records that failed to decode at boot
 	storeFails  uint64 // write-through Put failures (results still served)
+	sweepForks  uint64 // sweep points resumed from a shared-prefix checkpoint
+	sweepWarm   uint64 // sweep leaders warm-started from the snapshot store
 }
 
 // New builds a server. When opts.Store is set, every decodable record it
@@ -144,6 +152,7 @@ func New(opts Options) *Server {
 		budget:     sweep.NewBudget(opts.Workers),
 		cache:      newResultCache(opts.Shards),
 		store:      opts.Store,
+		snaps:      opts.Snapshots,
 		start:      time.Now(),
 		simShards:  opts.SimShards,
 		jobTimeout: opts.JobTimeout,
@@ -313,11 +322,24 @@ func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error)
 // Sweep executes a named built-in study at the given scale on the shared
 // budget. Sweep points mutate configurations away from the defaults and are
 // not routed through the result cache (the cache serves the repeat-heavy
-// /run and /figures traffic; a sweep is a one-shot grid).
+// /run and /figures traffic; a sweep is a one-shot grid). Studies that
+// declare a PrefixCycle run prefix-shared: grid points fork from one
+// checkpoint per shared-prefix family (bit-identical results, lower wall
+// clock), warm-starting from the snapshot store when one is configured.
 func (s *Server) Sweep(ctx context.Context, study string, scale workload.Scale) (*sweep.Result, error) {
 	grid, err := sweep.StudyGrid(study, scale)
 	if err != nil {
 		return nil, err
+	}
+	if grid.PrefixCycle > 0 {
+		res, st, err := sweep.RunPrefixShared(ctx, grid, s.budget, s.snaps)
+		if err == nil {
+			s.mu.Lock()
+			s.sweepForks += uint64(st.ForkResumes)
+			s.sweepWarm += uint64(st.StoreHits)
+			s.mu.Unlock()
+		}
+		return res, err
 	}
 	return sweep.RunOn(ctx, grid, s.budget)
 }
@@ -348,6 +370,8 @@ type Stats struct {
 	StoreRecordsLoaded      uint64 `json:"store_records_loaded"`
 	StoreCorruptQuarantined uint64 `json:"store_corrupt_quarantined"`
 	StorePutFailures        uint64 `json:"store_put_failures"`
+	SweepForkResumes        uint64 `json:"sweep_fork_resumes"`
+	SweepWarmStarts         uint64 `json:"sweep_warm_starts"`
 
 	// Allocation/GC gauges (runtime.MemStats snapshots) so operators can
 	// watch the simulator's memory discipline in production: with the
@@ -374,6 +398,9 @@ func (s *Server) Stats() Stats {
 		RequestsShed:   s.shed,
 		JobsCancelled:  s.cancelled,
 		JobsTimedOut:   s.timedOut,
+
+		SweepForkResumes: s.sweepForks,
+		SweepWarmStarts:  s.sweepWarm,
 	}
 	storeBad := s.storeBadRec
 	st.StoreRecordsLoaded = s.storeLoaded

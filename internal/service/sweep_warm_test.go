@@ -1,0 +1,51 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestServerSweepWarmStarts checks the service's prefix-shared sweep path:
+// the flowtable study (which declares a PrefixCycle) persists family
+// checkpoints to the snapshot store, and a server restarted over the same
+// store warm-starts every family leader while producing the identical
+// result grid.
+func TestServerSweepWarmStarts(t *testing.T) {
+	dir := t.TempDir()
+	snaps, err := store.Open(dir, store.Options{SegmentPrefix: "snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Options{Snapshots: snaps})
+	first, err := s1.Sweep(context.Background(), "flowtable", workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Stats(); st.SweepForkResumes == 0 || st.SweepWarmStarts != 0 {
+		t.Fatalf("first sweep stats: forks=%d warm=%d", st.SweepForkResumes, st.SweepWarmStarts)
+	}
+	if snaps.Len() == 0 {
+		t.Fatal("sweep persisted no checkpoints")
+	}
+	snaps.Close()
+
+	reopened, err := store.Open(dir, store.Options{SegmentPrefix: "snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Snapshots: reopened})
+	second, err := s2.Sweep(context.Background(), "flowtable", workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.SweepWarmStarts == 0 {
+		t.Fatalf("restarted server took no warm starts: %+v", st)
+	}
+	if !reflect.DeepEqual(second, first) {
+		t.Error("warm-started sweep diverged from the cold one")
+	}
+}

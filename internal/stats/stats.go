@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // Handle is a dense index into a Set, returned by Register. Components on
@@ -269,4 +271,67 @@ func (d *DataMovement) Merge(other DataMovement) {
 	d.NormResp += other.NormResp
 	d.ActiveReq += other.ActiveReq
 	d.ActiveResp += other.ActiveResp
+}
+
+// Snapshot appends the set's counters (registration order, name + value
+// pairs) for checkpointing.
+func (s *Set) Snapshot(e *sim.Enc) {
+	e.Tag("stats.set")
+	e.Int(len(s.order))
+	for i, n := range s.order {
+		e.Str(n)
+		e.U64(s.vals[i])
+	}
+}
+
+// Restore folds snapshotted counters back into s (fresh slots are created
+// for names the restored machine has not registered yet; pre-registered
+// slots are overwritten from zero by addition).
+func (s *Set) Restore(d *sim.Dec) {
+	d.Tag("stats.set")
+	n := d.Len(1<<20, "stats counters")
+	for i := 0; i < n && d.Err() == nil; i++ {
+		name := d.Str()
+		v := d.U64()
+		if d.Err() == nil {
+			s.Add(name, v)
+		}
+	}
+}
+
+// Snapshot appends the series state for checkpointing.
+func (s *IPCSeries) Snapshot(e *sim.Enc) {
+	e.Tag("stats.ipc")
+	e.U64(s.Window)
+	e.U64(s.retired)
+	e.U64(s.lastCycle)
+	e.U64(s.TotalInsts)
+	e.Int(len(s.Points))
+	for _, p := range s.Points {
+		e.U64(p.Insts)
+		e.F64(p.IPC)
+	}
+}
+
+// Restore reads the series state back; the restored machine must have been
+// built with the same window size.
+func (s *IPCSeries) Restore(d *sim.Dec) {
+	d.Tag("stats.ipc")
+	if w := d.U64(); d.Err() == nil && w != s.Window {
+		d.Fail("IPC window mismatch: snapshot %d, machine %d", w, s.Window)
+	}
+	s.retired = d.U64()
+	s.lastCycle = d.U64()
+	s.TotalInsts = d.U64()
+	n := d.Len(1<<30, "IPC points")
+	if d.Err() != nil {
+		return
+	}
+	s.Points = s.Points[:0]
+	for i := 0; i < n && d.Err() == nil; i++ {
+		p := IPCPoint{Insts: d.U64(), IPC: d.F64()}
+		if d.Err() == nil {
+			s.Points = append(s.Points, p)
+		}
+	}
 }

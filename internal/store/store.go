@@ -33,6 +33,11 @@ type Options struct {
 	// crash may lose recent records (never corrupt old ones). The service
 	// keeps the default because a lost record is a re-simulation.
 	NoSync bool
+	// SegmentPrefix names the store's segment file family; empty means
+	// "seg". Files are <prefix>-<n>.log, so distinct record families (the
+	// result cache, the checkpoint store) can live in separate directories
+	// or share tooling without their segment numbering colliding.
+	SegmentPrefix string
 }
 
 // Stats is a point-in-time snapshot of the store's robustness gauges.
@@ -64,11 +69,25 @@ type Store struct {
 	nextSeg    int
 	encBuf     []byte
 	stats      Stats
+
+	segPrefix string
+	segRe     *regexp.Regexp
 }
 
-var segmentRe = regexp.MustCompile(`^seg-(\d{8})\.log$`)
+// segmentRe matches this store's segment files. `\d{8,}` (not `\d{8}`):
+// segmentName zero-pads to 8 digits but %08d widens once the counter
+// rolls past seg-99999999.log, and recovery must keep accepting those
+// segments rather than silently skipping them.
+func (s *Store) segmentRe() *regexp.Regexp {
+	if s.segRe == nil {
+		s.segRe = regexp.MustCompile(`^` + regexp.QuoteMeta(s.segPrefix) + `-(\d{8,})\.log$`)
+	}
+	return s.segRe
+}
 
-func segmentName(n int) string { return fmt.Sprintf("seg-%08d.log", n) }
+func (s *Store) segmentName(n int) string {
+	return fmt.Sprintf("%s-%08d.log", s.segPrefix, n)
+}
 
 // Open loads (or creates) the store at dir, recovering every intact record
 // from its segment files. Corrupt or torn byte stretches are moved to
@@ -81,7 +100,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = 8 << 20
 	}
-	s := &Store{dir: dir, fs: opts.FS, opts: opts, index: make(map[string][]byte)}
+	if opts.SegmentPrefix == "" {
+		opts.SegmentPrefix = "seg"
+	}
+	s := &Store{dir: dir, fs: opts.FS, opts: opts, index: make(map[string][]byte), segPrefix: opts.SegmentPrefix}
 	if err := s.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
@@ -91,8 +113,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	segs := make([]int, 0, len(names))
 	for _, name := range names {
-		if m := segmentRe.FindStringSubmatch(name); m != nil {
-			n, _ := strconv.Atoi(m[1])
+		if m := s.segmentRe().FindStringSubmatch(name); m != nil {
+			n, err := strconv.Atoi(m[1])
+			if err != nil {
+				// A digit run too long for int (overflow): not one of ours.
+				continue
+			}
 			segs = append(segs, n)
 		}
 	}
@@ -116,7 +142,7 @@ func Open(dir string, opts Options) (*Store, error) {
 // file. Any damage triggers an atomic rewrite of the segment containing
 // only the intact records, so the next Open scans clean files.
 func (s *Store) recoverSegment(n int) error {
-	path := filepath.Join(s.dir, segmentName(n))
+	path := filepath.Join(s.dir, s.segmentName(n))
 	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		// The segment cannot be read at all (injected short read paths
@@ -168,7 +194,7 @@ func (s *Store) recoverSegment(n int) error {
 	if err := s.fs.MkdirAll(qdir); err == nil {
 		// Quarantine-file write failures are not fatal: the bytes are
 		// already condemned, and the repair below is what protects reads.
-		_ = s.fs.WriteFile(filepath.Join(qdir, segmentName(n)+".bad"), bad)
+		_ = s.fs.WriteFile(filepath.Join(qdir, s.segmentName(n)+".bad"), bad)
 	}
 	var clean []byte
 	for _, r := range good {
@@ -246,12 +272,12 @@ func (s *Store) Put(key string, value []byte) error {
 		// let the next Put start a fresh segment; recovery quarantines the
 		// tail on the next Open.
 		s.dropActiveLocked()
-		return fmt.Errorf("store: appending to %s: %w", segmentName(s.nextSeg-1), err)
+		return fmt.Errorf("store: appending to %s: %w", s.segmentName(s.nextSeg-1), err)
 	}
 	if !s.opts.NoSync {
 		if err := s.active.Sync(); err != nil {
 			s.dropActiveLocked()
-			return fmt.Errorf("store: syncing %s: %w", segmentName(s.nextSeg-1), err)
+			return fmt.Errorf("store: syncing %s: %w", s.segmentName(s.nextSeg-1), err)
 		}
 	}
 	s.activeSize += int64(len(s.encBuf))
@@ -266,7 +292,7 @@ func (s *Store) Put(key string, value []byte) error {
 
 // openActiveLocked starts the next segment file.
 func (s *Store) openActiveLocked() error {
-	name := filepath.Join(s.dir, segmentName(s.nextSeg))
+	name := filepath.Join(s.dir, s.segmentName(s.nextSeg))
 	f, err := s.fs.OpenAppend(name)
 	if err != nil {
 		return fmt.Errorf("store: opening segment %s: %w", name, err)

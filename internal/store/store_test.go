@@ -91,7 +91,7 @@ func TestStoreTornTailQuarantined(t *testing.T) {
 	mustPut(t, s, "torn", "this-record-will-be-cut")
 	s.Close()
 
-	seg := filepath.Join(dir, segmentName(0))
+	seg := filepath.Join(dir, s.segmentName(0))
 	fi, err := os.Stat(seg)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +113,7 @@ func TestStoreTornTailQuarantined(t *testing.T) {
 	if _, ok := r.Get("torn"); ok {
 		t.Fatal("torn record served")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "quarantine", segmentName(0)+".bad")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", s.segmentName(0)+".bad")); err != nil {
 		t.Fatalf("quarantine file missing: %v", err)
 	}
 
@@ -142,7 +142,7 @@ func TestStoreBitFlipMidSegment(t *testing.T) {
 	mustPut(t, s, "later2", "survivor-two")
 	s.Close()
 
-	seg := filepath.Join(dir, segmentName(0))
+	seg := filepath.Join(dir, s.segmentName(0))
 	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
@@ -181,7 +181,7 @@ func TestStoreHeaderCorruptionQuarantinesRest(t *testing.T) {
 	mustPut(t, s, "after", "also-lost")
 	s.Close()
 
-	seg := filepath.Join(dir, segmentName(0))
+	seg := filepath.Join(dir, s.segmentName(0))
 	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +225,7 @@ func TestStoreSegmentRotation(t *testing.T) {
 	}
 	segs := 0
 	for _, e := range names {
-		if segmentRe.MatchString(e.Name()) {
+		if s.segmentRe().MatchString(e.Name()) {
 			segs++
 		}
 	}
@@ -238,6 +238,92 @@ func TestStoreSegmentRotation(t *testing.T) {
 	}
 	if r.Len() != n {
 		t.Fatalf("reloaded %d records, want %d", r.Len(), n)
+	}
+}
+
+// TestStoreSegmentRollover is the regression test for the segment-name
+// recovery bug: once the segment counter passes 99999999, %08d widens to
+// nine digits and the old `\d{8}` pattern silently skipped those files on
+// the next Open — dropping every record they held. Recovery must load
+// wide-numbered segments and continue numbering past them.
+func TestStoreSegmentRollover(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.segmentName(100000000); got != "seg-100000000.log" {
+		t.Fatalf("segmentName(1e8) = %q", got)
+	}
+	// Jump the counter to the rollover boundary, then write across it.
+	s.mu.Lock()
+	s.nextSeg = 99999999
+	s.mu.Unlock()
+	mustPut(t, s, "last8", "eight-digit segment")
+	s.Close() // seal so the next Put opens seg-100000000.log
+	mustPut(t, s, "first9", "nine-digit segment")
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, "seg-100000000.log")); err != nil {
+		t.Fatalf("nine-digit segment missing: %v", err)
+	}
+
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("recovered %d records across rollover, want 2", r.Len())
+	}
+	mustGet(t, r, "last8", "eight-digit segment")
+	mustGet(t, r, "first9", "nine-digit segment")
+	if r.nextSeg != 100000001 {
+		t.Fatalf("nextSeg after rollover recovery = %d, want 100000001", r.nextSeg)
+	}
+	// And the reopened store keeps appending past the boundary.
+	mustPut(t, r, "after", "still-works")
+	r.Close()
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, r2, "after", "still-works")
+}
+
+// TestStoreSegmentPrefix checks two stores with distinct prefixes keep
+// separate segment families: each Open only recovers its own files.
+func TestStoreSegmentPrefix(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, a, "res", "result-record")
+	a.Close()
+	b, err := Open(dir, Options{SegmentPrefix: "snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, b, "ckpt", "snapshot-record")
+	b.Close()
+	if _, err := os.Stat(filepath.Join(dir, "snap-00000000.log")); err != nil {
+		t.Fatalf("prefixed segment missing: %v", err)
+	}
+
+	ra, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Open(dir, Options{SegmentPrefix: "snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, ra, "res", "result-record")
+	mustGet(t, rb, "ckpt", "snapshot-record")
+	if _, ok := ra.Get("ckpt"); ok {
+		t.Fatal("default store recovered the snap-prefixed family")
+	}
+	if _, ok := rb.Get("res"); ok {
+		t.Fatal("snap store recovered the default family")
 	}
 }
 

@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestPrefixSharedMatchesRun is the prefix-sharing correctness property:
+// the flowtable study executed with shared prefixes produces a Result
+// bit-identical to the plain engine's, while actually forking (the axis
+// values beyond each family's leader resume from its checkpoint).
+func TestPrefixSharedMatchesRun(t *testing.T) {
+	g := FlowTableStudy(workload.ScaleTiny)
+	want, err := Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := RunPrefixShared(context.Background(), g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("prefix-shared result diverged from plain run:\n got: %+v\nwant: %+v", got, want)
+	}
+	// One family per (workload, scheme) pair: MaxFlows is prefix-excluded.
+	if st.Families != 2 {
+		t.Errorf("families = %d, want 2", st.Families)
+	}
+	if st.LeaderRuns != 2 {
+		t.Errorf("leader runs = %d, want 2", st.LeaderRuns)
+	}
+	// lud's prefix never stalls the 64-flow leader table (measured peaks 44
+	// and 64), so every non-leader point must fork, none fall back cold.
+	if st.ForkResumes != 8 || st.ColdFallbacks != 0 {
+		t.Errorf("forks = %d cold = %d, want 8 and 0", st.ForkResumes, st.ColdFallbacks)
+	}
+}
+
+// TestPrefixSharedSnapshotStore checks checkpoint persistence: a first
+// sweep populates the snapshot store, a second one warm-starts every
+// family leader from it and still reproduces the identical Result.
+func TestPrefixSharedSnapshotStore(t *testing.T) {
+	snaps, err := store.Open(t.TempDir(), store.Options{SegmentPrefix: "snap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FlowTableStudy(workload.ScaleTiny)
+	first, st, err := RunPrefixShared(context.Background(), g, nil, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoreHits != 0 || st.LeaderRuns != 2 {
+		t.Fatalf("first sweep stats = %+v", st)
+	}
+	if snaps.Len() != 2 {
+		t.Fatalf("snapshot store holds %d checkpoints, want 2", snaps.Len())
+	}
+	second, st, err := RunPrefixShared(context.Background(), g, nil, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoreHits != 2 || st.LeaderRuns != 0 {
+		t.Fatalf("second sweep stats = %+v (want every leader warm)", st)
+	}
+	if !reflect.DeepEqual(second, first) {
+		t.Error("warm-started sweep diverged from the cold one")
+	}
+}
+
+// TestPrefixSharedZeroCycleDegenerates checks PrefixCycle == 0 delegates
+// to the plain engine with empty stats.
+func TestPrefixSharedZeroCycleDegenerates(t *testing.T) {
+	g := FlowTableStudy(workload.ScaleTiny)
+	g.PrefixCycle = 0
+	res, st, err := RunPrefixShared(context.Background(), g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *st != (PrefixStats{}) {
+		t.Errorf("degenerate stats = %+v", st)
+	}
+	if len(res.Points) != g.Size() {
+		t.Errorf("points = %d, want %d", len(res.Points), g.Size())
+	}
+}

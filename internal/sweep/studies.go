@@ -50,6 +50,26 @@ func FlowTableStudy(scale workload.Scale) Grid {
 			Ints("are.max_flows", []int{64, 96, 128, 192, 256},
 				func(cfg *system.Config, v int) { cfg.ARE.MaxFlows = v }),
 		},
+		PrefixCycle: flowTablePrefixCycle(scale),
+	}
+}
+
+// flowTablePrefixCycle places the study's shared-prefix checkpoint deep in
+// lud's run at each scale — late enough that forks skip most of the work,
+// early enough that both schemes still have quiescent points past it
+// (measured run lengths: ~8.0k/8.2k cycles at tiny, ~759k/887k at small
+// for ARF-tid/ARF-addr). Unmeasured scales disable sharing: a PrefixCycle
+// past the run's end would still be CORRECT (RunToCheckpoint reports no
+// quiescent point and every member runs cold) but would probe the whole
+// run for nothing.
+func flowTablePrefixCycle(scale workload.Scale) uint64 {
+	switch scale {
+	case workload.ScaleTiny:
+		return 5_000
+	case workload.ScaleSmall:
+		return 600_000
+	default:
+		return 0
 	}
 }
 

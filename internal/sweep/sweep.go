@@ -60,6 +60,12 @@ type Grid struct {
 	Axes      []Axis
 	// Workers bounds pool parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// PrefixCycle, when nonzero, marks the cycle up to which grid points
+	// whose configurations are prefix-compatible (system.Config.PrefixHash)
+	// provably simulate identically. RunPrefixShared checkpoints one family
+	// leader there and forks the rest from the snapshot; plain Run ignores
+	// it.
+	PrefixCycle uint64
 }
 
 // Size returns the number of points the grid expands to.
@@ -180,23 +186,7 @@ func RunOn(ctx context.Context, g Grid, b *Budget) (*Result, error) {
 		if err != nil {
 			return fmt.Errorf("sweep %s point %v: %w", g.Name, j.coords, err)
 		}
-		points[i] = Point{
-			Index:            i,
-			Coords:           j.coords,
-			Workload:         j.wl,
-			Scheme:           j.scheme.String(),
-			ConfigHash:       cfg.Hash(),
-			Cycles:           r.Cycles,
-			Instructions:     r.Instructions,
-			IPC:              r.IPC,
-			FlowPeak:         r.FlowPeak,
-			FlowTableStalls:  r.Engine.FlowTableStalls,
-			OperandBufStalls: r.Engine.OperandBufStalls,
-			MovementBytes:    r.Movement.Total(),
-			ActiveBytes:      r.Movement.ActiveReq + r.Movement.ActiveResp,
-			EnergyJ:          r.Energy.Total(),
-			EDP:              r.EDP,
-		}
+		points[i] = newPoint(i, j, &cfg, r)
 		return nil
 	})
 	if err != nil {
@@ -207,4 +197,25 @@ func RunOn(ctx context.Context, g Grid, b *Budget) (*Result, error) {
 		res.AxisNames = append(res.AxisNames, ax.Name)
 	}
 	return res, nil
+}
+
+// newPoint records one completed grid point's measurements.
+func newPoint(i int, j jobSpec, cfg *system.Config, r *system.Results) Point {
+	return Point{
+		Index:            i,
+		Coords:           j.coords,
+		Workload:         j.wl,
+		Scheme:           j.scheme.String(),
+		ConfigHash:       cfg.Hash(),
+		Cycles:           r.Cycles,
+		Instructions:     r.Instructions,
+		IPC:              r.IPC,
+		FlowPeak:         r.FlowPeak,
+		FlowTableStalls:  r.Engine.FlowTableStalls,
+		OperandBufStalls: r.Engine.OperandBufStalls,
+		MovementBytes:    r.Movement.Total(),
+		ActiveBytes:      r.Movement.ActiveReq + r.Movement.ActiveResp,
+		EnergyJ:          r.Energy.Total(),
+		EDP:              r.EDP,
+	}
 }

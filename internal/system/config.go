@@ -147,7 +147,8 @@ type Config struct {
 	MIWindow   int
 
 	//ar:exempt(validate) every 64-bit seed keys a runnable machine
-	Seed      uint64
+	Seed uint64
+	//ar:prefix(cycle-inert) the budget caps how long the machine may run but never alters any cycle it does run, so points differing only in budget share every checkpoint
 	MaxCycles uint64
 	// IPCSampleCycles sets the Fig 5.8 sampling window.
 	IPCSampleCycles uint64
@@ -243,6 +244,47 @@ func (c *Config) Hash() string {
 	fmt.Fprintf(h, "%d|%d|%d|", c.CoordQueue, c.MIQueue, c.MIWindow)
 	fmt.Fprintf(h, "%d|%d|%d", c.Seed, c.MaxCycles, c.IPCSampleCycles)
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// prefixHashVersion salts Config.PrefixHash, independently of
+// cfgHashVersion: prefix keys address checkpoint blobs, not result records,
+// and the two families must never collide even if the field renderings
+// coincide. Bump it whenever the prefix rendering (or the snapshot wire
+// format it keys) changes shape.
+const prefixHashVersion = "prefix/v1|"
+
+// PrefixHash returns a stable 64-bit digest of every configuration field
+// that can influence the machine's first `cycle` cycles — the
+// content-address of a checkpoint taken at that cycle. Two configurations
+// share a prefix hash iff a checkpoint taken under one restores exactly
+// under the other:
+//
+//   - MaxCycles is excluded: //ar:prefix(cycle-inert) the budget caps how
+//     long the machine may run but never alters any cycle it does run, so
+//     points that differ only in budget share every checkpoint.
+//   - ARE.MaxFlows is zeroed before rendering: flow-table capacity only
+//     matters once the table fills, and the sweep layer's fork-validity
+//     guard (leader peak below the fork's capacity, zero capacity stalls)
+//     refuses the warm start whenever the prefix could have noticed the
+//     difference. Every other ARE field is prefix-live.
+//   - Shards and Workers are excluded with the same justification as in
+//     Hash: kernel choice is result-invariant, and checkpoints are
+//     kernel-portable by construction (cross-kernel restore is pinned by
+//     the checkpoint golden tests).
+func (c *Config) PrefixHash(cycle uint64) uint64 {
+	pc := *c
+	pc.ARE.MaxFlows = 0
+	h := fnv.New64a()
+	h.Write([]byte(prefixHashVersion))
+	fmt.Fprintf(h, "%d|", cycle)
+	fmt.Fprintf(h, "%d|%d|", pc.Scheme, pc.Threads)
+	fmt.Fprintf(h, "%#v|%#v|%#v|", pc.Core, pc.L1, pc.L2)
+	fmt.Fprintf(h, "%#v|%#v|", pc.NoC, pc.MemNet)
+	fmt.Fprintf(h, "%#v|%#v|%d|", pc.Cube, pc.ARE, pc.MemTopo)
+	fmt.Fprintf(h, "%#v|%#v|%#v|", pc.DRAMTiming, pc.DRAMGeom, pc.HMCGeom)
+	fmt.Fprintf(h, "%d|%d|%d|", pc.CoordQueue, pc.MIQueue, pc.MIWindow)
+	fmt.Fprintf(h, "%d|%d", pc.Seed, pc.IPCSampleCycles)
+	return h.Sum64()
 }
 
 // mcTiles are the NoC tiles hosting the four memory controllers (Table

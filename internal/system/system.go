@@ -586,11 +586,14 @@ func (s *System) Run() (*Results, error) {
 // of burning its full cycle budget. Cancellation never produces partial
 // Results — the return is (nil, error wrapping ctx.Err()).
 func (s *System) RunCtx(ctx context.Context) (*Results, error) {
+	// The budget is relative to the current clock so a run resumed from a
+	// checkpoint times out at the same absolute cycle as a straight-through
+	// run (remainingBudget == MaxCycles on a fresh machine).
 	var err error
 	if s.cond != nil {
-		_, err = s.cond.RunUntilCtx(ctx, s.done, s.cfg.MaxCycles)
+		_, err = s.cond.RunUntilCtx(ctx, s.done, s.remainingBudget())
 	} else {
-		_, err = s.engine.RunUntilCtx(ctx, s.done, s.cfg.MaxCycles)
+		_, err = s.engine.RunUntilCtx(ctx, s.done, s.remainingBudget())
 	}
 	if err != nil {
 		return nil, fmt.Errorf("system: %s/%s: %w", s.cfg.Scheme, s.wl.Name(), err)
