@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -204,6 +205,11 @@ type benchRun struct {
 	WallNS       int64   `json:"wall_ns"`
 	Cycles       uint64  `json:"cycles"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Sched carries the sharded conductor's scheduling counters (waves
+	// run/fused/skipped, barriers elided, park events) so coordination
+	// overhead is observable in the committed snapshots, not inferred from
+	// wall clock; nil for sequential-kernel runs.
+	Sched *sim.SchedCounters `json:"sched,omitempty"`
 }
 
 // benchReport is the machine-readable simulator-speed snapshot committed as
@@ -263,13 +269,17 @@ func runBenchJSON(path string, scale workload.Scale, scaleName string, shards, w
 			if err != nil {
 				return err
 			}
-			rep.Runs = append(rep.Runs, benchRun{
+			br := benchRun{
 				Workload:     wl,
 				Scheme:       sch.String(),
 				WallNS:       wall.Nanoseconds(),
 				Cycles:       res.Cycles,
 				CyclesPerSec: float64(res.Cycles) / wall.Seconds(),
-			})
+			}
+			if sc, ok := sys.SchedCounters(); ok {
+				br.Sched = &sc
+			}
+			rep.Runs = append(rep.Runs, br)
 			rep.TotalWallNS += wall.Nanoseconds()
 			rep.TotalCycles += res.Cycles
 		}
@@ -293,8 +303,8 @@ func main() {
 	figFlag := flag.String("fig", "all", "figure to regenerate (all, table4.1, 5.1a, 5.1b, 5.2a, 5.2b, 5.3, 5.4, 5.5, 5.6, 5.7, 5.8)")
 	scaleFlag := flag.String("scale", "small", "input scale (tiny, small, medium)")
 	benchFlag := flag.String("benchjson", "", "write a machine-readable Fig 5.1a wall-clock benchmark report to this file, with suite+scale stamped into the name (use - for stdout), and exit")
-	shardsFlag := flag.Int("shards", 0, "sharded simulation kernel: tile/cube groups per side (0 = sequential kernel; results are bit-identical)")
-	workersFlag := flag.Int("workers", 0, "sharded kernel worker threads per simulation (0 = shards)")
+	shardsFlag := flag.String("shards", "0", "sharded simulation kernel: tile/cube groups per side (0 = sequential kernel, \"auto\" = resolve from topology and GOMAXPROCS; results are bit-identical)")
+	workersFlag := flag.String("workers", "0", "sharded kernel worker threads per simulation (0 = shards, \"auto\" = resolve with -shards)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (profile shard-scaling bottlenecks directly from the harness)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -331,14 +341,24 @@ func main() {
 			}
 		}()
 	}
+	shards, err := system.ParseKernel(*shardsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbench: -shards:", err)
+		os.Exit(2)
+	}
+	workers, err := system.ParseKernel(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbench: -workers:", err)
+		os.Exit(2)
+	}
 	if *benchFlag != "" {
-		if err := runBenchJSON(*benchFlag, scale, scale.String(), *shardsFlag, *workersFlag); err != nil {
+		if err := runBenchJSON(*benchFlag, scale, scale.String(), shards, workers); err != nil {
 			fmt.Fprintln(os.Stderr, "arbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	r := &runner{scale: scale, out: os.Stdout, shards: *shardsFlag, workers: *workersFlag}
+	r := &runner{scale: scale, out: os.Stdout, shards: shards, workers: workers}
 	figs := []string{*figFlag}
 	if *figFlag == "all" {
 		figs = []string{"table4.1", "5.1a", "5.1b", "5.2a", "5.2b", "5.3", "5.4", "5.5", "5.6", "5.7", "5.8"}

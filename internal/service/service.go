@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/system"
@@ -74,11 +75,13 @@ type Options struct {
 	Workers int
 	// Shards sets the cache shard count; 0 means 16.
 	Shards int
-	// SimShards, when positive, runs jobs that did not pin a kernel on the
-	// sharded simulation kernel with this shard count. Results are
-	// bit-identical either way (the config hash ignores the kernel choice),
-	// and each such job accounts for its worker count against the shared
-	// budget.
+	// SimShards, when non-zero, runs jobs that did not pin a kernel on the
+	// sharded simulation kernel with this shard count; system.KernelAuto
+	// (-1) resolves per job from topology, GOMAXPROCS and the budget's free
+	// capacity at acquisition time — the daemon trades intra-run for
+	// run-level parallelism as load changes. Results are bit-identical
+	// either way (the config hash ignores the kernel choice), and each such
+	// job accounts for its resolved worker count against the shared budget.
 	SimShards int
 	// Store, when non-nil, is the durable result store: every record it
 	// holds at construction warm-loads into the cache (a restarted daemon
@@ -139,6 +142,9 @@ type Server struct {
 	storeFails  uint64 // write-through Put failures (results still served)
 	sweepForks  uint64 // sweep points resumed from a shared-prefix checkpoint
 	sweepWarm   uint64 // sweep leaders warm-started from the snapshot store
+	// Sharded-conductor scheduling counters, accumulated across every
+	// sharded simulation this server completed.
+	sched sim.SchedCounters
 }
 
 // New builds a server. When opts.Store is set, every decodable record it
@@ -204,7 +210,7 @@ func (s *Server) Run(ctx context.Context, job Job) (*system.Results, bool, error
 // runNormalized is Run past the request gate; job must already be
 // normalized (the HTTP handler normalizes once and calls this directly).
 func (s *Server) runNormalized(ctx context.Context, job Job) (*system.Results, bool, error) {
-	if s.simShards > 0 && job.Config.Shards == 0 {
+	if s.simShards != 0 && job.Config.Shards == 0 {
 		cfg := *job.Config // never mutate the caller's config
 		cfg.Shards = s.simShards
 		job.Config = &cfg
@@ -272,19 +278,6 @@ func (s *Server) persist(key string, res *system.Results) {
 	}
 }
 
-// jobWeight reports how many budget slots a job's simulation consumes: one
-// for the sequential kernel, the worker-pool size for the sharded kernel —
-// a 4-shard job accounts for 4 hardware threads.
-func jobWeight(cfg *system.Config) int {
-	if cfg == nil || cfg.Shards <= 0 {
-		return 1
-	}
-	if cfg.Workers > 0 && cfg.Workers < cfg.Shards {
-		return cfg.Workers
-	}
-	return cfg.Shards
-}
-
 // simulate runs one normalized job under the shared budget. Cancellation is
 // cooperative end-to-end: a cancelled context short-circuits the queue
 // wait, and a running simulation is abandoned at the kernel's cancellation
@@ -297,7 +290,19 @@ func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error)
 		ctx, cancel = context.WithTimeout(ctx, s.jobTimeout)
 		defer cancel()
 	}
-	held, err := s.budget.AcquireN(ctx, jobWeight(job.Config))
+	// Auto kernel knobs resolve against the budget's free capacity at this
+	// moment: a busy daemon prefers run-level parallelism (fewer shards per
+	// job), an idle one gives the job the machine. The job then acquires
+	// exactly the worker count its resolved kernel will occupy — weighted by
+	// the post-clamp pool size, not the declared knobs, so a 4-shard job on
+	// a 2-thread host holds 2 slots, not 4.
+	cfg := *job.Config
+	free := s.budget.Cap() - s.budget.InUse()
+	if free < 1 {
+		free = 1
+	}
+	system.ResolveKernel(&cfg, free)
+	held, err := s.budget.AcquireN(ctx, cfg.ResolvedWorkers())
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +310,7 @@ func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error)
 	s.mu.Lock()
 	s.started++
 	s.mu.Unlock()
-	sys, err := system.New(*job.Config, job.Workload, job.Scale)
+	sys, err := system.New(cfg, job.Workload, job.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("service: %s/%s: %w", job.Scheme, job.Workload, err)
 	}
@@ -315,6 +320,13 @@ func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error)
 	}
 	s.mu.Lock()
 	s.done++
+	if sc, ok := sys.SchedCounters(); ok {
+		s.sched.WavesRun += sc.WavesRun
+		s.sched.WavesFused += sc.WavesFused
+		s.sched.WavesSkipped += sc.WavesSkipped
+		s.sched.BarriersElided += sc.BarriersElided
+		s.sched.ParkEvents += sc.ParkEvents
+	}
 	s.mu.Unlock()
 	return res, nil
 }
@@ -373,6 +385,12 @@ type Stats struct {
 	SweepForkResumes        uint64 `json:"sweep_fork_resumes"`
 	SweepWarmStarts         uint64 `json:"sweep_warm_starts"`
 
+	// Sharded-conductor scheduling totals across every sharded simulation
+	// this server completed (sim.SchedCounters): how much per-cycle
+	// coordination the wave scheduler actually paid vs. fused, skipped, or
+	// elided — overhead made observable, not inferred.
+	Sched sim.SchedCounters `json:"sched"`
+
 	// Allocation/GC gauges (runtime.MemStats snapshots) so operators can
 	// watch the simulator's memory discipline in production: with the
 	// pooled packet/message lifecycle the per-simulation allocation rate
@@ -401,6 +419,7 @@ func (s *Server) Stats() Stats {
 
 		SweepForkResumes: s.sweepForks,
 		SweepWarmStarts:  s.sweepWarm,
+		Sched:            s.sched,
 	}
 	storeBad := s.storeBadRec
 	st.StoreRecordsLoaded = s.storeLoaded

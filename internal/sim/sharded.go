@@ -19,6 +19,26 @@
 //     Engine. A wave is skipped outright — no barrier paid — while every
 //     shard's cached segment horizon for it is in the future.
 //
+// Coordination-cost machinery on top of that contract:
+//
+//   - Serial feeder declarations (FedBy): the machine declares which waves
+//     and serial sections can create work for each serial section. Its
+//     plain (non-wake-aware) idlers then park like wake-aware ones, and
+//     the conductor re-activates them by stamping the section whenever a
+//     declared feeder executes — so a quiescent serial section costs two
+//     loads per cycle instead of an O(components) NextWork scan.
+//   - Wave fusion: consecutive waves whose intervening serial sections are
+//     provably inert this cycle (no due work, not fed by any batch wave)
+//     run back-to-back under one barrier.
+//   - Barrier elision: when every shard due in a batch falls on a single
+//     worker, the conductor runs the batch inline with no barrier at all.
+//   - Single-worker fast path: with one effective worker the conductor
+//     keeps per-wave need aggregates (punched by Waker.Wake and the park
+//     sweep) so idle waves cost one load per cycle.
+//   - Adaptive waiting: barrier waits spin briefly, yield for a while,
+//     then park on a condvar — oversubscribed hosts degrade gracefully
+//     instead of burning a core per barrier.
+//
 // Wake discipline: during a parallel wave a component may only Wake
 // components of its own shard; serial sections (which run with every worker
 // parked at a barrier) may wake any shard. The engine-side wake state is
@@ -31,6 +51,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -59,6 +80,22 @@ type Shard struct {
 	// conductor after the wave barrier for the jump decision).
 	ranAt uint64
 
+	// eventCleared (serial shards with declared feeds only): plain-idler
+	// quiescence claims persist until a declared feeder executes, so those
+	// slots park and are re-activated by conductor stamps instead of being
+	// re-polled every cycle. feedWaves/feedSerials are the declared feeder
+	// bitmasks (all-ones when undeclared: the conservative pre-fusion
+	// behavior); plainSlots lists the slots a stamp re-activates.
+	eventCleared bool
+	feedWaves    uint64
+	feedSerials  uint64
+	plainSlots   []int32
+
+	// condPark (single-worker conductor only) aliases the conductor's park
+	// horizon: a park must lower it so the conductor's sweep-skip check
+	// stays conservative.
+	condPark *uint64
+
 	// SkippedTicks counts suppressed component ticks (diagnostics).
 	SkippedTicks uint64
 }
@@ -66,7 +103,9 @@ type Shard struct {
 // Register appends a component to the shard's tick order (the sharded
 // equivalent of Engine.Register). Idlers that do not implement WakeSetter
 // must have time-pure NextWork implementations or be re-armed from a serial
-// section; their idle claims are trusted for one cycle only.
+// section; their idle claims are trusted for one cycle only — unless the
+// shard is a serial section with declared feeds (FedBy), in which case the
+// claims persist until a feeder executes.
 func (sh *Shard) Register(name string, t Ticker) {
 	if t == nil {
 		panic("sim: Register called with nil ticker")
@@ -98,8 +137,9 @@ func (sh *Shard) NextSegment() {
 func (sh *Shard) Components() int { return len(sh.slots) }
 
 // sweep re-activates every parked slot whose cached wake cycle has arrived
-// and recomputes the park horizon. It runs at most once per cycle, at the
-// shard's first executed segment.
+// and recomputes the park horizon. It runs at most once per cycle, either
+// eagerly from the conductor's prologue (parallel shards) or lazily at the
+// shard's first executed segment (serial shards).
 //
 //ar:hotpath
 func (sh *Shard) sweep(c uint64) {
@@ -112,6 +152,9 @@ func (sh *Shard) sweep(c uint64) {
 			sh.active[i>>6] |= 1 << uint(i&63)
 			if s := sh.segOf[i]; sh.segNext[s] > c {
 				sh.segNext[s] = c
+				if sh.condNeed != nil {
+					sh.condNeed[s] = c
+				}
 			}
 		} else if wa < min {
 			min = wa
@@ -123,14 +166,14 @@ func (sh *Shard) sweep(c uint64) {
 // runSegment advances segment seg by one cycle, skipping components that
 // report no work, and refreshes the segment's re-poll (segNext) and work
 // (segHorizon) hints. It must only run on the shard's owning worker, or on
-// the conductor for serial shards.
+// the conductor for serial shards and elided batches.
+//
+// Parked-slot re-activation is the CALLER's job: parallel shards are swept
+// eagerly by the conductor's sweepDue prologue, serial shards lazily by
+// runSerial — keeping the entry of this very hot function branch-free.
 //
 //ar:hotpath
 func (sh *Shard) runSegment(seg int, c uint64) {
-	if c >= sh.minWake && sh.sweptAt != c+1 {
-		sh.sweptAt = c + 1
-		sh.sweep(c)
-	}
 	lo, hi := sh.segStart[seg], sh.segStart[seg+1]
 	// hot: earliest cycle the segment must be re-polled. horizon: earliest
 	// cycle it can have real work. Parked slots contribute their cached
@@ -138,7 +181,10 @@ func (sh *Shard) runSegment(seg int, c uint64) {
 	// common hot-segment call skips that O(slots) pass entirely); plain
 	// idlers keep the segment hot every cycle but push the horizon out, so
 	// wave polling stays exact while whole-machine jumps remain possible.
+	// On event-cleared serial shards plain idlers park like wake-aware
+	// ones: a feeder stamp re-activates them.
 	hot, horizon := Never, Never
+	ticked := false
 	loWord, hiWord := lo>>6, (hi-1)>>6
 	for w := loWord; w <= hiWord; w++ {
 		rangeMask := ^uint64(0)
@@ -167,12 +213,15 @@ func (sh *Shard) runSegment(seg int, c uint64) {
 					if wk < horizon {
 						horizon = wk
 					}
-					if s.cacheable {
+					if s.parkable {
 						if wk > c+1 {
 							sh.wakeAt[i] = wk
 							sh.active[w] &^= b
 							if wk < sh.minWake {
 								sh.minWake = wk
+								if sh.condPark != nil && wk < *sh.condPark {
+									*sh.condPark = wk
+								}
 							}
 						}
 						if wk < hot {
@@ -188,9 +237,12 @@ func (sh *Shard) runSegment(seg int, c uint64) {
 				}
 			}
 			s.t.Tick(c)
-			sh.ranAt = c + 1
+			ticked = true
 			hot, horizon = c+1, c+1
 		}
+	}
+	if ticked {
+		sh.ranAt = c + 1
 	}
 	if hot > c+1 {
 		// Going quiet: fold the parked slots' cached wakes so the segment
@@ -210,6 +262,58 @@ func (sh *Shard) runSegment(seg int, c uint64) {
 	sh.segHorizon[seg] = horizon
 }
 
+// waveEntry is one parallel shard's membership in a wave's scan list.
+type waveEntry struct {
+	sh  *Shard
+	wkr int32
+}
+
+// stamp re-arms one serial section when a declared feeder executes: add is
+// 0 when the feeder precedes the section in the cycle schedule (same-cycle
+// visibility) and 1 when it follows it (next cycle).
+type stamp struct {
+	sh  *Shard
+	add uint64
+}
+
+// applyStamps re-activates every stamped section's parked plain idlers and
+// lowers its re-poll hint. Over-stamping is safe (the re-poll finds no
+// work and re-parks); missing a stamp is not, which is why undeclared
+// sections never park their plain idlers in the first place.
+//
+//ar:hotpath
+func applyStamps(list []stamp, c uint64) {
+	for k := range list {
+		st := &list[k]
+		sh := st.sh
+		if x := c + st.add; x < sh.segNext[0] {
+			sh.segNext[0] = x
+		}
+		for _, si := range sh.plainSlots {
+			w := int(si) >> 6
+			b := uint64(1) << uint(si&63)
+			if sh.active[w]&b == 0 {
+				sh.active[w] |= b
+				sh.wakeAt[si] = 0
+			}
+		}
+	}
+}
+
+// SchedCounters are the conductor's per-run scheduling counters: how many
+// waves executed, how many rode a fused barrier, how many were skipped
+// outright, how many barriers were elided by running a single-owner batch
+// inline, and how often a barrier wait fell through to a condvar park.
+// They are diagnostics of the scheduler, not simulated state — they never
+// enter Results, so sharded and sequential runs stay bit-identical.
+type SchedCounters struct {
+	WavesRun       uint64 `json:"waves_run"`
+	WavesFused     uint64 `json:"waves_fused"`
+	WavesSkipped   uint64 `json:"waves_skipped"`
+	BarriersElided uint64 `json:"barriers_elided"`
+	ParkEvents     uint64 `json:"park_events"`
+}
+
 // Sharded is the parallel conductor: it owns the clock, a worker pool, the
 // parallel shards and the serial sections, and advances the whole machine
 // through the per-cycle wave schedule.
@@ -226,21 +330,62 @@ type Sharded struct {
 	nw      int
 	started bool
 
-	// Wave hand-off: the conductor publishes (curWave, cycle) then bumps
-	// gen; workers run their shards and bump doneCnt. Cumulative counts
-	// avoid reset races. stop asks workers to exit (published via gen) and
-	// exited acknowledges.
+	// Wave hand-off: the conductor publishes (curWave, curEnd, cycle) then
+	// bumps gen; workers run their shards' segments for the whole batch
+	// and bump doneCnt. Cumulative counts avoid reset races. stop asks
+	// workers to exit (published via gen) and exited acknowledges.
 	gen     atomic.Uint64
 	doneCnt atomic.Uint64
 	exited  atomic.Uint64
 	expect  uint64
 	curWave int
+	curEnd  int
 	stop    atomic.Bool
+
+	// Adaptive waiting: after a bounded spin, workers park on genCond and
+	// the conductor on doneCond (both guarded by mu). sleepers/doneWait
+	// tell the signalling side whether a broadcast is needed at all, so
+	// the uncontended barrier stays lock-free.
+	mu       sync.Mutex
+	genCond  *sync.Cond
+	doneCond *sync.Cond
+	sleepers atomic.Int32
+	doneWait atomic.Int32
+
+	// Single-worker fast path: need[w] is the earliest cycle any parallel
+	// shard's segment w must be re-polled (the min of their segNext[w]),
+	// punched by Waker.Wake and the park sweep; needPark is the earliest
+	// parked wake across parallel shards, gating the re-activation sweep.
+	need     []uint64
+	needPark uint64
+
+	// Feeder stamps, built at Seal from FedBy declarations: stampOnWave[w]
+	// is applied when wave w executes, stampOnSerial[v] when serial
+	// section v ticks.
+	stampOnWave   [][]stamp
+	stampOnSerial [][]stamp
+
+	// waveSh[w] lists the parallel shards whose segment w is nonempty,
+	// with the owning worker precomputed (built at Seal).
+	waveSh [][]waveEntry
+
+	ctr        SchedCounters
+	parkEvents atomic.Uint64
 
 	// JumpedCycles counts clock advances beyond one cycle per step
 	// (diagnostics; SkippedTicks lives on the shards).
 	JumpedCycles uint64
 }
+
+// Barrier waits spin for spinOnly iterations, yield until parkAfter, then
+// park on a condvar. The spin covers back-to-back waves on dedicated
+// cores; the park covers oversubscribed hosts (several sharded runs
+// sharing the machine), where spinning a core per barrier is the failure
+// mode this replaces.
+const (
+	spinOnly  = 64
+	parkAfter = 512
+)
 
 // NewSharded returns a conductor that will run parallel waves on up to
 // workers OS threads (the calling goroutine counts as one). workers < 1 is
@@ -280,8 +425,39 @@ func (s *Sharded) SerialShard(w int) *Shard {
 	return s.serial[w]
 }
 
+// FedBy declares the execution-feed set of serial section v: its plain
+// idlers' NextWork results may only become earlier as a consequence of one
+// of the listed waves or serial sections executing (or of the section's
+// own tick, which is always assumed). In exchange the conductor parks the
+// section's plain idlers while quiescent and re-activates them by stamp
+// when a feeder executes, instead of re-polling their NextWork every
+// cycle. Undeclared sections keep the conservative every-cycle re-poll, so
+// FedBy is purely an optimization contract — but a wrong (too small)
+// declaration changes simulated results, exactly like a wrong NextWork.
+// Empty lists are valid: the section then only ever re-arms via its
+// wake-aware slots, timed wakes, or its own ticks. Wiring-time only.
+func (s *Sharded) FedBy(v int, waves, serials []int) {
+	sh := s.SerialShard(v)
+	sh.eventCleared = true
+	for _, u := range waves {
+		if u < 0 || u > 63 {
+			panic("sim: FedBy wave index out of range")
+		}
+		sh.feedWaves |= 1 << uint(u)
+	}
+	for _, u := range serials {
+		if u < 0 || u > 63 {
+			panic("sim: FedBy serial index out of range")
+		}
+		if u != v {
+			sh.feedSerials |= 1 << uint(u)
+		}
+	}
+}
+
 // Seal freezes the wiring: every shard's segment list is padded to the
-// common wave count and the per-segment horizons are initialized.
+// common wave count, the per-segment horizons are initialized, and the
+// feeder-stamp tables and single-worker aggregates are built.
 func (s *Sharded) Seal() {
 	if s.sealed {
 		panic("sim: Seal called twice")
@@ -305,6 +481,14 @@ func (s *Sharded) Seal() {
 		}
 		sh.segNext = make([]uint64, waves)
 		sh.segHorizon = make([]uint64, waves)
+		// Empty segments can never have work: park them permanently so the
+		// per-cycle wave scans skip the shard without ever calling in.
+		for w := 0; w < waves; w++ {
+			if sh.segStart[w+1] == sh.segStart[w] {
+				sh.segNext[w] = Never
+				sh.segHorizon[w] = Never
+			}
+		}
 	}
 	for _, sh := range s.par {
 		seal(sh, s.waves)
@@ -328,6 +512,85 @@ func (s *Sharded) Seal() {
 	if s.nw < 1 {
 		s.nw = 1
 	}
+	s.genCond = sync.NewCond(&s.mu)
+	s.doneCond = sync.NewCond(&s.mu)
+
+	// Feeder stamps. Undeclared serial sections are treated as fed by
+	// everything: their plain idlers never park (pre-fusion behavior), so
+	// they need no stamps, but the all-ones mask blocks fusion across them.
+	s.stampOnWave = make([][]stamp, s.waves)
+	s.stampOnSerial = make([][]stamp, s.waves)
+	for v, ser := range s.serial {
+		if ser == nil {
+			continue
+		}
+		if !ser.eventCleared {
+			ser.feedWaves = ^uint64(0)
+			ser.feedSerials = ^uint64(0)
+			continue
+		}
+		for i := range ser.slots {
+			if ser.slots[i].i != nil && !ser.slots[i].cacheable {
+				ser.plainSlots = append(ser.plainSlots, int32(i))
+			}
+		}
+		for u := 0; u < s.waves; u++ {
+			if ser.feedWaves&(1<<uint(u)) != 0 {
+				add := uint64(0)
+				if u > v {
+					add = 1
+				}
+				s.stampOnWave[u] = append(s.stampOnWave[u], stamp{sh: ser, add: add})
+			}
+			if u != v && s.serial[u] != nil && ser.feedSerials&(1<<uint(u)) != 0 {
+				add := uint64(0)
+				if u > v {
+					add = 1
+				}
+				s.stampOnSerial[u] = append(s.stampOnSerial[u], stamp{sh: ser, add: add})
+			}
+		}
+	}
+
+	// Single-worker aggregates: the need array is shared with every
+	// parallel shard's wake table so Waker.Wake and the park sweep punch
+	// it directly. Installed only when one goroutine runs everything —
+	// with real workers the plain stores would race.
+	s.need = make([]uint64, s.waves)
+	if s.nw == 1 {
+		for _, sh := range s.par {
+			sh.condNeed = s.need
+			sh.condPark = &s.needPark
+		}
+	}
+
+	// Per-wave shard lists: only shards with a nonempty segment for the
+	// wave, with their owning worker precomputed — the per-cycle scans
+	// visit exactly the shards that can matter.
+	s.waveSh = make([][]waveEntry, s.waves)
+	for w := 0; w < s.waves; w++ {
+		for i, sh := range s.par {
+			if sh.segStart[w+1] > sh.segStart[w] {
+				s.waveSh[w] = append(s.waveSh[w], waveEntry{sh: sh, wkr: int32(i % s.nw)})
+			}
+		}
+	}
+
+	// Fold the per-slot poll branch (`cacheable || shard.eventCleared`)
+	// into one precomputed bit.
+	mark := func(sh *Shard) {
+		for i := range sh.slots {
+			sh.slots[i].parkable = sh.slots[i].cacheable || sh.eventCleared
+		}
+	}
+	for _, sh := range s.par {
+		mark(sh)
+	}
+	for _, sh := range s.serial {
+		if sh != nil {
+			mark(sh)
+		}
+	}
 }
 
 // Cycle reports the current cycle.
@@ -338,6 +601,13 @@ func (s *Sharded) Waves() int { return s.waves }
 
 // Workers reports the effective worker-pool size, conductor included.
 func (s *Sharded) Workers() int { return s.nw }
+
+// Counters snapshots the scheduling counters.
+func (s *Sharded) Counters() SchedCounters {
+	c := s.ctr
+	c.ParkEvents = s.parkEvents.Load()
+	return c
+}
 
 // Components reports the total registered tickers across all shards.
 func (s *Sharded) Components() int {
@@ -381,70 +651,313 @@ func (s *Sharded) startWorkers() {
 	}
 }
 
-// spinWait spins on cond with a Gosched fallback so progress is guaranteed
-// even when GOMAXPROCS is smaller than the worker count.
-func spinWait(cond func() bool) {
-	for i := 0; ; i++ {
-		if cond() {
-			return
+// waitGen waits for the conductor to publish a generation different from
+// last and returns it: bounded spin, then cooperative yielding, then a
+// condvar park. The sleepers counter tells the conductor whether a
+// broadcast is needed; both sides use sequentially consistent atomics, so
+// the publish (gen.Add then sleepers.Load) and the park entry
+// (sleepers.Add then gen.Load) can never both miss each other.
+func (s *Sharded) waitGen(last uint64) uint64 {
+	for i := 0; i < parkAfter; i++ {
+		if g := s.gen.Load(); g != last {
+			return g
 		}
-		if i > 64 {
+		if i >= spinOnly {
 			runtime.Gosched()
 		}
+	}
+	s.parkEvents.Add(1)
+	s.sleepers.Add(1)
+	s.mu.Lock()
+	for s.gen.Load() == last {
+		s.genCond.Wait()
+	}
+	s.mu.Unlock()
+	s.sleepers.Add(-1)
+	return s.gen.Load()
+}
+
+// waitDone waits until doneCnt reaches target, with the same
+// spin/yield/park ladder as waitGen (doneWait flags the parked conductor
+// to the workers' broadcast check).
+func (s *Sharded) waitDone(target uint64) {
+	for i := 0; i < parkAfter; i++ {
+		if s.doneCnt.Load() == target {
+			return
+		}
+		if i >= spinOnly {
+			runtime.Gosched()
+		}
+	}
+	s.parkEvents.Add(1)
+	s.doneWait.Add(1)
+	s.mu.Lock()
+	for s.doneCnt.Load() != target {
+		s.doneCond.Wait()
+	}
+	s.mu.Unlock()
+	s.doneWait.Add(-1)
+}
+
+// wakeDone broadcasts to a parked conductor if there is one (worker side
+// of waitDone).
+func (s *Sharded) wakeDone() {
+	if s.doneWait.Load() != 0 {
+		s.mu.Lock()
+		s.doneCond.Broadcast()
+		s.mu.Unlock()
 	}
 }
 
 func (s *Sharded) workerLoop(wk int, last uint64) {
 	for {
-		spinWait(func() bool { return s.gen.Load() != last })
-		last = s.gen.Load()
+		last = s.waitGen(last)
 		if s.stop.Load() {
 			s.exited.Add(1)
+			s.wakeDone()
 			return
 		}
-		s.runAssigned(wk, s.curWave, s.cycle)
+		s.runAssigned(wk, s.curWave, s.curEnd, s.cycle)
 		s.doneCnt.Add(1)
+		s.wakeDone()
 	}
 }
 
-// runAssigned runs worker wk's shards' segments for wave w at cycle c,
-// skipping shards whose segment re-poll hint is in the future.
+// runAssigned runs worker wk's shards' segments for the wave batch [w, e)
+// at cycle c, skipping shards whose segment re-poll hint is in the future.
+// The conductor's prologue sweep has already re-activated due parked
+// slots, so segNext alone decides. Shard-major order is sound: a batch
+// only exists where the intervening serial sections are inert, and within
+// one shard segments still run in wave order.
 //
 //ar:hotpath
-func (s *Sharded) runAssigned(wk, w int, c uint64) {
+func (s *Sharded) runAssigned(wk, w, e int, c uint64) {
 	for i := wk; i < len(s.par); i += s.nw {
 		sh := s.par[i]
-		if sh.segNext[w] <= c || sh.minWake <= c {
-			sh.runSegment(w, c)
+		for v := w; v < e; v++ {
+			if sh.segNext[v] <= c {
+				sh.runSegment(v, c)
+			}
 		}
 	}
 }
 
-// runWave executes parallel wave w at cycle c with a full barrier, unless
-// no shard needs polling for it this cycle, in which case it returns
-// without synchronizing at all.
+// runBatchInline runs the whole batch on the conductor goroutine — the
+// barrier-elision path, taken when every due shard falls on one worker.
 //
 //ar:hotpath
-func (s *Sharded) runWave(w int, c uint64) {
-	hasWork := false
+func (s *Sharded) runBatchInline(w, e int, c uint64) {
 	for _, sh := range s.par {
-		if sh.segNext[w] <= c || sh.minWake <= c {
-			hasWork = true
-			break
+		for v := w; v < e; v++ {
+			if sh.segNext[v] <= c {
+				sh.runSegment(v, c)
+			}
 		}
 	}
-	if !hasWork {
-		return
+}
+
+// sweepDue re-activates every due parked slot on every parallel shard and
+// refolds the conductor's park horizon. Serial shards keep the lazy
+// per-segment sweep (their run check still consults minWake directly).
+// Running eagerly on the conductor, before any wave is published, is what
+// lets the per-shard wave checks drop to a single segNext load.
+//
+//ar:hotpath
+func (s *Sharded) sweepDue(c uint64) {
+	min := Never
+	for _, sh := range s.par {
+		if sh.minWake <= c && sh.sweptAt != c+1 {
+			sh.sweptAt = c + 1
+			sh.sweep(c)
+		}
+		if sh.minWake < min {
+			min = sh.minWake
+		}
 	}
-	if s.nw == 1 {
-		s.runAssigned(0, w, c)
-		return
+	s.needPark = min
+}
+
+// runSerial runs serial section v at cycle c if it is due, stamping its
+// dependent sections when it ticks.
+//
+//ar:hotpath
+func (s *Sharded) runSerial(v int, c uint64) bool {
+	ser := s.serial[v]
+	if ser == nil {
+		return false
 	}
-	s.curWave = w
-	s.gen.Add(1)
-	s.runAssigned(0, w, c)
-	s.expect += uint64(s.nw - 1)
-	spinWait(func() bool { return s.doneCnt.Load() == s.expect }) //ar:exempt(hotpath) one spin predicate per wave barrier, amortized over every packet in the wave
+	// Lazy park sweep (runSegment itself no longer sweeps): after it, due
+	// work from arrived wakes is fully reflected in segNext.
+	if ser.minWake <= c && ser.sweptAt != c+1 {
+		ser.sweptAt = c + 1
+		ser.sweep(c)
+	}
+	if ser.segNext[0] <= c {
+		ser.runSegment(0, c)
+		if ser.ranAt == c+1 {
+			applyStamps(s.stampOnSerial[v], c)
+			return true
+		}
+	}
+	return false
+}
+
+// scanWave counts the parallel shards due for wave w at cycle c and
+// reports the worker owning them: -1 when none is due, the worker index
+// when they all fall on one worker, -2 when they spread across workers.
+//
+//ar:hotpath
+func (s *Sharded) scanWave(w int, c uint64) (hot, owner int) {
+	owner = -1
+	for _, en := range s.waveSh[w] {
+		if en.sh.segNext[w] <= c {
+			hot++
+			o := int(en.wkr)
+			if owner == -1 {
+				owner = o
+			} else if owner != o {
+				owner = -2
+			}
+		}
+	}
+	return hot, owner
+}
+
+// serialInert reports whether serial section v provably has no work at
+// cycle c and cannot acquire any from the executing batch that started at
+// wave wStart: nothing is due now, and its declared feeders exclude every
+// wave in [wStart, v]. Waves after v feed it for the next cycle only
+// (their stamp carries add=1 and is applied after the batch), so they
+// never block fusion. An executing wave can wake later segments of its own
+// shard, which is why every batch wave — hot at scan time or not — counts
+// as potentially executing.
+//
+//ar:hotpath
+func (s *Sharded) serialInert(v, wStart int, c uint64) bool {
+	ser := s.serial[v]
+	if ser == nil {
+		return true
+	}
+	if ser.segNext[0] <= c || ser.minWake <= c {
+		return false
+	}
+	mask := (uint64(1)<<uint(v+1) - 1) &^ (uint64(1)<<uint(wStart) - 1)
+	return ser.feedWaves&mask == 0
+}
+
+// stepSeq advances one cycle with a single effective worker: no barriers,
+// no atomics, and per-wave need aggregates so a cold wave costs one load.
+// Reports whether any component ticked (jump decision).
+//
+//ar:hotpath
+func (s *Sharded) stepSeq(c uint64) bool {
+	ticked := false
+	if s.needPark <= c {
+		s.sweepDue(c)
+	}
+	for w := 0; w < s.waves; w++ {
+		if s.need[w] <= c {
+			min := Never
+			due := false
+			for _, en := range s.waveSh[w] {
+				sh := en.sh
+				if sh.segNext[w] <= c {
+					due = true
+					sh.runSegment(w, c)
+					if sh.ranAt == c+1 {
+						ticked = true
+					}
+				}
+				if sh.segNext[w] < min {
+					min = sh.segNext[w]
+				}
+			}
+			s.need[w] = min
+			if due {
+				s.ctr.WavesRun++
+				applyStamps(s.stampOnWave[w], c)
+			} else {
+				s.ctr.WavesSkipped++
+			}
+		} else {
+			s.ctr.WavesSkipped++
+		}
+		if s.runSerial(w, c) {
+			ticked = true
+		}
+	}
+	return ticked
+}
+
+// stepPar advances one cycle on the worker pool: waves are batched across
+// provably inert serial sections (fusion, one barrier per batch) and a
+// batch whose due shards all fall on one worker runs inline on the
+// conductor (elision, no barrier).
+//
+//ar:hotpath
+func (s *Sharded) stepPar(c uint64) bool {
+	ticked := false
+	s.sweepDue(c)
+	w := 0
+	for w < s.waves {
+		hot, owner := s.scanWave(w, c)
+		if hot == 0 {
+			s.ctr.WavesSkipped++
+			if s.runSerial(w, c) {
+				ticked = true
+			}
+			w++
+			continue
+		}
+		e := w + 1
+		hotWaves := 1
+		for e < s.waves && s.serialInert(e-1, w, c) {
+			h2, o2 := s.scanWave(e, c)
+			if h2 > 0 {
+				hotWaves++
+				if o2 == -2 || (owner != -1 && o2 != owner) {
+					owner = -2
+				} else if owner == -1 {
+					owner = o2
+				}
+			}
+			e++
+		}
+		if owner >= 0 {
+			s.runBatchInline(w, e, c)
+			s.ctr.BarriersElided++
+		} else {
+			s.curWave, s.curEnd = w, e
+			s.gen.Add(1)
+			if s.sleepers.Load() != 0 {
+				s.mu.Lock()
+				s.genCond.Broadcast()
+				s.mu.Unlock()
+			}
+			s.runAssigned(0, w, e, c)
+			s.expect += uint64(s.nw - 1)
+			s.waitDone(s.expect) //ar:exempt(hotpath) one barrier wait per batch, amortized over every packet in the batch
+		}
+		s.ctr.WavesRun += uint64(hotWaves)
+		s.ctr.WavesSkipped += uint64(e - w - hotWaves)
+		s.ctr.WavesFused += uint64(hotWaves - 1)
+		for v := w; v < e; v++ {
+			applyStamps(s.stampOnWave[v], c)
+			if !ticked {
+				for _, en := range s.waveSh[v] {
+					if en.sh.ranAt == c+1 {
+						ticked = true
+						break
+					}
+				}
+			}
+		}
+		if s.runSerial(e-1, c) {
+			ticked = true
+		}
+		w = e
+	}
+	return ticked
 }
 
 // step advances the whole machine one cycle and reports the earliest cycle
@@ -455,35 +968,32 @@ func (s *Sharded) runWave(w int, c uint64) {
 //ar:hotpath
 func (s *Sharded) step() uint64 {
 	c := s.cycle
-	for w := 0; w < s.waves; w++ {
-		s.runWave(w, c)
-		if ser := s.serial[w]; ser != nil && (ser.segNext[0] <= c || ser.minWake <= c) {
-			ser.runSegment(0, c)
-		}
+	var ticked bool
+	if s.nw == 1 {
+		ticked = s.stepSeq(c)
+	} else {
+		ticked = s.stepPar(c)
 	}
 	s.cycle++
-	ran := false
+	if ticked {
+		return s.cycle
+	}
+	// Fully idle cycle: fold every shard's horizon for the jump decision.
 	next := Never
 	for _, sh := range s.par {
-		ran, next = foldShard(sh, c, ran, next)
+		next = foldHorizon(sh, next)
 	}
 	for _, sh := range s.serial {
 		if sh != nil {
-			ran, next = foldShard(sh, c, ran, next)
+			next = foldHorizon(sh, next)
 		}
-	}
-	if ran {
-		return s.cycle
 	}
 	return next
 }
 
-// foldShard accumulates a shard's ran flag and work horizon into the
-// conductor's jump decision.
-func foldShard(sh *Shard, c uint64, ran bool, next uint64) (bool, uint64) {
-	if sh.ranAt == c+1 {
-		ran = true
-	}
+// foldHorizon accumulates a shard's work horizon into the conductor's jump
+// decision.
+func foldHorizon(sh *Shard, next uint64) uint64 {
 	if sh.minWake < next {
 		next = sh.minWake
 	}
@@ -492,7 +1002,7 @@ func foldShard(sh *Shard, c uint64, ran bool, next uint64) (bool, uint64) {
 			next = h
 		}
 	}
-	return ran, next
+	return next
 }
 
 // Step advances the machine by exactly one cycle.
@@ -562,7 +1072,29 @@ func (s *Sharded) park() {
 	target := s.exited.Load() + uint64(s.nw-1)
 	s.stop.Store(true)
 	s.gen.Add(1)
-	spinWait(func() bool { return s.exited.Load() == target })
+	if s.sleepers.Load() != 0 {
+		s.mu.Lock()
+		s.genCond.Broadcast()
+		s.mu.Unlock()
+	}
+	for i := 0; ; i++ {
+		if s.exited.Load() == target {
+			break
+		}
+		if i >= parkAfter {
+			s.doneWait.Add(1)
+			s.mu.Lock()
+			for s.exited.Load() != target {
+				s.doneCond.Wait()
+			}
+			s.mu.Unlock()
+			s.doneWait.Add(-1)
+			break
+		}
+		if i >= spinOnly {
+			runtime.Gosched()
+		}
+	}
 	s.stop.Store(false)
 	s.started = false
 }

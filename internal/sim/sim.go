@@ -92,6 +92,12 @@ type wakeTable struct {
 	// its barrier) while every shard's segment horizon is in the future.
 	segOf   []int32
 	segNext []uint64
+	// condNeed (single-worker sharded kernel only) aliases the conductor's
+	// per-wave need aggregate: a wake must also invalidate the aggregate,
+	// or the conductor's wave-skip check would miss the woken shard. It is
+	// installed only when every wake runs on the conductor goroutine (one
+	// effective worker), so plain stores suffice.
+	condNeed []uint64
 }
 
 // Waker is the scheduler-side handle a wake-aware component uses to
@@ -112,7 +118,11 @@ func (w *Waker) Wake() {
 		t.wakeAt[w.idx] = 0
 		t.active[w.idx>>6] |= 1 << uint(w.idx&63)
 		if t.segOf != nil {
-			t.segNext[t.segOf[w.idx]] = 0
+			sg := t.segOf[w.idx]
+			t.segNext[sg] = 0
+			if t.condNeed != nil {
+				t.condNeed[sg] = 0
+			}
 		}
 	}
 }
@@ -135,6 +145,9 @@ type slot struct {
 	t         Ticker
 	i         Idler
 	cacheable bool
+	// parkable (sharded kernel, set at Seal) folds `cacheable ||
+	// shard.eventCleared` into one load for the per-slot poll branch.
+	parkable bool
 }
 
 // Engine owns the global clock and the ordered set of tickers.

@@ -234,10 +234,14 @@ func (s *Sharded) StartAt(cycle uint64) {
 			sh.active[i>>6] |= 1 << uint(i&63)
 		}
 		for i := range sh.segNext {
-			sh.segNext[i] = 0
-		}
-		for i := range sh.segHorizon {
-			sh.segHorizon[i] = 0
+			if sh.segStart[i+1] > sh.segStart[i] {
+				sh.segNext[i] = 0
+				sh.segHorizon[i] = 0
+			} else {
+				// Empty segments stay permanently parked (Seal invariant).
+				sh.segNext[i] = Never
+				sh.segHorizon[i] = Never
+			}
 		}
 	}
 	for _, sh := range s.par {
@@ -246,4 +250,8 @@ func (s *Sharded) StartAt(cycle uint64) {
 	for _, sh := range s.serial {
 		reset(sh)
 	}
+	for i := range s.need {
+		s.need[i] = 0
+	}
+	s.needPark = 0
 }

@@ -122,6 +122,18 @@ func RunJobs(ctx context.Context, n, workers int, run func(ctx context.Context, 
 // storage: distinct indices never alias, so no locking is needed and result
 // order is deterministic regardless of scheduling.
 func RunJobsOn(ctx context.Context, n int, b *Budget, run func(ctx context.Context, i int) error) error {
+	return RunWeightedJobsOn(ctx, n, b, nil, run)
+}
+
+// RunWeightedJobsOn is RunJobsOn for jobs with heterogeneous worker
+// appetites: weight(i) reports how many budget slots job i occupies while
+// running — a sharded simulation's *resolved* worker count, so one
+// 4-worker job takes the same budget share as four sequential jobs and the
+// combined hardware-thread use stays bounded by the cap regardless of
+// kernel mix. Weights are clamped by AcquireN to [1, Cap]; a nil weight
+// means one slot per job (RunJobsOn). Everything else — pull order,
+// fail-fast cancellation, error preference — matches RunJobsOn.
+func RunWeightedJobsOn(ctx context.Context, n int, b *Budget, weight func(i int) int, run func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -152,12 +164,17 @@ func RunJobsOn(ctx context.Context, n int, b *Budget, run func(ctx context.Conte
 					errs[i] = err
 					continue
 				}
-				if err := b.Acquire(ctx); err != nil {
+				want := 1
+				if weight != nil {
+					want = weight(i)
+				}
+				got, err := b.AcquireN(ctx, want)
+				if err != nil {
 					errs[i] = err
 					continue
 				}
-				err := run(ctx, i)
-				b.Release()
+				err = run(ctx, i)
+				b.ReleaseN(got)
 				if err != nil {
 					errs[i] = err
 					cancel()

@@ -196,3 +196,59 @@ func TestBudgetAcquireCancellation(t *testing.T) {
 	}
 	b.ReleaseN(h)
 }
+
+// TestRunWeightedJobsOnBoundsSlots is the regression test for the budget
+// ignoring per-job shard weight: a weighted job must hold its full worker
+// count while running, so total held slots — not just job count — stays
+// bounded by the cap. Before weighted dispatch, four 2-worker jobs on a
+// 4-slot budget could run all at once (8 hardware threads on 4 slots).
+func TestRunWeightedJobsOnBoundsSlots(t *testing.T) {
+	const cap = 4
+	const weight = 2
+	b := NewBudget(cap)
+	var held, peak atomic.Int64
+	err := RunWeightedJobsOn(context.Background(), 8, b, func(int) int { return weight },
+		func(ctx context.Context, i int) error {
+			n := held.Add(weight)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			held.Add(-weight)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > cap {
+		t.Errorf("peak held slots %d exceeded budget cap %d", p, cap)
+	}
+	if got := b.InUse(); got != 0 {
+		t.Errorf("budget InUse = %d after drain, want 0", got)
+	}
+}
+
+// TestRunWeightedJobsOnClampsOversizedWeight pins AcquireN's clamp: a job
+// declaring more workers than the budget holds still runs (with the whole
+// budget), rather than deadlocking or erroring.
+func TestRunWeightedJobsOnClampsOversizedWeight(t *testing.T) {
+	b := NewBudget(2)
+	ran := 0
+	err := RunWeightedJobsOn(context.Background(), 3, b, func(int) int { return 16 },
+		func(ctx context.Context, i int) error {
+			ran++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Errorf("ran %d jobs, want 3", ran)
+	}
+	if got := b.InUse(); got != 0 {
+		t.Errorf("budget InUse = %d after drain, want 0", got)
+	}
+}

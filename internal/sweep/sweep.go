@@ -60,6 +60,13 @@ type Grid struct {
 	Axes      []Axis
 	// Workers bounds pool parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// SimShards selects the simulation kernel for every grid point that no
+	// axis pins: 0 (default) keeps the sequential kernel,
+	// system.KernelAuto resolves per point against the budget capacity,
+	// positive values force that shard count. Results are bit-identical in
+	// every case — the kernel choice is outside the config hash — so this
+	// only trades intra-point against run-level parallelism.
+	SimShards int
 	// PrefixCycle, when nonzero, marks the cycle up to which grid points
 	// whose configurations are prefix-compatible (system.Config.PrefixHash)
 	// provably simulate identically. RunPrefixShared checkpoints one family
@@ -168,16 +175,35 @@ func RunOn(ctx context.Context, g Grid, b *Budget) (*Result, error) {
 		}
 	}
 	jobs := g.expand()
-	points := make([]Point, len(jobs))
-	err := RunJobsOn(ctx, len(jobs), b, func(ctx context.Context, i int) error {
-		j := jobs[i]
+	// Configs are built up front so each job's budget weight — the resolved
+	// sharded worker count — is known before its slots are acquired. Auto
+	// kernel knobs resolve against the whole budget cap: with grid points
+	// outnumbering slots, run-level parallelism beats intra-run parallelism,
+	// and the weighted acquisition below keeps the combination bounded
+	// either way.
+	if b == nil {
+		b = NewBudget(0)
+	}
+	cfgs := make([]system.Config, len(jobs))
+	for i, j := range jobs {
 		cfg := system.DefaultConfig(j.scheme)
 		for _, mut := range j.mutators {
 			mut(&cfg)
 		}
-		if err := cfg.Validate(); err != nil {
-			return fmt.Errorf("sweep %s point %v %s/%s: %w", g.Name, j.coords, j.scheme, j.wl, err)
+		if g.SimShards != 0 && cfg.Shards == 0 {
+			cfg.Shards = g.SimShards
 		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep %s point %v %s/%s: %w", g.Name, j.coords, j.scheme, j.wl, err)
+		}
+		system.ResolveKernel(&cfg, b.Cap())
+		cfgs[i] = cfg
+	}
+	points := make([]Point, len(jobs))
+	weight := func(i int) int { return cfgs[i].ResolvedWorkers() }
+	err := RunWeightedJobsOn(ctx, len(jobs), b, weight, func(ctx context.Context, i int) error {
+		j := jobs[i]
+		cfg := cfgs[i]
 		sys, err := system.New(cfg, j.wl, g.Scale)
 		if err != nil {
 			return fmt.Errorf("sweep %s point %v: %w", g.Name, j.coords, err)

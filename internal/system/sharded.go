@@ -288,7 +288,16 @@ func (s *System) registerSharded() {
 	s.busyChecks = append(s.busyChecks, func() bool { return !s.noc.Drained() })
 
 	// --- Serial 0: effect logs, MI drains, NoC commit, coordinator.
+	// Execution-fed by wave 0 only: effect logs are staged by core ticks,
+	// MI drain work is created by core-side pushes and unblocked by wave-0
+	// hub deliveries (a capacity-blocked drain keeps claiming work itself),
+	// and NoC staging happens only in wave-0 router ticks (Inject is always
+	// domain-local). The coordinator is wake-aware, so it is exempt from
+	// the feed contract; within-section producers are seen by later slots
+	// of the same runSegment pass or by the section's own next-cycle
+	// re-poll, exactly like the sequential order.
 	ser0 := s.cond.SerialShard(0)
+	s.cond.FedBy(0, []int{0}, nil)
 	ser0.Register("fx-flush", fxFlushHook{s})
 	if s.coord != nil {
 		ser0.Register("mi-drain", miDrainHook{s})
@@ -318,7 +327,12 @@ func (s *System) registerSharded() {
 		s.busyChecks = append(s.busyChecks, func() bool { return !s.memnet.Drained() })
 
 		// --- Serial 1: memory-network commit, staged coordinator calls.
+		// Execution-fed by wave 1 only: cross-domain pushes and credits
+		// stage in wave-1 memnet router ticks (cube and controller Inject
+		// calls are domain-local), and the coordinator callback stage is
+		// appended at wave-1 ejection delivery.
 		ser1 := s.cond.SerialShard(1)
+		s.cond.FedBy(1, []int{1}, nil)
 		ser1.Register("memnet-commit", fabricCommitHook{s.memnet})
 		if s.coord != nil {
 			ser1.Register("coord-calls", coordCallHook{s})
@@ -346,7 +360,12 @@ func (s *System) registerSharded() {
 	if s.memnet != nil {
 		last = 2
 	}
+	// Execution-fed by serial 0 only: in the sharded kernel every
+	// Barrier.Arrive routes through the core effect logs, applied at the
+	// serial-0 flush (the coordinator never arrives at the barrier), and
+	// the IPC sampler is wake-aware.
 	serLast := s.cond.SerialShard(last)
+	s.cond.FedBy(last, nil, []int{0})
 	serLast.Register("ipc-sampler", ipcSampler{s})
 	serLast.Register("barrier-flush", barrierFlush{s.barrier})
 	s.cond.Seal()

@@ -249,6 +249,10 @@ func New(cfg Config, wlName string, scale workload.Scale) (*System, error) {
 
 // NewWith builds a machine around an existing workload value.
 func NewWith(cfg Config, wl workload.Workload) (*System, error) {
+	// Auto kernel knobs resolve here, against the bare host (callers with a
+	// shared worker budget — the service, sweeps — resolve earlier with
+	// their free-slot share and we see concrete values).
+	ResolveKernel(&cfg, 0)
 	s := &System{cfg: cfg, wl: wl}
 	s.env = workload.NewEnv(cfg.Threads, cfg.Seed)
 	wl.Init(s.env)
@@ -707,6 +711,18 @@ func (s *System) Engine() *sim.Engine { return s.engine }
 // Conductor exposes the sharded kernel's scheduler (nil under the
 // sequential kernel).
 func (s *System) Conductor() *sim.Sharded { return s.cond }
+
+// SchedCounters snapshots the sharded conductor's scheduling counters
+// (waves run/fused/skipped, barriers elided, park events). ok is false
+// under the sequential kernel. The counters are scheduler diagnostics, not
+// simulated state — they are deliberately kept out of Results so sharded
+// and sequential runs stay bit-identical.
+func (s *System) SchedCounters() (sim.SchedCounters, bool) {
+	if s.cond == nil {
+		return sim.SchedCounters{}, false
+	}
+	return s.cond.Counters(), true
+}
 
 // Env exposes the workload environment (tests).
 func (s *System) Env() *workload.Env { return s.env }
