@@ -27,6 +27,7 @@ package activerouting
 import (
 	"context"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/service"
@@ -211,6 +212,35 @@ type ServiceRetryPolicy = service.RetryPolicy
 // the daemon sheds a request that would need a new simulation while its
 // queue is over -max-queue or it is draining.
 var ErrServiceOverloaded = service.ErrOverloaded
+
+// Cluster types: the fault-tolerant coordinator/worker fleet behind
+// arserved -mode=coordinator / -mode=worker. The coordinator implements the
+// service Executor seam — single-process arserved is the degenerate cluster
+// of one in-process worker — dispatching content-addressed jobs under
+// heartbeat-renewed leases, re-dispatching on worker loss, and degrading to
+// cache-only service at zero live workers. See DESIGN.md "Cluster &
+// supervision".
+type (
+	ClusterCoordinator     = cluster.Coordinator
+	ClusterCoordinatorOpts = cluster.CoordinatorOptions
+	ClusterWorker          = cluster.Worker
+	ClusterWorkerOpts      = cluster.WorkerOptions
+	ClusterStats           = service.ClusterStats
+	ClusterWorkerStatus    = service.WorkerStatus
+)
+
+// NewClusterCoordinator starts a job dispatcher (plug it into
+// ServiceOptions.Executor and mount its Register alongside the service
+// handler); Close stops its lease janitor.
+func NewClusterCoordinator(opts ClusterCoordinatorOpts) *ClusterCoordinator {
+	return cluster.NewCoordinator(opts)
+}
+
+// NewClusterWorker builds a worker process that joins a coordinator,
+// simulates leased jobs on a local budget, and drains gracefully.
+func NewClusterWorker(opts ClusterWorkerOpts) (*ClusterWorker, error) {
+	return cluster.NewWorker(opts)
+}
 
 // Result-store types: the crash-safe, content-addressed persistence layer
 // behind arserved's -store flag. Append-only checksummed segment files;

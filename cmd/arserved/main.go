@@ -28,6 +28,21 @@
 // connections are refused, in-flight requests (including their running
 // simulations) complete, then the process exits. A second signal, or the
 // drain deadline expiring, aborts immediately.
+//
+// Cluster mode (DESIGN.md "Cluster & supervision"): the same binary runs
+// as a coordinator fronting a worker fleet, or as a worker joining one.
+//
+//	arserved -mode=coordinator -addr :8090 -store /var/lib/arserved
+//	arserved -mode=worker -join http://coord:8090 -addr :8081
+//
+// The coordinator owns the full HTTP surface and the durable stores, and
+// leases each simulation job to a worker; expired leases (crashed,
+// partitioned or straggling workers) re-dispatch automatically, and with
+// zero live workers the coordinator keeps serving cached results while
+// shedding only new-simulation traffic. In coordinator mode -job-timeout
+// bounds each lease attempt rather than the whole request. A worker drains
+// on SIGTERM: unstarted leases hand back immediately, in-flight
+// simulations finish and report.
 package main
 
 import (
@@ -42,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/system"
@@ -49,6 +65,13 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	mode := flag.String("mode", "", `process role: "" single-process, "coordinator" dispatches jobs to a worker fleet, "worker" joins a coordinator`)
+	join := flag.String("join", "", "worker mode: coordinator base URL, e.g. http://127.0.0.1:8090")
+	advertise := flag.String("advertise", "", "worker mode: base URL the coordinator dispatches to (default derives from -addr on 127.0.0.1)")
+	workerID := flag.String("worker-id", "", "worker mode: stable worker identity (default hostname-pid); reusing an id after restart expires the old incarnation's leases immediately")
+	leaseTTL := flag.Duration("lease-ttl", 0, "coordinator mode: how long a dispatched job lease survives without a renewing worker heartbeat (0 = 10s)")
+	heartbeat := flag.Duration("heartbeat", 0, "worker mode: heartbeat interval override (0 = interval the coordinator advertises at registration)")
+	chaosJobDelay := flag.Duration("chaos-job-delay", 0, "worker mode: inject this delay before every simulation (chaos testing: slow-worker straggler)")
 	workers := flag.Int("workers", 0, "shared simulation worker budget (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "result cache shard count (0 = 16)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
@@ -59,6 +82,27 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none); expired jobs abort and release their worker slots")
 	maxQueue := flag.Int("max-queue", 0, "shed new-simulation requests with 503 once this many jobs wait for workers (0 = never shed)")
 	flag.Parse()
+
+	switch *mode {
+	case "", "coordinator":
+	case "worker":
+		runWorker(workerConfig{
+			addr:      *addr,
+			join:      *join,
+			advertise: *advertise,
+			id:        *workerID,
+			workers:   *workers,
+			simShards: *simShards,
+			timeout:   *jobTimeout,
+			heartbeat: *heartbeat,
+			jobDelay:  *chaosJobDelay,
+			drain:     *drain,
+		})
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "arserved: unknown -mode %q (want \"\", coordinator or worker)\n", *mode)
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		// The pprof handlers register on http.DefaultServeMux at import
@@ -106,16 +150,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Coordinator mode swaps the execution seam: jobs lease out to the
+	// worker fleet instead of running in-process, and -job-timeout becomes
+	// the per-attempt lease cap (a straggling attempt re-dispatches rather
+	// than failing the request).
+	var coord *cluster.Coordinator
+	svcTimeout := *jobTimeout
+	if *mode == "coordinator" {
+		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{
+			LeaseTTL:       *leaseTTL,
+			AttemptTimeout: *jobTimeout,
+		})
+		defer coord.Close()
+		svcTimeout = 0
+	}
+
 	svc := service.New(service.Options{
 		Workers:    *workers,
 		Shards:     *shards,
 		SimShards:  simSh,
 		Store:      st,
-		JobTimeout: *jobTimeout,
+		JobTimeout: svcTimeout,
 		MaxQueue:   *maxQueue,
 		Snapshots:  snaps,
+		Executor:   executorOrNil(coord),
 	})
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	if coord != nil {
+		coord.Register(mux)
+		fmt.Fprintln(os.Stderr, "arserved: coordinator mode (workers join via /cluster/register)")
+	}
+	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -160,4 +226,101 @@ func main() {
 	stats := svc.Stats()
 	fmt.Fprintf(os.Stderr, "arserved: drained cleanly (served %d sims, %d cache hits, hit rate %.2f)\n",
 		stats.SimsCompleted, stats.CacheHits, stats.HitRate)
+}
+
+// executorOrNil avoids the typed-nil-in-interface trap: a nil *Coordinator
+// must reach service.New as a nil interface so the Local default applies.
+func executorOrNil(c *cluster.Coordinator) service.Executor {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+// workerConfig carries the worker-mode flag subset.
+type workerConfig struct {
+	addr      string
+	join      string
+	advertise string
+	id        string
+	workers   int
+	simShards string
+	timeout   time.Duration
+	heartbeat time.Duration
+	jobDelay  time.Duration
+	drain     time.Duration
+}
+
+// runWorker is worker mode's whole main: serve the dispatch surface, join
+// the coordinator, and on SIGTERM drain — hand unstarted leases back,
+// finish in-flight simulations — before exiting.
+func runWorker(cfg workerConfig) {
+	if cfg.join == "" {
+		fmt.Fprintln(os.Stderr, "arserved: -mode=worker requires -join <coordinator URL>")
+		os.Exit(2)
+	}
+	simSh, err := system.ParseKernel(cfg.simShards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arserved: -simshards:", err)
+		os.Exit(2)
+	}
+	advertise := cfg.advertise
+	if advertise == "" {
+		// A bare ":8081" listen address advertises the loopback form; any
+		// multi-host deployment must say -advertise explicitly.
+		if len(cfg.addr) > 0 && cfg.addr[0] == ':' {
+			advertise = "http://127.0.0.1" + cfg.addr
+		} else {
+			advertise = "http://" + cfg.addr
+		}
+	}
+	id := cfg.id
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		ID:          id,
+		Coordinator: cfg.join,
+		Advertise:   advertise,
+		Workers:     cfg.workers,
+		SimShards:   simSh,
+		JobTimeout:  cfg.timeout,
+		Heartbeat:   cfg.heartbeat,
+		JobDelay:    cfg.jobDelay,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arserved:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w.Start(ctx)
+	defer w.Stop()
+
+	srv := &http.Server{Addr: cfg.addr, Handler: w.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "arserved: worker %s on %s (advertising %s, joining %s)\n", id, cfg.addr, advertise, cfg.join)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "arserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(os.Stderr, "arserved: worker draining (unstarted leases hand back, in-flight simulations finish)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	w.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	_ = srv.Shutdown(shutCtx)
+	fmt.Fprintln(os.Stderr, "arserved: worker drained")
 }

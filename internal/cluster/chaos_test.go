@@ -1,0 +1,448 @@
+// Chaos tests: scripted worker failures against an in-process
+// coordinator/worker fleet — abrupt kill mid-sweep, heartbeat blackholes,
+// slow-worker stragglers, graceful drains and total fleet loss — asserting
+// the contract the design pins: sweeps complete bit-identically to
+// single-process runs, retries never produce divergent results, and a
+// degraded coordinator keeps serving cached traffic.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// testCluster is a coordinator with its full service surface on an
+// httptest listener.
+type testCluster struct {
+	coord *Coordinator
+	svc   *service.Server
+	front *httptest.Server
+}
+
+func newTestCluster(t *testing.T, copts CoordinatorOptions, sopts service.Options) *testCluster {
+	t.Helper()
+	if copts.LeaseTTL <= 0 {
+		copts.LeaseTTL = 250 * time.Millisecond
+	}
+	coord := NewCoordinator(copts)
+	sopts.Executor = coord
+	svc := service.New(sopts)
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	coord.Register(mux)
+	front := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		front.Close()
+		coord.Close()
+	})
+	return &testCluster{coord: coord, svc: svc, front: front}
+}
+
+// testWorker is one worker process stand-in: its own listener and
+// lifecycle context, killable without ceremony.
+type testWorker struct {
+	w      *Worker
+	srv    *httptest.Server
+	cancel context.CancelFunc
+}
+
+func newTestWorker(t *testing.T, coordURL string, opts WorkerOptions) *testWorker {
+	t.Helper()
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(mux)
+	opts.Coordinator = coordURL
+	opts.Advertise = srv.URL
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 50 * time.Millisecond
+	}
+	w, err := NewWorker(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Register(mux)
+	ctx, cancel := context.WithCancel(context.Background())
+	w.Start(ctx)
+	tw := &testWorker{w: w, srv: srv, cancel: cancel}
+	t.Cleanup(func() {
+		cancel()
+		srv.Close()
+	})
+	return tw
+}
+
+// kill is the chaos harness's kill -9: the worker's goroutines die
+// mid-job, its listener drops every connection, nothing drains and nothing
+// says goodbye.
+func (tw *testWorker) kill() {
+	tw.cancel()
+	tw.srv.CloseClientConnections()
+	tw.srv.Close()
+}
+
+// waitFor polls until cond or the deadline; chaos timings are generous so
+// slow CI only makes the tests slower, not flakier.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func waitAlive(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("%d alive workers", n), func() bool {
+		return c.ClusterStats().WorkersAlive >= n
+	})
+}
+
+func postBody(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+func TestClusterRunMatchesLocal(t *testing.T) {
+	tc := newTestCluster(t, CoordinatorOptions{}, service.Options{})
+	newTestWorker(t, tc.front.URL, WorkerOptions{ID: "w1", Workers: 2})
+	waitAlive(t, tc.coord, 1)
+
+	client := service.NewClient(tc.front.URL)
+	got, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := system.New(system.DefaultConfig(system.SchemeARFtid), "mac", workload.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results.Cycles != ref.Cycles || got.Results.Instructions != ref.Instructions {
+		t.Fatalf("cluster run diverged from direct run: cycles %d vs %d", got.Results.Cycles, ref.Cycles)
+	}
+
+	// Cluster-wide singleflight: the same key again is a cache hit, no
+	// second dispatch.
+	before := tc.coord.ClusterStats().JobsDispatched
+	again, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("second identical run must be a cache hit")
+	}
+	if after := tc.coord.ClusterStats().JobsDispatched; after != before {
+		t.Fatalf("cache hit dispatched a job: %d -> %d", before, after)
+	}
+	if err := client.Readyz(context.Background()); err != nil {
+		t.Fatalf("readyz with a live worker: %v", err)
+	}
+}
+
+func TestWorkerKillMidSweepRedispatch(t *testing.T) {
+	// Reference: the same sweep on a plain single-process server.
+	refSvc := service.New(service.Options{Workers: 4})
+	refSrv := httptest.NewServer(refSvc.Handler())
+	defer refSrv.Close()
+	const sweepReq = `{"study":"flowtable","scale":"tiny"}`
+	refCode, _, refBody := postBody(t, refSrv.URL+"/sweep", sweepReq)
+	if refCode != http.StatusOK {
+		t.Fatalf("reference sweep: %d %s", refCode, refBody)
+	}
+
+	tc := newTestCluster(t, CoordinatorOptions{LeaseTTL: 250 * time.Millisecond}, service.Options{})
+	newTestWorker(t, tc.front.URL, WorkerOptions{ID: "w1", Workers: 2, JobDelay: 100 * time.Millisecond})
+	w2 := newTestWorker(t, tc.front.URL, WorkerOptions{ID: "w2", Workers: 2, JobDelay: 100 * time.Millisecond})
+	waitAlive(t, tc.coord, 2)
+
+	type sweepOut struct {
+		code int
+		body []byte
+	}
+	done := make(chan sweepOut, 1)
+	go func() {
+		code, _, body := postBody(t, tc.front.URL+"/sweep", sweepReq)
+		done <- sweepOut{code, body}
+	}()
+
+	// Kill w2 once it has ACCEPTED a lease (worker-side state, not the
+	// coordinator's booking — a booked-but-undelivered dispatch fails at
+	// send and retries, which is not the lease-expiry path this test
+	// pins). The JobDelay window guarantees the accepted job is still
+	// running when the kill lands.
+	waitFor(t, "w2 to accept a lease", func() bool {
+		w2.w.mu.Lock()
+		defer w2.w.mu.Unlock()
+		return len(w2.w.leases) > 0
+	})
+	w2.kill()
+
+	out := <-done
+	if out.code != http.StatusOK {
+		t.Fatalf("sweep after worker kill: %d %s", out.code, out.body)
+	}
+	if !bytes.Equal(out.body, refBody) {
+		t.Fatalf("sweep result diverged from single-process run after worker kill:\ncluster: %s\nlocal:   %s", out.body, refBody)
+	}
+	st := tc.coord.ClusterStats()
+	if st.JobsRedispatched == 0 {
+		t.Fatal("killing a lease-holding worker must re-dispatch its leases")
+	}
+	if st.JobsDivergent != 0 {
+		t.Fatalf("jobs_divergent = %d, want 0 — retries changed an answer", st.JobsDivergent)
+	}
+}
+
+// blackholeTransport drops heartbeat traffic while armed: the worker is
+// healthy and simulating, but the coordinator cannot know it.
+type blackholeTransport struct {
+	drop atomic.Bool
+}
+
+func (b *blackholeTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if b.drop.Load() && strings.HasSuffix(req.URL.Path, "/cluster/heartbeat") {
+		return nil, errors.New("blackholed")
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func TestHeartbeatBlackholeRedispatchesWithoutDivergence(t *testing.T) {
+	bh := &blackholeTransport{}
+	tc := newTestCluster(t, CoordinatorOptions{
+		LeaseTTL:  200 * time.Millisecond,
+		DeadAfter: 10 * time.Second, // keep the lone worker out of "dead" during the blackhole
+	}, service.Options{})
+	newTestWorker(t, tc.front.URL, WorkerOptions{
+		ID: "w1", Workers: 2,
+		JobDelay: 700 * time.Millisecond,
+		HTTP:     &http.Client{Transport: bh, Timeout: 2 * time.Second},
+	})
+	waitAlive(t, tc.coord, 1)
+
+	client := service.NewClient(tc.front.URL)
+	type runOut struct {
+		resp *service.RunResponse
+		err  error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		r, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+		done <- runOut{r, err}
+	}()
+	waitFor(t, "job dispatch", func() bool { return tc.coord.ClusterStats().LeasesActive > 0 })
+	bh.drop.Store(true)
+
+	// The lease must expire with no renewing heartbeats even though the
+	// worker is mid-simulation.
+	waitFor(t, "lease expiry re-dispatch", func() bool {
+		return tc.coord.ClusterStats().JobsRedispatched > 0
+	})
+	bh.drop.Store(false)
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("run through heartbeat blackhole: %v", out.err)
+	}
+	sys, _ := system.New(system.DefaultConfig(system.SchemeARFtid), "mac", workload.ScaleTiny)
+	ref, _ := sys.Run()
+	if out.resp.Results.Cycles != ref.Cycles {
+		t.Fatalf("blackholed run diverged: cycles %d vs %d", out.resp.Results.Cycles, ref.Cycles)
+	}
+	if st := tc.coord.ClusterStats(); st.JobsDivergent != 0 {
+		t.Fatalf("jobs_divergent = %d, want 0", st.JobsDivergent)
+	}
+}
+
+func TestSlowWorkerStragglerSpeculativeRetry(t *testing.T) {
+	tc := newTestCluster(t, CoordinatorOptions{
+		LeaseTTL:       200 * time.Millisecond,
+		AttemptTimeout: 300 * time.Millisecond,
+	}, service.Options{})
+	// "a" wins the tie-break, so the job lands on the straggler first.
+	newTestWorker(t, tc.front.URL, WorkerOptions{ID: "a-slow", Workers: 2, JobDelay: 5 * time.Second})
+	newTestWorker(t, tc.front.URL, WorkerOptions{ID: "b-fast", Workers: 2})
+	waitAlive(t, tc.coord, 2)
+
+	client := service.NewClient(tc.front.URL)
+	start := time.Now()
+	resp, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Fatalf("run waited out the straggler (%v); speculative retry never happened", elapsed)
+	}
+	sys, _ := system.New(system.DefaultConfig(system.SchemeARFtid), "mac", workload.ScaleTiny)
+	ref, _ := sys.Run()
+	if resp.Results.Cycles != ref.Cycles {
+		t.Fatalf("speculative-retry result diverged: cycles %d vs %d", resp.Results.Cycles, ref.Cycles)
+	}
+	st := tc.coord.ClusterStats()
+	if st.JobsRedispatched == 0 {
+		t.Fatal("straggler's lease must expire at the attempt cap and re-dispatch")
+	}
+	if st.JobsDivergent != 0 {
+		t.Fatalf("jobs_divergent = %d, want 0", st.JobsDivergent)
+	}
+}
+
+func TestZeroWorkersDegradesGracefully(t *testing.T) {
+	tc := newTestCluster(t, CoordinatorOptions{
+		LeaseTTL:  150 * time.Millisecond,
+		DeadAfter: 450 * time.Millisecond,
+	}, service.Options{})
+	const runReq = `{"workload":"mac","scheme":"ARF-tid","scale":"tiny"}`
+
+	// Before any worker exists: new-simulation traffic sheds with a retry
+	// hint; liveness stays green, readiness red.
+	code, hdr, _ := postBody(t, tc.front.URL+"/run", runReq)
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("empty fleet /run: code=%d Retry-After=%q, want 503 with hint", code, hdr.Get("Retry-After"))
+	}
+	if resp, err := http.Get(tc.front.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("liveness must stay green with zero workers: %v %v", err, resp)
+	}
+	if resp, err := http.Get(tc.front.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readiness must be 503 with zero workers: %v %v", err, resp)
+	}
+
+	// A worker joins; the job computes and caches.
+	w1 := newTestWorker(t, tc.front.URL, WorkerOptions{ID: "w1", Workers: 2})
+	waitAlive(t, tc.coord, 1)
+	waitFor(t, "readyz to recover", func() bool {
+		resp, err := http.Get(tc.front.URL + "/readyz")
+		return err == nil && resp.StatusCode == http.StatusOK
+	})
+	code, _, _ = postBody(t, tc.front.URL+"/run", runReq)
+	if code != http.StatusOK {
+		t.Fatalf("run with live worker: %d", code)
+	}
+
+	// The fleet dies. Cached results keep serving; only new simulations shed.
+	w1.kill()
+	waitFor(t, "fleet to be declared dead", func() bool {
+		st := tc.coord.ClusterStats()
+		return st.WorkersAlive == 0 && st.WorkersSuspect == 0
+	})
+	code, _, body := postBody(t, tc.front.URL+"/run", runReq)
+	if code != http.StatusOK || !strings.Contains(string(body), `"cache_hit": true`) {
+		t.Fatalf("cached run during fleet loss: code=%d body=%s", code, body)
+	}
+	code, hdr, _ = postBody(t, tc.front.URL+"/run", `{"workload":"reduce","scheme":"HMC","scale":"tiny"}`)
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("new simulation during fleet loss: code=%d, want 503+Retry-After", code)
+	}
+
+	// A replacement worker restores full service.
+	newTestWorker(t, tc.front.URL, WorkerOptions{ID: "w2", Workers: 2})
+	waitAlive(t, tc.coord, 1)
+	code, _, _ = postBody(t, tc.front.URL+"/run", `{"workload":"reduce","scheme":"HMC","scale":"tiny"}`)
+	if code != http.StatusOK {
+		t.Fatalf("run after fleet recovery: %d", code)
+	}
+}
+
+func TestWorkerDrainHandsBackUnstartedLeases(t *testing.T) {
+	tc := newTestCluster(t, CoordinatorOptions{LeaseTTL: 300 * time.Millisecond}, service.Options{})
+	// One budget slot but two advertised: the coordinator pipelines a
+	// second dispatch that queues on the worker's budget — accepted but
+	// unstarted, the exact state a drain must hand back.
+	w1 := newTestWorker(t, tc.front.URL, WorkerOptions{ID: "w1", Workers: 1, Capacity: 2, JobDelay: 400 * time.Millisecond})
+	waitAlive(t, tc.coord, 1)
+
+	client := service.NewClient(tc.front.URL)
+	type runOut struct {
+		resp *service.RunResponse
+		err  error
+	}
+	// Job A takes the only budget slot and starts simulating (JobDelay
+	// holds it); job B queues behind it on the worker.
+	outA := make(chan runOut, 1)
+	go func() {
+		r, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+		outA <- runOut{r, err}
+	}()
+	waitFor(t, "job A to start", func() bool {
+		for _, w := range tc.coord.ClusterStats().Workers {
+			if w.ID == "w1" && w.InFlight > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	outB := make(chan runOut, 1)
+	go func() {
+		r, err := client.Run(context.Background(), service.RunRequest{Workload: "reduce", Scheme: "ARF-tid", Scale: "tiny"})
+		outB <- runOut{r, err}
+	}()
+	// Wait for worker-side acceptance, not just coordinator-side booking:
+	// the drain's 503 must not race the dispatch POST.
+	waitFor(t, "job B to be accepted by w1", func() bool {
+		w1.w.mu.Lock()
+		defer w1.w.mu.Unlock()
+		return len(w1.w.leases) >= 2
+	})
+
+	// The relief worker joins, then w1 drains: A finishes on w1, B's
+	// unstarted lease hands back and re-dispatches to w2.
+	newTestWorker(t, tc.front.URL, WorkerOptions{ID: "w2", Workers: 2})
+	waitAlive(t, tc.coord, 2)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	w1.w.Drain(drainCtx)
+
+	a := <-outA
+	if a.err != nil {
+		t.Fatalf("in-flight job during drain: %v", a.err)
+	}
+	b := <-outB
+	if b.err != nil {
+		t.Fatalf("handed-back job: %v", b.err)
+	}
+	st := tc.coord.ClusterStats()
+	if st.JobsReturned == 0 {
+		t.Fatal("drain must hand unstarted leases back (jobs_returned)")
+	}
+	if st.JobsDivergent != 0 {
+		t.Fatalf("jobs_divergent = %d, want 0", st.JobsDivergent)
+	}
+
+	// A draining worker refuses new dispatches.
+	resp, err := http.Post(w1.srv.URL+"/worker/run", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining worker accepted a dispatch: %d", resp.StatusCode)
+	}
+}

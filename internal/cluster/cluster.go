@@ -1,0 +1,103 @@
+// Package cluster turns arserved into a fault-tolerant coordinator/worker
+// fleet. A Coordinator owns the HTTP surface and the durable result store
+// (it plugs into internal/service as the Executor), dispatching simulation
+// jobs to worker processes over a small HTTP/JSON internal protocol; a
+// Worker registers with the coordinator, runs jobs under its local budget,
+// and reports results back.
+//
+// Fault tolerance rests on three mechanisms (DESIGN.md "Cluster &
+// supervision"):
+//
+//   - Job leases. Every dispatched job carries a lease with a deadline;
+//     worker heartbeats renew the leases they hold. The coordinator's
+//     janitor re-dispatches expired leases to other workers. Because the
+//     simulator is deterministic and jobs are content-addressed, a
+//     re-dispatch can never produce a divergent result — the coordinator
+//     cross-checks duplicate completions and counts jobs_divergent (pinned
+//     to zero by the chaos tests).
+//
+//   - Worker supervision. Heartbeat recency drives a per-worker
+//     alive → suspect → dead state machine; dispatch failures feed a
+//     consecutive-failure circuit breaker; dispatch picks the live worker
+//     with the most free advertised slots.
+//
+//   - Graceful degradation. With zero live workers the coordinator keeps
+//     serving cached results and sheds only new-simulation traffic
+//     (Executor.Ready → /readyz 503 + Retry-After). Workers drain on
+//     SIGTERM: unstarted leases are handed back for immediate re-dispatch,
+//     in-flight simulations finish and report.
+//
+// All protocol requests are POSTed JSON under /cluster/* (coordinator
+// side) and /worker/* (worker side). The protocol is internal: both ends
+// are the same binary, so there is no version negotiation — a mismatched
+// field fails validation loudly.
+package cluster
+
+import (
+	"encoding/json"
+	"hash/fnv"
+)
+
+// registerRequest announces a worker to the coordinator. Re-registering an
+// existing id replaces its record and expires any leases the previous
+// incarnation held (a restarted worker lost its in-flight work).
+type registerRequest struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`     // base URL for dispatches, e.g. http://host:port
+	Capacity int    `json:"capacity"` // advertised budget slots (GOMAXPROCS-derived)
+}
+
+// registerResponse tells the worker the coordinator's timing contract.
+type registerResponse struct {
+	LeaseTTLMS  int64 `json:"lease_ttl_ms"`
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// heartbeatRequest proves liveness and renews the listed leases.
+type heartbeatRequest struct {
+	ID     string   `json:"id"`
+	Leases []string `json:"leases"`
+}
+
+// completeRequest reports one finished job. Either Results (raw
+// system.Results JSON — kept opaque so the coordinator can hash and return
+// it without a decode/re-encode round trip) or Error is set.
+type completeRequest struct {
+	ID      string          `json:"id"`
+	Lease   string          `json:"lease"`
+	Key     string          `json:"key"`
+	Results json.RawMessage `json:"results,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// releaseRequest hands unstarted leases back during a worker drain.
+type releaseRequest struct {
+	ID     string   `json:"id"`
+	Leases []string `json:"leases"`
+}
+
+// dispatchRequest carries one leased job to a worker.
+type dispatchRequest struct {
+	Lease string  `json:"lease"`
+	Key   string  `json:"key"`
+	Job   wireJob `json:"job"`
+}
+
+// wireJob is service.Job flattened for the wire: enums travel as their
+// canonical strings and the config as its full JSON form, so the worker
+// revalidates everything through Job.Normalized before running.
+type wireJob struct {
+	Workload string          `json:"workload"`
+	Scheme   string          `json:"scheme"`
+	Scale    string          `json:"scale"`
+	Config   json.RawMessage `json:"config"`
+}
+
+// resultHash fingerprints a completion's result bytes for divergence
+// detection. Workers marshal system.Results identically (deterministic
+// struct order), so two correct executions of one job hash equal.
+func resultHash(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

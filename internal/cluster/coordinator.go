@@ -1,0 +1,741 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/system"
+)
+
+// ErrNoWorkers wraps service.ErrOverloaded: a job arrived while every
+// registered worker was dead (or none ever registered). The transport maps
+// it to 503 + Retry-After; cached results keep serving regardless.
+var ErrNoWorkers = fmt.Errorf("cluster: no live workers: %w", service.ErrOverloaded)
+
+// errGaveUp is returned when a single job burned through MaxAttempts
+// leases without any worker completing it.
+var errGaveUp = errors.New("cluster: job exceeded max dispatch attempts")
+
+// CoordinatorOptions tunes the dispatcher. The zero value is usable for
+// tests; cmd/arserved derives LeaseTTL and AttemptTimeout from its flags.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a dispatched lease lives without a renewing
+	// heartbeat; <= 0 means 10s. Workers are told to heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// AttemptTimeout caps one attempt's total lease lifetime: heartbeats
+	// renew a lease only up to dispatch time + AttemptTimeout, after which
+	// it expires even from a live (slow) worker and the job re-dispatches —
+	// speculative retry for stragglers. 0 means uncapped (a heartbeating
+	// worker keeps its lease forever). Derived from -job-timeout.
+	AttemptTimeout time.Duration
+	// SuspectAfter/DeadAfter drive the health state machine from heartbeat
+	// recency; <= 0 means LeaseTTL and 3×LeaseTTL respectively.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// BreakerThreshold opens a worker's dispatch circuit breaker after this
+	// many consecutive dispatch failures; <= 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker holds dispatches off a
+	// worker; <= 0 means 2×LeaseTTL.
+	BreakerCooldown time.Duration
+	// MaxAttempts bounds how many leases one job may burn before Execute
+	// gives up; <= 0 means 5.
+	MaxAttempts int
+	// HTTP overrides the dispatch client (tests inject chaos transports).
+	HTTP *http.Client
+}
+
+// lease is one outstanding job: dispatched (worker != "") or waiting for
+// re-dispatch. Owned by Coordinator.mu except the channels, which the
+// owning Execute goroutine drains.
+type lease struct {
+	id  string
+	key string
+	req []byte // marshaled dispatchRequest, rebuilt once
+
+	worker     string // current owner, "" when unassigned
+	prev       string // previous owner; re-dispatch prefers someone else
+	deadline   time.Time
+	attemptCap time.Time // zero when AttemptTimeout is 0
+	attempts   int
+
+	done       chan leaseResult // buffered 1; first completion wins
+	redispatch chan struct{}    // buffered 1; janitor/release/re-register signal
+}
+
+type leaseResult struct {
+	raw []byte
+	err error
+}
+
+// workerState is one registered worker's supervision record.
+type workerState struct {
+	id       string
+	addr     string
+	capacity int
+	// leases this worker currently owns. A set, not a counter: lease
+	// expiry removes membership, so a late completion from the old owner
+	// can never double-free a slot.
+	leases       map[string]struct{}
+	lastBeat     time.Time
+	consecFails  int
+	breakerUntil time.Time
+}
+
+type healthState int
+
+const (
+	stateAlive healthState = iota
+	stateSuspect
+	stateDead
+)
+
+func (h healthState) String() string {
+	switch h {
+	case stateAlive:
+		return "alive"
+	case stateSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Coordinator dispatches jobs to a worker fleet. It implements
+// service.Executor (plus QueueReporter and ClusterReporter), so the
+// scheduler, result cache, figures and sweeps are exactly the
+// single-process code paths — only where the simulation runs changes.
+type Coordinator struct {
+	opts   CoordinatorOptions
+	client *http.Client
+	nonce  string
+	seq    atomic.Uint64
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	leases  map[string]*lease
+
+	// recentDone maps committed lease ids to their result fingerprint so a
+	// late duplicate completion can be cross-checked for divergence. A
+	// bounded FIFO ring (recentOrder evicts oldest).
+	recentDone  map[string]uint64
+	recentOrder []string
+
+	dispatched      uint64
+	completed       uint64
+	redispatched    uint64
+	returned        uint64
+	late            uint64
+	divergent       uint64
+	dispatchRetries uint64
+
+	waiting atomic.Int64 // Execute calls blocked on fleet capacity
+
+	// capSignal wakes one capacity-waiter when slots may have freed.
+	capSignal chan struct{}
+	stop      chan struct{}
+	stopOnce  sync.Once
+	janitorWG sync.WaitGroup
+}
+
+const recentDoneCap = 1024
+
+// NewCoordinator starts a dispatcher (and its lease janitor; Close stops
+// it).
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
+	if opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = opts.LeaseTTL
+	}
+	if opts.DeadAfter <= 0 {
+		opts.DeadAfter = 3 * opts.LeaseTTL
+	}
+	if opts.DeadAfter < opts.SuspectAfter {
+		opts.DeadAfter = opts.SuspectAfter
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 2 * opts.LeaseTTL
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	client := opts.HTTP
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	var nb [4]byte
+	_, _ = rand.Read(nb[:])
+	c := &Coordinator{
+		opts:       opts,
+		client:     client,
+		nonce:      hex.EncodeToString(nb[:]),
+		workers:    make(map[string]*workerState),
+		leases:     make(map[string]*lease),
+		recentDone: make(map[string]uint64),
+		capSignal:  make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+	}
+	c.janitorWG.Add(1)
+	go c.janitor()
+	return c
+}
+
+// Close stops the lease janitor. Outstanding Execute calls are not
+// cancelled (their contexts are).
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.janitorWG.Wait()
+}
+
+// heartbeatInterval is what registering workers are told: a third of the
+// lease TTL, so two missed beats still leave renewal room.
+func (c *Coordinator) heartbeatInterval() time.Duration {
+	hb := c.opts.LeaseTTL / 3
+	if hb < 50*time.Millisecond {
+		hb = 50 * time.Millisecond
+	}
+	return hb
+}
+
+// Ready reports whether the fleet can take new work: at least one worker
+// not (yet) declared dead. Suspect workers count — their leases are still
+// being honored — so readiness flaps only on confirmed fleet loss.
+func (c *Coordinator) Ready() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveLocked(time.Now()) > 0
+}
+
+// Waiting implements service.QueueReporter: jobs blocked on fleet
+// capacity.
+func (c *Coordinator) Waiting() int { return int(c.waiting.Load()) }
+
+// Execute implements service.Executor: lease the job to a worker, wait for
+// its completion, re-dispatching on lease expiry, drain handback or
+// dispatch failure. The result is decoded from the worker's bytes; the
+// scheduler's cache layer above makes the cluster-wide singleflight — at
+// most one completed simulation per content-addressed key.
+func (c *Coordinator) Execute(ctx context.Context, job service.Job) (*system.Results, error) {
+	raw, err := c.execute(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	var res system.Results
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("cluster: decoding worker result: %w", err)
+	}
+	return &res, nil
+}
+
+func (c *Coordinator) execute(ctx context.Context, job service.Job) ([]byte, error) {
+	cfgRaw, err := json.Marshal(job.Config)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding job config: %w", err)
+	}
+	l := &lease{
+		id:         fmt.Sprintf("%s-%d", c.nonce, c.seq.Add(1)),
+		key:        job.Key(),
+		done:       make(chan leaseResult, 1),
+		redispatch: make(chan struct{}, 1),
+	}
+	l.req, err = json.Marshal(dispatchRequest{
+		Lease: l.id,
+		Key:   l.key,
+		Job: wireJob{
+			Workload: job.Workload,
+			Scheme:   job.Scheme.String(),
+			Scale:    job.Scale.String(),
+			Config:   cfgRaw,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding dispatch: %w", err)
+	}
+	c.mu.Lock()
+	c.leases[l.id] = l
+	c.mu.Unlock()
+	defer c.dropLease(l)
+
+	finish := func(r leaseResult) ([]byte, error) {
+		if r.err != nil {
+			return nil, fmt.Errorf("cluster: worker reported: %w", r.err)
+		}
+		return r.raw, nil
+	}
+	for {
+		// A completion may have raced the re-dispatch signal (the janitor
+		// expired the lease in the same instant a worker committed it).
+		// Prefer the committed result: re-booking an already-completed
+		// lease would run the simulation again for nothing.
+		select {
+		case r := <-l.done:
+			return finish(r)
+		default:
+		}
+		addr, err := c.assign(ctx, l)
+		if err != nil {
+			return nil, err
+		}
+		if !c.send(addr, l) {
+			continue // dispatch failed; breaker updated, lease unassigned
+		}
+		select {
+		case r := <-l.done:
+			return finish(r)
+		case <-l.redispatch:
+			continue
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// assign picks a worker and books the lease onto it, blocking while the
+// fleet is at capacity. Returns the worker's dispatch address, ErrNoWorkers
+// when every worker is dead, or errGaveUp past the attempt budget.
+func (c *Coordinator) assign(ctx context.Context, l *lease) (string, error) {
+	for {
+		c.mu.Lock()
+		now := time.Now()
+		if l.attempts >= c.opts.MaxAttempts {
+			c.mu.Unlock()
+			return "", fmt.Errorf("%w (job %s, %d attempts)", errGaveUp, l.key, l.attempts)
+		}
+		if w := c.pickLocked(now, l.prev); w != nil {
+			l.attempts++
+			l.worker = w.id
+			l.deadline = now.Add(c.opts.LeaseTTL)
+			if c.opts.AttemptTimeout > 0 {
+				l.attemptCap = now.Add(c.opts.AttemptTimeout)
+				if l.deadline.After(l.attemptCap) {
+					l.deadline = l.attemptCap
+				}
+			}
+			w.leases[l.id] = struct{}{}
+			addr := w.addr
+			c.mu.Unlock()
+			return addr, nil
+		}
+		live := c.liveLocked(now)
+		c.mu.Unlock()
+		if live == 0 {
+			return "", ErrNoWorkers
+		}
+		// Fleet is live but saturated (or breakers are open): wait for a
+		// capacity signal, with a poll floor so breaker expiry and health
+		// transitions are noticed without a dedicated signal.
+		c.waiting.Add(1)
+		select {
+		case <-c.capSignal:
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			c.waiting.Add(-1)
+			return "", ctx.Err()
+		}
+		c.waiting.Add(-1)
+	}
+}
+
+// pickLocked chooses the dispatch target: alive, breaker closed, has a
+// free advertised slot; most free slots wins, lowest id breaks ties (so
+// dispatch order is deterministic given equal fleets). A lease's previous
+// owner is avoided when any other candidate exists — re-leasing a
+// straggler's job back to the straggler defeats the speculative retry.
+func (c *Coordinator) pickLocked(now time.Time, avoid string) *workerState {
+	var best, fallback *workerState
+	bestFree := 0
+	for _, w := range c.workers {
+		if c.stateLocked(w, now) != stateAlive || now.Before(w.breakerUntil) {
+			continue
+		}
+		free := w.capacity - len(w.leases)
+		if free <= 0 {
+			continue
+		}
+		if w.id == avoid {
+			fallback = w
+			continue
+		}
+		if best == nil || free > bestFree || (free == bestFree && w.id < best.id) {
+			best, bestFree = w, free
+		}
+	}
+	if best == nil {
+		return fallback
+	}
+	return best
+}
+
+func (c *Coordinator) stateLocked(w *workerState, now time.Time) healthState {
+	since := now.Sub(w.lastBeat)
+	switch {
+	case since < c.opts.SuspectAfter:
+		return stateAlive
+	case since < c.opts.DeadAfter:
+		return stateSuspect
+	default:
+		return stateDead
+	}
+}
+
+// liveLocked counts workers not yet declared dead (alive or suspect).
+func (c *Coordinator) liveLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if c.stateLocked(w, now) != stateDead {
+			n++
+		}
+	}
+	return n
+}
+
+// send POSTs the dispatch to the worker. On any failure (transport error
+// or non-202) the lease is unassigned for retry and the worker's breaker
+// advances; on success the failure streak resets.
+func (c *Coordinator) send(addr string, l *lease) bool {
+	resp, err := c.client.Post(addr+"/worker/run", "application/json", bytes.NewReader(l.req))
+	ok := err == nil && resp.StatusCode == http.StatusAccepted
+	if resp != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[l.worker]
+	if ok {
+		if w != nil {
+			w.consecFails = 0
+		}
+		c.dispatched++
+		return true
+	}
+	if w != nil {
+		delete(w.leases, l.id)
+		w.consecFails++
+		if w.consecFails >= c.opts.BreakerThreshold {
+			w.breakerUntil = time.Now().Add(c.opts.BreakerCooldown)
+		}
+	}
+	l.prev, l.worker = l.worker, ""
+	c.dispatchRetries++
+	return false
+}
+
+// dropLease removes a lease when its owning Execute returns. The worker
+// lease-set cleanup runs even when the lease already left the table: a
+// completion that raced a re-dispatch removes the table entry, but the
+// re-dispatch may have re-booked the lease onto a worker afterwards —
+// without this sweep that set entry would leak a phantom in-flight slot
+// forever.
+func (c *Coordinator) dropLease(l *lease) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.leases, l.id)
+	if l.worker != "" {
+		if w := c.workers[l.worker]; w != nil {
+			delete(w.leases, l.id)
+		}
+	}
+	c.signalCapLocked()
+}
+
+// signalCapLocked wakes one capacity waiter (non-blocking; the waiters
+// also poll).
+func (c *Coordinator) signalCapLocked() {
+	select {
+	case c.capSignal <- struct{}{}:
+	default:
+	}
+}
+
+// janitor expires leases whose deadline passed — the owning worker
+// stopped heartbeating (crash, partition) or ran past its attempt cap
+// (straggler) — and signals their Execute goroutines to re-dispatch.
+func (c *Coordinator) janitor() {
+	defer c.janitorWG.Done()
+	tick := c.opts.LeaseTTL / 4
+	if tick > 500*time.Millisecond {
+		tick = 500 * time.Millisecond
+	}
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		now := time.Now()
+		expired := false
+		for id, l := range c.leases {
+			if l.worker == "" || now.Before(l.deadline) {
+				continue
+			}
+			if w := c.workers[l.worker]; w != nil {
+				delete(w.leases, id)
+			}
+			l.prev, l.worker = l.worker, ""
+			c.redispatched++
+			expired = true
+			select {
+			case l.redispatch <- struct{}{}:
+			default:
+			}
+		}
+		if expired {
+			c.signalCapLocked()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// rememberLocked records a committed lease's result fingerprint for
+// late-duplicate divergence checks, evicting the oldest past the cap.
+func (c *Coordinator) rememberLocked(leaseID string, h uint64) {
+	if len(c.recentOrder) >= recentDoneCap {
+		old := c.recentOrder[0]
+		c.recentOrder = c.recentOrder[1:]
+		delete(c.recentDone, old)
+	}
+	c.recentDone[leaseID] = h
+	c.recentOrder = append(c.recentOrder, leaseID)
+}
+
+// Register mounts the coordinator's internal protocol under /cluster/ on
+// mux.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/cluster/register", c.handleRegister)
+	mux.HandleFunc("/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/cluster/complete", c.handleComplete)
+	mux.HandleFunc("/cluster/release", c.handleRelease)
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.ID == "" || req.Addr == "" || req.Capacity <= 0 {
+		http.Error(w, "register needs id, addr and positive capacity", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	now := time.Now()
+	if old, ok := c.workers[req.ID]; ok {
+		// A re-registering id is a restarted process: whatever it was
+		// running is gone. Expire its leases immediately instead of
+		// waiting out their TTLs.
+		for id := range old.leases {
+			l, ok := c.leases[id]
+			if !ok || l.worker != req.ID {
+				continue
+			}
+			l.prev, l.worker = l.worker, ""
+			c.redispatched++
+			select {
+			case l.redispatch <- struct{}{}:
+			default:
+			}
+		}
+	}
+	c.workers[req.ID] = &workerState{
+		id:       req.ID,
+		addr:     req.Addr,
+		capacity: req.Capacity,
+		leases:   make(map[string]struct{}),
+		lastBeat: now,
+	}
+	c.signalCapLocked()
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(registerResponse{
+		LeaseTTLMS:  c.opts.LeaseTTL.Milliseconds(),
+		HeartbeatMS: c.heartbeatInterval().Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	ws, ok := c.workers[req.ID]
+	if !ok {
+		c.mu.Unlock()
+		// Unknown id: the coordinator restarted (or evicted the record).
+		// 404 tells the worker to re-register.
+		http.Error(w, "unknown worker", http.StatusNotFound)
+		return
+	}
+	now := time.Now()
+	ws.lastBeat = now
+	for _, id := range req.Leases {
+		l, held := c.leases[id]
+		if !held || l.worker != req.ID {
+			continue
+		}
+		l.deadline = now.Add(c.opts.LeaseTTL)
+		if !l.attemptCap.IsZero() && l.deadline.After(l.attemptCap) {
+			l.deadline = l.attemptCap
+		}
+	}
+	c.signalCapLocked() // a worker back from suspect reopens capacity
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	l, ok := c.leases[req.Lease]
+	if !ok {
+		// Late completion: the lease was already committed by another
+		// attempt, expired past MaxAttempts, or its Execute was cancelled.
+		// Harmless — but if we remember the committed result, cross-check
+		// determinism: a divergent duplicate would mean retries can change
+		// answers, which the whole design forbids.
+		c.late++
+		if h, seen := c.recentDone[req.Lease]; seen && req.Error == "" && resultHash(req.Results) != h {
+			c.divergent++
+		}
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	// First completion wins. Free the current owner's slot even when the
+	// reporter is a previous owner (re-dispatch raced a slow success): the
+	// result is deterministic either way, and the lease set removal keeps
+	// slot accounting exact.
+	if l.worker != "" {
+		if ws := c.workers[l.worker]; ws != nil {
+			delete(ws.leases, req.Lease)
+		}
+	}
+	delete(c.leases, req.Lease)
+	c.completed++
+	res := leaseResult{}
+	if req.Error != "" {
+		res.err = errors.New(req.Error)
+	} else {
+		res.raw = append([]byte(nil), req.Results...)
+		c.rememberLocked(req.Lease, resultHash(req.Results))
+	}
+	c.signalCapLocked()
+	c.mu.Unlock()
+	select {
+	case l.done <- res:
+	default:
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	for _, id := range req.Leases {
+		l, ok := c.leases[id]
+		if !ok || l.worker != req.ID {
+			continue
+		}
+		if ws := c.workers[req.ID]; ws != nil {
+			delete(ws.leases, id)
+		}
+		l.prev, l.worker = l.worker, ""
+		c.returned++
+		select {
+		case l.redispatch <- struct{}{}:
+		default:
+		}
+	}
+	c.signalCapLocked()
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// ClusterStats implements service.ClusterReporter.
+func (c *Coordinator) ClusterStats() *service.ClusterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := &service.ClusterStats{
+		JobsDispatched:   c.dispatched,
+		JobsCompleted:    c.completed,
+		JobsRedispatched: c.redispatched,
+		JobsReturned:     c.returned,
+		JobsLate:         c.late,
+		JobsDivergent:    c.divergent,
+		DispatchRetries:  c.dispatchRetries,
+		LeasesActive:     len(c.leases),
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ws := c.workers[id]
+		state := c.stateLocked(ws, now)
+		switch state {
+		case stateAlive:
+			st.WorkersAlive++
+			st.CapacitySlots += ws.capacity
+		case stateSuspect:
+			st.WorkersSuspect++
+			st.CapacitySlots += ws.capacity
+		default:
+			st.WorkersDead++
+		}
+		st.LeasedSlots += len(ws.leases)
+		st.Workers = append(st.Workers, service.WorkerStatus{
+			ID:              ws.id,
+			Addr:            ws.addr,
+			State:           state.String(),
+			Capacity:        ws.capacity,
+			InFlight:        len(ws.leases),
+			ConsecFailures:  ws.consecFails,
+			BreakerOpen:     now.Before(ws.breakerUntil),
+			LastHeartbeatMS: now.Sub(ws.lastBeat).Milliseconds(),
+		})
+	}
+	return st
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// postJSON drives a coordinator handler directly.
+func postJSON(t *testing.T, h http.HandlerFunc, v any) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/x", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	return rec
+}
+
+func TestHealthStateTransitions(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{
+		LeaseTTL:     100 * time.Millisecond,
+		SuspectAfter: 100 * time.Millisecond,
+		DeadAfter:    300 * time.Millisecond,
+	})
+	defer c.Close()
+	rec := postJSON(t, c.handleRegister, registerRequest{ID: "w1", Addr: "http://x", Capacity: 4})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	var rr registerResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.LeaseTTLMS != 100 {
+		t.Fatalf("advertised lease TTL = %dms, want 100", rr.LeaseTTLMS)
+	}
+
+	age := func(d time.Duration) {
+		c.mu.Lock()
+		c.workers["w1"].lastBeat = time.Now().Add(-d)
+		c.mu.Unlock()
+	}
+	snap := func() (alive, suspect, dead, capSlots int) {
+		st := c.ClusterStats()
+		return st.WorkersAlive, st.WorkersSuspect, st.WorkersDead, st.CapacitySlots
+	}
+
+	if a, s, d, cap := snap(); a != 1 || s != 0 || d != 0 || cap != 4 {
+		t.Fatalf("fresh worker: alive=%d suspect=%d dead=%d cap=%d, want 1/0/0/4", a, s, d, cap)
+	}
+	age(150 * time.Millisecond)
+	if a, s, d, cap := snap(); a != 0 || s != 1 || d != 0 || cap != 4 {
+		t.Fatalf("aged 150ms: alive=%d suspect=%d dead=%d cap=%d, want 0/1/0/4 (suspect keeps capacity)", a, s, d, cap)
+	}
+	if !c.Ready() {
+		t.Fatal("suspect-only fleet must still be Ready (leases are honored)")
+	}
+	age(400 * time.Millisecond)
+	if a, s, d, cap := snap(); a != 0 || s != 0 || d != 1 || cap != 0 {
+		t.Fatalf("aged 400ms: alive=%d suspect=%d dead=%d cap=%d, want 0/0/1/0", a, s, d, cap)
+	}
+	if c.Ready() {
+		t.Fatal("all-dead fleet must not be Ready")
+	}
+
+	// A heartbeat resurrects the worker without re-registration.
+	rec = postJSON(t, c.handleHeartbeat, heartbeatRequest{ID: "w1"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("heartbeat: %d", rec.Code)
+	}
+	if a, _, _, _ := snap(); a != 1 {
+		t.Fatal("heartbeat must return a dead worker to alive")
+	}
+
+	// Heartbeats from ids the coordinator never saw ask for re-registration.
+	rec = postJSON(t, c.handleHeartbeat, heartbeatRequest{ID: "ghost"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown-worker heartbeat: %d, want 404", rec.Code)
+	}
+}
+
+func TestPickWorkerWeightedDispatch(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Second})
+	defer c.Close()
+	now := time.Now()
+	add := func(id string, capacity, leased int, breakerFor time.Duration) {
+		w := &workerState{id: id, capacity: capacity, leases: make(map[string]struct{}), lastBeat: now}
+		for i := 0; i < leased; i++ {
+			w.leases[id+"-l"+string(rune('0'+i))] = struct{}{}
+		}
+		if breakerFor > 0 {
+			w.breakerUntil = now.Add(breakerFor)
+		}
+		c.workers[id] = w
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	add("a", 4, 3, 0) // free 1
+	add("b", 4, 1, 0) // free 3 — most free, must win
+	add("c", 2, 2, 0) // free 0
+	if w := c.pickLocked(now, ""); w == nil || w.id != "b" {
+		t.Fatalf("pick = %v, want b (most free slots)", w)
+	}
+	// Tie-break: equal free picks lowest id.
+	add("ab", 4, 1, 0) // free 3, ties with b
+	if w := c.pickLocked(now, ""); w == nil || w.id != "ab" {
+		t.Fatalf("pick = %v, want ab (tie-break lowest id)", w)
+	}
+	// Avoidance: the lease's previous owner loses to any other candidate…
+	if w := c.pickLocked(now, "ab"); w == nil || w.id != "b" {
+		t.Fatalf("pick avoiding ab = %v, want b", w)
+	}
+	// …but is still used when it is the only option.
+	add("b", 4, 4, 0)
+	add("a", 4, 4, 0)
+	add("c", 2, 2, 0)
+	if w := c.pickLocked(now, "ab"); w == nil || w.id != "ab" {
+		t.Fatalf("pick with only previous owner free = %v, want ab fallback", w)
+	}
+	// An open breaker removes a worker from dispatch entirely.
+	add("ab", 4, 0, time.Minute)
+	if w := c.pickLocked(now, ""); w != nil {
+		t.Fatalf("pick = %v, want none (sole free worker has open breaker)", w.id)
+	}
+}
+
+func TestDispatchFailureOpensBreaker(t *testing.T) {
+	refusing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusInternalServerError)
+	}))
+	defer refusing.Close()
+
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Second, BreakerThreshold: 3})
+	defer c.Close()
+	postJSON(t, c.handleRegister, registerRequest{ID: "w1", Addr: refusing.URL, Capacity: 2})
+
+	for i := 0; i < 3; i++ {
+		l := &lease{id: "l", req: []byte("{}"), worker: "w1",
+			done: make(chan leaseResult, 1), redispatch: make(chan struct{}, 1)}
+		c.mu.Lock()
+		c.workers["w1"].leases[l.id] = struct{}{}
+		c.mu.Unlock()
+		if c.send(refusing.URL, l) {
+			t.Fatal("send to refusing worker must fail")
+		}
+		if l.worker != "" {
+			t.Fatal("failed dispatch must unassign the lease")
+		}
+	}
+	st := c.ClusterStats()
+	if st.DispatchRetries != 3 {
+		t.Fatalf("dispatch_retries = %d, want 3", st.DispatchRetries)
+	}
+	if len(st.Workers) != 1 || !st.Workers[0].BreakerOpen {
+		t.Fatalf("breaker must open after 3 consecutive dispatch failures: %+v", st.Workers)
+	}
+	c.mu.Lock()
+	w := c.pickLocked(time.Now(), "")
+	c.mu.Unlock()
+	if w != nil {
+		t.Fatal("open breaker must exclude the worker from dispatch")
+	}
+}
+
+func TestLateAndDivergentCompletions(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Second})
+	defer c.Close()
+	l := &lease{id: "lease-1", key: "k",
+		done: make(chan leaseResult, 1), redispatch: make(chan struct{}, 1)}
+	c.mu.Lock()
+	c.leases[l.id] = l
+	c.mu.Unlock()
+
+	good := json.RawMessage(`{"cycles":42}`)
+	rec := postJSON(t, c.handleComplete, completeRequest{ID: "w1", Lease: l.id, Key: "k", Results: good})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("complete: %d", rec.Code)
+	}
+	select {
+	case r := <-l.done:
+		if r.err != nil || string(r.raw) != string(good) {
+			t.Fatalf("committed result = %q err=%v", r.raw, r.err)
+		}
+	default:
+		t.Fatal("completion must signal the waiting Execute")
+	}
+
+	// A duplicate with identical bytes is late but not divergent — the
+	// deterministic-retry invariant holding.
+	postJSON(t, c.handleComplete, completeRequest{ID: "w2", Lease: l.id, Key: "k", Results: good})
+	st := c.ClusterStats()
+	if st.JobsLate != 1 || st.JobsDivergent != 0 {
+		t.Fatalf("identical duplicate: late=%d divergent=%d, want 1/0", st.JobsLate, st.JobsDivergent)
+	}
+
+	// A duplicate with different bytes is the invariant breaking: counted.
+	postJSON(t, c.handleComplete, completeRequest{ID: "w2", Lease: l.id, Key: "k", Results: json.RawMessage(`{"cycles":41}`)})
+	st = c.ClusterStats()
+	if st.JobsLate != 2 || st.JobsDivergent != 1 {
+		t.Fatalf("divergent duplicate: late=%d divergent=%d, want 2/1", st.JobsLate, st.JobsDivergent)
+	}
+	if st.JobsCompleted != 1 {
+		t.Fatalf("jobs_completed = %d, want 1 (first completion wins)", st.JobsCompleted)
+	}
+}
+
+func TestReregisterExpiresOldLeases(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Hour}) // janitor can't interfere
+	defer c.Close()
+	postJSON(t, c.handleRegister, registerRequest{ID: "w1", Addr: "http://old", Capacity: 2})
+	l := &lease{id: "l1", worker: "w1", deadline: time.Now().Add(time.Hour),
+		done: make(chan leaseResult, 1), redispatch: make(chan struct{}, 1)}
+	c.mu.Lock()
+	c.leases[l.id] = l
+	c.workers["w1"].leases[l.id] = struct{}{}
+	c.mu.Unlock()
+
+	// The same id coming back is a restarted process: its lease must be
+	// freed for re-dispatch immediately, not after TTL.
+	postJSON(t, c.handleRegister, registerRequest{ID: "w1", Addr: "http://new", Capacity: 2})
+	select {
+	case <-l.redispatch:
+	default:
+		t.Fatal("re-registration must signal re-dispatch of the old incarnation's leases")
+	}
+	if l.worker != "" {
+		t.Fatal("lease must be unassigned after owner re-registers")
+	}
+	if st := c.ClusterStats(); st.JobsRedispatched != 1 {
+		t.Fatalf("jobs_redispatched = %d, want 1", st.JobsRedispatched)
+	}
+}

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/sweep"
@@ -189,9 +192,28 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		return false, 0, false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return false, 0, false, fmt.Errorf("service client: decoding %s response: %w", path, err)
+		// A response truncated mid-body — the server was killed or the
+		// connection reset after the 200 header — is a transport-level
+		// failure, not a protocol one, and jobs are content-addressed and
+		// deterministic: the retry coalesces onto the same cached result.
+		return transportTruncation(err), 0, false, fmt.Errorf("service client: decoding %s response: %w", path, err)
 	}
 	return false, 0, false, nil
+}
+
+// transportTruncation classifies a response-body decode failure: truncation
+// and connection-level resets are retryable; a complete-but-malformed body
+// (a real protocol bug) is not.
+func transportTruncation(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var syntax *json.SyntaxError
+	// encoding/json turns a stream that ends inside a value into a
+	// SyntaxError("unexpected end of JSON input") instead of wrapping
+	// io.ErrUnexpectedEOF; only that truncation form is retryable.
+	return errors.As(err, &syntax) && strings.Contains(syntax.Error(), "unexpected end of JSON input")
 }
 
 // Run submits one simulation job and returns the (possibly cached) result.
@@ -242,4 +264,12 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 // Healthz probes daemon liveness.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.call(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Readyz probes daemon readiness: nil means the daemon accepts new
+// simulation work; a draining daemon or a coordinator with zero live
+// workers answers 503 (still serving cached traffic — check Healthz for
+// liveness).
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/readyz", nil, nil)
 }

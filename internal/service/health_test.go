@@ -1,0 +1,214 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/store/faultfs"
+)
+
+// TestHealthzReadyzSplit pins the liveness/readiness contract: /healthz
+// answers 200 whenever the process can serve at all (even draining — it
+// still holds the cache), while /readyz flips to 503 with Retry-After the
+// moment the server would shed new simulation work. Orchestrators gate
+// restarts on the former and routing on the latter; conflating them kills
+// cache-serving processes.
+func TestHealthzReadyzSplit(t *testing.T) {
+	svc := service.New(service.Options{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: decoding body: %v", path, err)
+		}
+		return resp.StatusCode, resp.Header.Get("Retry-After"), body
+	}
+
+	if code, _, body := get("/healthz"); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthy /healthz = %d %v, want 200 ok", code, body)
+	}
+	if code, _, body := get("/readyz"); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("healthy /readyz = %d %v, want 200 ready", code, body)
+	}
+
+	svc.SetDraining(true)
+	if code, _, body := get("/healthz"); code != http.StatusOK || body["status"] != "draining" {
+		t.Fatalf("draining /healthz = %d %v, want 200 draining (liveness must not fail)", code, body)
+	}
+	code, retryAfter, body := get("/readyz")
+	if code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("draining /readyz = %d %v, want 503 draining", code, body)
+	}
+	if retryAfter == "" {
+		t.Error("draining /readyz missing Retry-After hint")
+	}
+	if err := service.NewClient(ts.URL).Healthz(context.Background()); err != nil {
+		t.Errorf("client Healthz during drain: %v, want nil", err)
+	}
+
+	svc.SetDraining(false)
+	if code, _, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after drain lifted = %d, want 200", code)
+	}
+	if err := service.NewClient(ts.URL).Readyz(context.Background()); err != nil {
+		t.Errorf("client Readyz on ready server: %v, want nil", err)
+	}
+}
+
+// truncatingHandler serves the wrapped handler, except that the first /run
+// response is cut off mid-body: the declared Content-Length is never
+// satisfied, so the Go server closes the connection and the client observes
+// a 200 followed by a truncated JSON stream — exactly what a worker killed
+// between header and body flush looks like.
+type truncatingHandler struct {
+	inner    http.Handler
+	requests atomic.Int32
+}
+
+func (h *truncatingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/run" && h.requests.Add(1) == 1 {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", "65536")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"key": "truncated-mid-`)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// TestClientRetriesTruncatedResponse pins the truncation-retry contract: a
+// 200 whose body is cut short is a transport fault, not a protocol error —
+// the client must retry, and determinism plus content addressing make the
+// retry coalesce onto the same result.
+func TestClientRetriesTruncatedResponse(t *testing.T) {
+	svc := service.New(service.Options{Workers: 1})
+	h := &truncatingHandler{inner: svc.Handler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	client := &service.Client{
+		BaseURL: ts.URL,
+		Retry:   service.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	}
+	resp, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+	if err != nil {
+		t.Fatalf("client must survive one truncated response: %v", err)
+	}
+	if got := h.requests.Load(); got != 2 {
+		t.Errorf("requests = %d, want 2 (1 truncated + 1 retry)", got)
+	}
+	if resp.Results == nil {
+		t.Fatal("retried run returned no results")
+	}
+
+	// The retried attempt hit a fully-computed server-side result, so a
+	// direct re-run must be a cache hit with the same content address.
+	again, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.ConfigHash != resp.ConfigHash {
+		t.Errorf("rerun: hit=%v hash=%q, want cache hit with hash %q", again.CacheHit, again.ConfigHash, resp.ConfigHash)
+	}
+}
+
+// TestClientDoesNotRetryMalformedBody is the negative space of the above: a
+// COMPLETE body that fails to decode is a protocol bug, and retrying it
+// would hammer a broken server. One attempt, hard error.
+func TestClientDoesNotRetryMalformedBody(t *testing.T) {
+	var requests atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"key": 12, "results": "not-an-object"}`)
+	}))
+	defer ts.Close()
+
+	client := &service.Client{
+		BaseURL: ts.URL,
+		Retry:   service.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	}
+	if _, err := client.Run(context.Background(), service.RunRequest{Workload: "mac", Scheme: "ARF-tid", Scale: "tiny"}); err == nil {
+		t.Fatal("malformed body must surface an error")
+	}
+	if got := requests.Load(); got != 1 {
+		t.Errorf("requests = %d, want 1 (malformed complete bodies are not retryable)", got)
+	}
+}
+
+// TestStatsSurfaceQuarantineWriteFailures pins the observability half of
+// the degraded-store contract: when recovery condemns corrupt bytes but the
+// quarantine/ directory refuses writes, the store still serves — and /stats
+// must report the dropped forensic evidence so operators see the disk going
+// bad before it takes reads with it.
+func TestStatsSurfaceQuarantineWriteFailures(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.Put("doomed", []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("survivor", []byte("payload-two")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Tear the segment's tail on disk, then reopen through an FS whose
+	// store root refuses the quarantine/ subdirectory.
+	seg := filepath.Join(dir, "seg-00000000.log")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	fs := faultfs.New(nil)
+	fs.OnMkdirAll = func(d string) error {
+		if strings.Contains(d, "quarantine") {
+			return fmt.Errorf("mkdir %s: %w", d, faultfs.ErrInjected)
+		}
+		return nil
+	}
+	degraded, err := store.Open(dir, store.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("degraded store must open: %v", err)
+	}
+	defer degraded.Close()
+
+	svc := service.New(service.Options{Workers: 1, Store: degraded})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	st, err := service.NewClient(ts.URL).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoreQuarantineWriteFailures != 1 {
+		t.Errorf("store_quarantine_write_failures = %d, want 1", st.StoreQuarantineWriteFailures)
+	}
+	if st.StoreCorruptQuarantined == 0 {
+		t.Error("store_corrupt_quarantined = 0, want the torn record counted")
+	}
+	if st.StoreRecords != 1 {
+		t.Errorf("store_records = %d, want 1 (the intact record)", st.StoreRecords)
+	}
+}

@@ -62,16 +62,25 @@ type FigureResponse struct {
 //	POST /run          RunRequest -> RunResponse
 //	POST /sweep        SweepRequest -> sweep.Result
 //	GET  /figures/{id} ?scale=tiny -> FigureResponse
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness (always 200 while the process serves)
+//	GET  /readyz       readiness (503 while draining or with no live workers)
 //	GET  /stats        Stats snapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// Register installs the service routes on mux, so cmd/arserved can mount
+// additional route families (the cluster coordinator's internal protocol)
+// on the same listener.
+func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /figures/{id}", s.handleFigure)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
 }
 
 // writeJSON emits one JSON body; encoding errors after the header is out
@@ -190,12 +199,33 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &FigureResponse{Figure: id, Scale: scale.String(), Data: data})
 }
 
+// handleHealthz is LIVENESS: it answers 200 whenever the process can serve
+// at all — a draining daemon or a coordinator with zero workers still
+// serves every cached result, and killing it would lose that. Orchestrators
+// gate restarts on this and routing on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	if s.draining.Load() {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": status, "workers": s.budget.Cap()})
+}
+
+// handleReadyz is READINESS: 503 (with Retry-After) while the server would
+// shed new simulation work — draining for shutdown, or a cluster
+// coordinator whose fleet has no live workers. Orchestrators stop routing
+// NEW work here without killing the cache-serving process.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case !s.exec.Ready():
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no-live-workers"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

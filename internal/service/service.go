@@ -62,6 +62,13 @@ func (j Job) normalize() (Job, error) {
 	return j, nil
 }
 
+// Normalized returns the job with its default configuration filled in and
+// every field validated — the form Executor.Execute and Key require. The
+// cluster worker revalidates wire-delivered jobs through this, so a
+// malformed dispatch fails loudly at the worker instead of deep in the
+// kernel.
+func (j Job) Normalized() (Job, error) { return j.normalize() }
+
 // Key is the content address of a normalized job: the full-configuration
 // hash joined with the workload, scheme and scale. Two jobs share a key iff
 // a deterministic simulator must produce bit-identical Results for them.
@@ -106,6 +113,12 @@ type Options struct {
 	// a repeated study warm-starts its leaders instead of re-simulating
 	// their prefixes. Results are unaffected — only wall clock.
 	Snapshots *store.Store
+	// Executor overrides the compute backend. nil means a Local executor on
+	// the server's own budget — the degenerate single-process cluster. The
+	// cluster coordinator plugs its lease-dispatching executor in here;
+	// everything above the seam (cache, store, shedding, transport) is
+	// unchanged.
+	Executor Executor
 }
 
 // ErrOverloaded is returned for a request that would start a new
@@ -121,6 +134,7 @@ type Server struct {
 	cache      *resultCache
 	store      *store.Store
 	snaps      *store.Store
+	exec       Executor
 	start      time.Time
 	simShards  int
 	jobTimeout time.Duration
@@ -163,6 +177,10 @@ func New(opts Options) *Server {
 		simShards:  opts.SimShards,
 		jobTimeout: opts.JobTimeout,
 		maxQueue:   opts.MaxQueue,
+	}
+	s.exec = opts.Executor
+	if s.exec == nil {
+		s.exec = &Local{Budget: s.budget, SimShards: s.simShards, Observer: (*serverObserver)(s)}
 	}
 	if s.store != nil {
 		s.store.Range(func(key string, value []byte) bool {
@@ -251,12 +269,52 @@ func (s *Server) runNormalized(ctx context.Context, job Job) (*system.Results, b
 	return res, hit, err
 }
 
-// overloaded reports whether a new simulation should be refused right now.
+// overloaded reports whether a new simulation should be refused right now:
+// draining, an executor that cannot take new work (a coordinator with zero
+// live workers), or a queue past MaxQueue. Cached traffic is never subject
+// to this — the probe in runNormalized happens only on a cache miss.
 func (s *Server) overloaded() bool {
-	if s.draining.Load() {
+	if s.draining.Load() || !s.exec.Ready() {
 		return true
 	}
-	return s.maxQueue > 0 && s.budget.Waiting() >= s.maxQueue
+	return s.maxQueue > 0 && s.queueDepth() >= s.maxQueue
+}
+
+// queueDepth is the scheduler's queue: budget waiters for the local
+// executor, the dispatcher's capacity waiters for a cluster one.
+func (s *Server) queueDepth() int {
+	if q, ok := s.exec.(QueueReporter); ok {
+		return q.Waiting()
+	}
+	return s.budget.Waiting()
+}
+
+// Ready reports whether the server should accept new simulation work: the
+// transport layer's /readyz. Liveness (/healthz) is unconditional — a
+// not-ready server still serves every cached result.
+func (s *Server) Ready() bool { return !s.draining.Load() && s.exec.Ready() }
+
+// serverObserver adapts the Server's counters to the Local executor's
+// lifecycle callbacks without widening the Server API.
+type serverObserver Server
+
+func (o *serverObserver) JobStarted() {
+	s := (*Server)(o)
+	s.mu.Lock()
+	s.started++
+	s.mu.Unlock()
+}
+
+func (o *serverObserver) JobCompleted(sc sim.SchedCounters) {
+	s := (*Server)(o)
+	s.mu.Lock()
+	s.done++
+	s.sched.WavesRun += sc.WavesRun
+	s.sched.WavesFused += sc.WavesFused
+	s.sched.WavesSkipped += sc.WavesSkipped
+	s.sched.BarriersElided += sc.BarriersElided
+	s.sched.ParkEvents += sc.ParkEvents
+	s.mu.Unlock()
 }
 
 // persist writes one fresh result through to the durable store. Storage
@@ -278,57 +336,20 @@ func (s *Server) persist(key string, res *system.Results) {
 	}
 }
 
-// simulate runs one normalized job under the shared budget. Cancellation is
+// simulate runs one normalized job through the executor. Cancellation is
 // cooperative end-to-end: a cancelled context short-circuits the queue
 // wait, and a running simulation is abandoned at the kernel's cancellation
-// stride — so the held budget slots are always released within a bounded
-// interval, even for a deadlocked configuration whose requester has
-// disconnected (JobTimeout bounds the worst case).
+// stride (a remote one at its lease's next checkpoint) — so held resources
+// are always released within a bounded interval, even for a deadlocked
+// configuration whose requester has disconnected (JobTimeout bounds the
+// worst case).
 func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error) {
 	if s.jobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.jobTimeout)
 		defer cancel()
 	}
-	// Auto kernel knobs resolve against the budget's free capacity at this
-	// moment: a busy daemon prefers run-level parallelism (fewer shards per
-	// job), an idle one gives the job the machine. The job then acquires
-	// exactly the worker count its resolved kernel will occupy — weighted by
-	// the post-clamp pool size, not the declared knobs, so a 4-shard job on
-	// a 2-thread host holds 2 slots, not 4.
-	cfg := *job.Config
-	free := s.budget.Cap() - s.budget.InUse()
-	if free < 1 {
-		free = 1
-	}
-	system.ResolveKernel(&cfg, free)
-	held, err := s.budget.AcquireN(ctx, cfg.ResolvedWorkers())
-	if err != nil {
-		return nil, err
-	}
-	defer s.budget.ReleaseN(held)
-	s.mu.Lock()
-	s.started++
-	s.mu.Unlock()
-	sys, err := system.New(cfg, job.Workload, job.Scale)
-	if err != nil {
-		return nil, fmt.Errorf("service: %s/%s: %w", job.Scheme, job.Workload, err)
-	}
-	res, err := sys.RunCtx(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("service: %s/%s: %w", job.Scheme, job.Workload, err)
-	}
-	s.mu.Lock()
-	s.done++
-	if sc, ok := sys.SchedCounters(); ok {
-		s.sched.WavesRun += sc.WavesRun
-		s.sched.WavesFused += sc.WavesFused
-		s.sched.WavesSkipped += sc.WavesSkipped
-		s.sched.BarriersElided += sc.BarriersElided
-		s.sched.ParkEvents += sc.ParkEvents
-	}
-	s.mu.Unlock()
-	return res, nil
+	return s.exec.Execute(ctx, job)
 }
 
 // Sweep executes a named built-in study at the given scale on the shared
@@ -338,10 +359,26 @@ func (s *Server) simulate(ctx context.Context, job Job) (*system.Results, error)
 // declare a PrefixCycle run prefix-shared: grid points fork from one
 // checkpoint per shared-prefix family (bit-identical results, lower wall
 // clock), warm-starting from the snapshot store when one is configured.
+//
+// With a cluster executor installed, every grid point dispatches to the
+// worker fleet instead (prefix sharing is a single-process optimization;
+// determinism keeps the results bit-identical either way), so a sweep
+// survives worker loss: an expired lease re-dispatches its point and the
+// grid completes with the same bytes.
 func (s *Server) Sweep(ctx context.Context, study string, scale workload.Scale) (*sweep.Result, error) {
 	grid, err := sweep.StudyGrid(study, scale)
 	if err != nil {
 		return nil, err
+	}
+	if _, local := s.exec.(*Local); !local {
+		return sweep.RunVia(ctx, grid, s.sweepParallelism(), func(ctx context.Context, cfg *system.Config, wl string, sc workload.Scale) (*system.Results, error) {
+			job := Job{Workload: wl, Scheme: cfg.Scheme, Scale: sc, Config: cfg}
+			norm, err := job.normalize()
+			if err != nil {
+				return nil, err
+			}
+			return s.simulate(ctx, norm)
+		})
 	}
 	if grid.PrefixCycle > 0 {
 		res, st, err := sweep.RunPrefixShared(ctx, grid, s.budget, s.snaps)
@@ -354,6 +391,20 @@ func (s *Server) Sweep(ctx context.Context, study string, scale workload.Scale) 
 		return res, err
 	}
 	return sweep.RunOn(ctx, grid, s.budget)
+}
+
+// sweepParallelism bounds how many sweep points a cluster sweep keeps in
+// flight: twice the fleet's advertised capacity (so dispatch never starves
+// while completions post back), floored to keep a degraded fleet draining.
+func (s *Server) sweepParallelism() int {
+	n := 0
+	if r, ok := s.exec.(ClusterReporter); ok {
+		n = 2 * r.ClusterStats().CapacitySlots
+	}
+	if n < 4 {
+		n = 4
+	}
+	return n
 }
 
 // Stats is a point-in-time statistics snapshot.
@@ -382,8 +433,17 @@ type Stats struct {
 	StoreRecordsLoaded      uint64 `json:"store_records_loaded"`
 	StoreCorruptQuarantined uint64 `json:"store_corrupt_quarantined"`
 	StorePutFailures        uint64 `json:"store_put_failures"`
-	SweepForkResumes        uint64 `json:"sweep_fork_resumes"`
-	SweepWarmStarts         uint64 `json:"sweep_warm_starts"`
+	// StoreQuarantineWriteFailures counts recovery scans that condemned
+	// corrupt bytes but could not preserve them under quarantine/ (directory
+	// unwritable): the intact records still loaded and startup proceeded —
+	// the failure surfaces here instead of aborting the daemon.
+	StoreQuarantineWriteFailures uint64 `json:"store_quarantine_write_failures"`
+	SweepForkResumes             uint64 `json:"sweep_fork_resumes"`
+	SweepWarmStarts              uint64 `json:"sweep_warm_starts"`
+
+	// Cluster is the coordinator's fleet snapshot (lease traffic, worker
+	// supervision); absent in single-process mode.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 
 	// Sharded-conductor scheduling totals across every sharded simulation
 	// this server completed (sim.SchedCounters): how much per-cycle
@@ -433,11 +493,15 @@ func (s *Server) Stats() Stats {
 		// Quarantines seen by the store's recovery scan plus records the
 		// service could not decode after a clean read.
 		st.StoreCorruptQuarantined = uint64(ss.CorruptRecords) + storeBad
+		st.StoreQuarantineWriteFailures = uint64(ss.QuarantineFailures)
+	}
+	if r, ok := s.exec.(ClusterReporter); ok {
+		st.Cluster = r.ClusterStats()
 	}
 	st.UptimeSeconds = time.Since(s.start).Seconds()
 	st.Workers = s.budget.Cap()
 	st.InFlight = s.budget.InUse()
-	st.QueueDepth = s.budget.Waiting()
+	st.QueueDepth = s.queueDepth()
 	st.CacheEntries = s.cache.len()
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(total)

@@ -33,6 +33,12 @@ type FS struct {
 	OnAppendWrite func(name string, p []byte) ([]byte, error)
 	// OnSync may fail an fsync.
 	OnSync func(name string) error
+	// OnMkdirAll may fail directory creation (an unwritable store root
+	// refusing a quarantine/ subdirectory).
+	OnMkdirAll func(dir string) error
+	// OnWriteFile may fail a whole-file write before any bytes reach the
+	// base FS — the quarantine-preservation and segment-repair paths.
+	OnWriteFile func(name string) error
 }
 
 // New wraps base (nil means the real filesystem).
@@ -43,7 +49,15 @@ func New(base store.FS) *FS {
 	return &FS{Base: base}
 }
 
-func (f *FS) MkdirAll(dir string) error            { return f.Base.MkdirAll(dir) }
+func (f *FS) MkdirAll(dir string) error {
+	if f.OnMkdirAll != nil {
+		if err := f.OnMkdirAll(dir); err != nil {
+			return err
+		}
+	}
+	return f.Base.MkdirAll(dir)
+}
+
 func (f *FS) ReadDir(dir string) ([]string, error) { return f.Base.ReadDir(dir) }
 func (f *FS) Rename(o, n string) error             { return f.Base.Rename(o, n) }
 func (f *FS) Remove(name string) error             { return f.Base.Remove(name) }
@@ -59,10 +73,19 @@ func (f *FS) ReadFile(name string) ([]byte, error) {
 	return data, nil
 }
 
-// WriteFile passes through untouched: it is the store's atomic repair path,
-// whose crash-safety comes from rename, not from write ordering. Injecting
-// into appends and reads is what exercises the recovery invariants.
-func (f *FS) WriteFile(name string, data []byte) error { return f.Base.WriteFile(name, data) }
+// WriteFile is the store's atomic whole-file path (quarantine preservation,
+// segment repair), whose crash-safety comes from rename, not from write
+// ordering. OnWriteFile can refuse it outright — an unwritable directory —
+// but there is no torn-write modeling here; injecting into appends and
+// reads is what exercises the recovery invariants.
+func (f *FS) WriteFile(name string, data []byte) error {
+	if f.OnWriteFile != nil {
+		if err := f.OnWriteFile(name); err != nil {
+			return err
+		}
+	}
+	return f.Base.WriteFile(name, data)
+}
 
 func (f *FS) OpenAppend(name string) (store.AppendFile, error) {
 	af, err := f.Base.OpenAppend(name)

@@ -3,6 +3,9 @@ package faultfs_test
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/store"
@@ -127,5 +130,92 @@ func TestSyncFailureFailsPut(t *testing.T) {
 	}
 	if err := s.Put("unsynced", []byte("v")); err != nil {
 		t.Fatalf("retry after sync failure: %v", err)
+	}
+}
+
+// TestQuarantineDirUnwritableStillRecovers pins the degradation contract
+// for a store root that refuses the quarantine/ subdirectory: recovery must
+// still load every intact record and repair the segment — losing forensic
+// evidence is survivable, losing reads is not — and the dropped quarantine
+// write must be counted so /stats can surface it.
+func TestQuarantineDirUnwritableStillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, nil)
+	if err := s.Put("corrupted", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("kept", []byte("payload-two")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Reopen through an FS that corrupts the first record on read AND
+	// refuses to create quarantine/ — a read-mostly disk gone read-only
+	// for new directories.
+	fs := faultfs.New(nil)
+	faultfs.NewPlan().FlipBit("seg-", 22).Arm(fs)
+	fs.OnMkdirAll = func(d string) error {
+		if strings.Contains(d, "quarantine") {
+			return fmt.Errorf("mkdir %s: %w", d, faultfs.ErrInjected)
+		}
+		return nil
+	}
+	r, err := store.Open(dir, store.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("recovery must not fail on an unwritable quarantine dir: %v", err)
+	}
+	if got, ok := r.Get("kept"); !ok || string(got) != "payload-two" {
+		t.Fatalf("intact record lost: %q/%v", got, ok)
+	}
+	st := r.Stats()
+	if st.RecordsLoaded != 1 || st.CorruptRecords != 1 {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	if st.QuarantineFailures != 1 {
+		t.Fatalf("QuarantineFailures = %d, want 1", st.QuarantineFailures)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine")); !os.IsNotExist(err) {
+		t.Fatalf("quarantine dir exists despite injected mkdir failure (err=%v)", err)
+	}
+
+	// The segment repair still happened: a clean reopen (no faults) sees no
+	// corruption and the same surviving record.
+	r2 := open(t, dir, nil)
+	if st := r2.Stats(); st.RecordsLoaded != 1 || st.CorruptRecords != 0 || st.QuarantineFailures != 0 {
+		t.Fatalf("stats after repaired reopen = %+v", st)
+	}
+}
+
+// TestQuarantineFileWriteFailureCounted is the sibling fault one layer
+// down: the directory exists but the quarantine file itself cannot be
+// written. Same contract — recovery proceeds, the failure is counted.
+func TestQuarantineFileWriteFailureCounted(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, nil)
+	if err := s.Put("corrupted", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("kept", []byte("payload-two")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	fs := faultfs.New(nil)
+	faultfs.NewPlan().FlipBit("seg-", 22).Arm(fs)
+	fs.OnWriteFile = func(name string) error {
+		if strings.Contains(name, "quarantine") {
+			return fmt.Errorf("write %s: %w", name, faultfs.ErrInjected)
+		}
+		return nil
+	}
+	r, err := store.Open(dir, store.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("recovery must not fail on an unwritable quarantine file: %v", err)
+	}
+	if got, ok := r.Get("kept"); !ok || string(got) != "payload-two" {
+		t.Fatalf("intact record lost: %q/%v", got, ok)
+	}
+	if st := r.Stats(); st.QuarantineFailures != 1 {
+		t.Fatalf("QuarantineFailures = %d, want 1 (stats %+v)", st.QuarantineFailures, st)
 	}
 }

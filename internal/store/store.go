@@ -50,6 +50,13 @@ type Stats struct {
 	CorruptRecords int
 	// QuarantinedBytes is the total size of quarantined stretches.
 	QuarantinedBytes int64
+	// QuarantineFailures counts recovery scans that condemned corrupt bytes
+	// but could not write them under quarantine/ (directory missing and
+	// uncreatable, or unwritable). Recovery proceeds regardless — intact
+	// records load and the damaged segment is still repaired — but the
+	// condemned bytes were discarded instead of preserved, so the failure
+	// is surfaced here for operators rather than aborting startup.
+	QuarantineFailures int
 	// BytesOnDisk is the live segment footprint (quarantine files excluded).
 	BytesOnDisk int64
 	// Segments is the number of live segment files.
@@ -190,11 +197,15 @@ func (s *Store) recoverSegment(n int) error {
 	// here leaves either the old damaged file (re-repaired next Open) or
 	// the clean one — never a half-written segment.
 	s.stats.QuarantinedBytes += int64(len(bad))
+	// Quarantine-file write failures are not fatal: the bytes are already
+	// condemned, and the repair below is what protects reads. But they are
+	// counted — an unwritable quarantine/ directory means forensic evidence
+	// is being lost, and /stats is where that must show up.
 	qdir := filepath.Join(s.dir, "quarantine")
-	if err := s.fs.MkdirAll(qdir); err == nil {
-		// Quarantine-file write failures are not fatal: the bytes are
-		// already condemned, and the repair below is what protects reads.
-		_ = s.fs.WriteFile(filepath.Join(qdir, s.segmentName(n)+".bad"), bad)
+	if err := s.fs.MkdirAll(qdir); err != nil {
+		s.stats.QuarantineFailures++
+	} else if err := s.fs.WriteFile(filepath.Join(qdir, s.segmentName(n)+".bad"), bad); err != nil {
+		s.stats.QuarantineFailures++
 	}
 	var clean []byte
 	for _, r := range good {

@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPanickingJobReleasesSlots pins the budget slot-leak guard: a job
+// function that panics must still release every slot it held, the panic
+// must surface as an ordinary job error (fail-fast cancelling the pool),
+// and the budget must stay fully usable afterwards. Run under -race in CI.
+func TestPanickingJobReleasesSlots(t *testing.T) {
+	b := NewBudget(2)
+	err := RunJobsOn(context.Background(), 4, b, func(ctx context.Context, i int) error {
+		if i == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want job-panicked error", err)
+	}
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("budget leaked %d slots after panic", got)
+	}
+
+	// The budget must still hand out its full capacity.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := b.AcquireN(ctx, 2)
+	if err != nil || got != 2 {
+		t.Fatalf("AcquireN after panic = (%d, %v), want (2, nil)", got, err)
+	}
+	b.ReleaseN(got)
+}
+
+// TestPanickingWeightedJobReleasesAllSlots is the multi-slot variant: a
+// sharded job holding several slots panics and every slot must come back —
+// a partial release would shrink the budget for every later pool run.
+func TestPanickingWeightedJobReleasesAllSlots(t *testing.T) {
+	b := NewBudget(4)
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	err := RunWeightedJobsOn(context.Background(), 3, b,
+		func(i int) int { return 2 },
+		func(ctx context.Context, i int) error {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			if i == 0 {
+				panic("weighted boom")
+			}
+			return nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want job-panicked error", err)
+	}
+	mu.Lock()
+	if !ran[0] {
+		t.Fatal("panicking job never ran")
+	}
+	mu.Unlock()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("budget leaked %d slots after weighted panic", got)
+	}
+	if got, err := b.AcquireN(context.Background(), 4); err != nil || got != 4 {
+		t.Fatalf("AcquireN(4) after panic = (%d, %v), want full capacity back", got, err)
+	}
+}

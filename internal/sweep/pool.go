@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -100,6 +101,22 @@ func (b *Budget) ReleaseN(n int) {
 	}
 }
 
+// runGuarded runs job i holding got budget slots, releasing them on every
+// exit path — including a panicking job function. Without the recover, a
+// panic would unwind past the release and leak the slots: every subsequent
+// pool run sharing the budget would be permanently down got workers (and a
+// cap-sized leak deadlocks the budget outright). The panic is converted to
+// an ordinary job error so the pool's fail-fast path cancels the rest.
+func runGuarded(ctx context.Context, i, got int, b *Budget, run func(ctx context.Context, i int) error) (err error) {
+	defer b.ReleaseN(got)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: job %d panicked: %v", i, r)
+		}
+	}()
+	return run(ctx, i)
+}
+
 // RunJobs executes n indexed jobs on a bounded worker pool with fail-fast
 // cancellation, using a private budget of the given size (workers <= 0
 // means GOMAXPROCS). See RunJobsOn for the scheduling contract.
@@ -173,8 +190,7 @@ func RunWeightedJobsOn(ctx context.Context, n int, b *Budget, weight func(i int)
 					errs[i] = err
 					continue
 				}
-				err = run(ctx, i)
-				b.ReleaseN(got)
+				err = runGuarded(ctx, i, got, b, run)
 				if err != nil {
 					errs[i] = err
 					cancel()

@@ -225,6 +225,68 @@ func RunOn(ctx context.Context, g Grid, b *Budget) (*Result, error) {
 	return res, nil
 }
 
+// PointRunner executes one expanded grid point's simulation: cfg is the
+// fully mutated, validated configuration (its Scheme field matches the
+// point's scheme). Implementations must be deterministic in cfg — the grid
+// engine assumes any two executions of a point produce identical Results.
+type PointRunner func(ctx context.Context, cfg *system.Config, wl string, scale workload.Scale) (*system.Results, error)
+
+// RunVia executes the grid like RunOn but delegates each point's simulation
+// to run — the cluster coordinator dispatches points to remote workers this
+// way, so a sweep survives worker loss without losing grid order or
+// determinism. parallel bounds concurrent in-flight points (<= 0 means
+// g.Workers, then GOMAXPROCS); the runner is expected to provide its own
+// backpressure (a dispatcher queues on fleet capacity), so the bound only
+// caps goroutines. Kernel knobs are left for the executing side to resolve:
+// results are bit-identical regardless (the kernel choice is outside the
+// config hash).
+func RunVia(ctx context.Context, g Grid, parallel int, run PointRunner) (*Result, error) {
+	if len(g.Workloads) == 0 || len(g.Schemes) == 0 {
+		return nil, fmt.Errorf("sweep %s: grid needs at least one workload and one scheme", g.Name)
+	}
+	for _, ax := range g.Axes {
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep %s: axis %q has no values (would expand to an empty grid)", g.Name, ax.Name)
+		}
+	}
+	jobs := g.expand()
+	cfgs := make([]system.Config, len(jobs))
+	for i, j := range jobs {
+		cfg := system.DefaultConfig(j.scheme)
+		for _, mut := range j.mutators {
+			mut(&cfg)
+		}
+		if g.SimShards != 0 && cfg.Shards == 0 {
+			cfg.Shards = g.SimShards
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep %s point %v %s/%s: %w", g.Name, j.coords, j.scheme, j.wl, err)
+		}
+		cfgs[i] = cfg
+	}
+	if parallel <= 0 {
+		parallel = g.Workers
+	}
+	points := make([]Point, len(jobs))
+	err := RunJobsOn(ctx, len(jobs), NewBudget(parallel), func(ctx context.Context, i int) error {
+		j := jobs[i]
+		r, err := run(ctx, &cfgs[i], j.wl, g.Scale)
+		if err != nil {
+			return fmt.Errorf("sweep %s point %v: %w", g.Name, j.coords, err)
+		}
+		points[i] = newPoint(i, j, &cfgs[i], r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Study: g.Name, Scale: g.Scale.String(), Points: points}
+	for _, ax := range g.Axes {
+		res.AxisNames = append(res.AxisNames, ax.Name)
+	}
+	return res, nil
+}
+
 // newPoint records one completed grid point's measurements.
 func newPoint(i int, j jobSpec, cfg *system.Config, r *system.Results) Point {
 	return Point{
